@@ -1,0 +1,225 @@
+//! Thread-granularity multisplit — the "traditional approach" of He et
+//! al. that the paper uses as its structural foil (§2, §4, Table 1).
+//!
+//! Every *thread* is its own subproblem: it reads `T` consecutive
+//! elements, builds a sequential private histogram and local offsets in
+//! registers, and stores one histogram column per thread. The global scan
+//! therefore runs over `m x (n/T)` entries — `32x` larger than Direct
+//! MS's warp-granularity matrix for the same coarsening — and the final
+//! scatter is issued per thread with no locality at all. Table 1's lesson
+//! (and this module's reason to exist) is precisely how expensive that
+//! global stage becomes; `paper table1` quantifies it.
+
+use simt::{blocks_for, lanes_from_fn, Device, GlobalBuffer, Scalar, WARP_SIZE};
+
+use multisplit::common::{empty_result, offsets_from_scanned, DeviceMultisplit};
+use multisplit::BucketFn;
+use primitives::{exclusive_scan_u32, tail_mask};
+
+/// Elements each thread processes sequentially (He et al. read "multiple
+/// elements with each thread").
+pub const THREAD_COARSENING: usize = 4;
+
+/// Thread-granularity stable multisplit over `m <= 32` buckets.
+#[allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
+pub fn multisplit_thread_level<B: BucketFn + ?Sized, V: Scalar>(
+    dev: &Device,
+    keys: &GlobalBuffer<u32>,
+    values: Option<&GlobalBuffer<V>>,
+    n: usize,
+    bucket: &B,
+    wpb: usize,
+) -> DeviceMultisplit<V> {
+    let m = bucket.num_buckets();
+    assert!(m <= 32, "thread-level multisplit demo supports m <= 32");
+    assert!(keys.len() >= n, "key buffer shorter than n");
+    if n == 0 {
+        return empty_result(m as usize, values.is_some());
+    }
+    let t = THREAD_COARSENING;
+    let l = n.div_ceil(t); // one subproblem per thread
+    let mu = m as usize;
+
+    // ====== Pre-scan: per-thread sequential histograms.
+    // Thread j handles elements j*t .. j*t+t; its histogram is column j of
+    // the m x L matrix. Element reads are strided by T (each thread walks
+    // its own chunk), so even the *reads* coalesce poorly — one of the
+    // bottlenecks He et al. report.
+    let h = GlobalBuffer::<u32>::zeroed(mu * l);
+    let threads_total = l;
+    dev.launch("thread/pre-scan", blocks_for(threads_total, wpb), wpb, |blk| {
+        for w in blk.warps() {
+            let base_thread = w.global_warp_id * WARP_SIZE;
+            let mask = tail_mask(base_thread, threads_total);
+            if mask == 0 {
+                continue;
+            }
+            // Per-lane private histogram registers.
+            let mut hist = [[0u32; 32]; WARP_SIZE];
+            for e in 0..t {
+                let idx = lanes_from_fn(|lane| ((base_thread + lane) * t + e).min(n - 1));
+                let emask = (0..WARP_SIZE)
+                    .filter(|&lane| mask >> lane & 1 == 1 && (base_thread + lane) * t + e < n)
+                    .fold(0u32, |acc, lane| acc | 1 << lane);
+                if emask == 0 {
+                    break;
+                }
+                let k = w.gather(keys, idx, emask);
+                w.charge((bucket.eval_cost() + 2) * emask.count_ones() as u64);
+                for lane in 0..WARP_SIZE {
+                    if emask >> lane & 1 == 1 {
+                        hist[lane][bucket.bucket_of(k[lane]) as usize] += 1;
+                    }
+                }
+            }
+            // Store each thread's column: H[b*L + thread] — strided writes.
+            for b in 0..mu {
+                let idx = lanes_from_fn(|lane| b * l + (base_thread + lane).min(l - 1));
+                w.scatter_merged(&h, idx, lanes_from_fn(|lane| hist[lane][b]), mask);
+            }
+        }
+    });
+
+    // ====== Scan: the point of the exercise — m*L = m*n/T entries.
+    let g = GlobalBuffer::<u32>::zeroed(mu * l);
+    exclusive_scan_u32(dev, "thread/scan", &h, &g, mu * l, wpb);
+
+    // ====== Post-scan: sequential local offsets, direct scatter.
+    let out_keys = GlobalBuffer::<u32>::zeroed(n);
+    let out_values = values.map(|_| GlobalBuffer::<V>::zeroed(n));
+    dev.launch("thread/post-scan", blocks_for(threads_total, wpb), wpb, |blk| {
+        for w in blk.warps() {
+            let base_thread = w.global_warp_id * WARP_SIZE;
+            let mask = tail_mask(base_thread, threads_total);
+            if mask == 0 {
+                continue;
+            }
+            let mut local = [[0u32; 32]; WARP_SIZE];
+            for e in 0..t {
+                let idx = lanes_from_fn(|lane| ((base_thread + lane) * t + e).min(n - 1));
+                let emask = (0..WARP_SIZE)
+                    .filter(|&lane| mask >> lane & 1 == 1 && (base_thread + lane) * t + e < n)
+                    .fold(0u32, |acc, lane| acc | 1 << lane);
+                if emask == 0 {
+                    break;
+                }
+                let k = w.gather(keys, idx, emask);
+                w.charge((bucket.eval_cost() + 2) * emask.count_ones() as u64);
+                let b = lanes_from_fn(|lane| bucket.bucket_of(k[lane]) as usize);
+                let gbase = w.gather_cached(
+                    &g,
+                    lanes_from_fn(|lane| b[lane] * l + (base_thread + lane).min(l - 1)),
+                    emask,
+                );
+                let mut dest = [0usize; WARP_SIZE];
+                for lane in 0..WARP_SIZE {
+                    if emask >> lane & 1 == 1 {
+                        dest[lane] = (gbase[lane] + local[lane][b[lane]]) as usize;
+                        local[lane][b[lane]] += 1;
+                    }
+                }
+                // The fully scattered store He et al. suffer from.
+                w.scatter(&out_keys, dest, k, emask);
+                if let (Some(vin), Some(vout)) = (values, &out_values) {
+                    let v = w.gather(vin, idx, emask);
+                    w.scatter(vout, dest, v, emask);
+                }
+            }
+        }
+    });
+
+    let offsets = offsets_from_scanned(&g, mu, l, n);
+    DeviceMultisplit { keys: out_keys, values: out_values, offsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multisplit::{multisplit_kv_ref, multisplit_ref, no_values, RangeBuckets};
+    use simt::{Device, K40C};
+
+    fn keys_for(n: usize, seed: u32) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn matches_reference() {
+        let dev = Device::new(K40C);
+        for m in [1u32, 2, 8, 32] {
+            for n in [1usize, 5, 128, 1000, 4099] {
+                let bucket = RangeBuckets::new(m);
+                let data = keys_for(n, m);
+                let keys = GlobalBuffer::from_slice(&data);
+                let r = multisplit_thread_level(&dev, &keys, no_values(), n, &bucket, 8);
+                let (expect, expect_offs) = multisplit_ref(&data, &bucket);
+                assert_eq!(r.keys.to_vec(), expect, "m={m} n={n}");
+                assert_eq!(r.offsets, expect_offs, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_value_matches_reference() {
+        let dev = Device::new(K40C);
+        let n = 3000;
+        let bucket = RangeBuckets::new(6);
+        let data = keys_for(n, 3);
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let keys = GlobalBuffer::from_slice(&data);
+        let values = GlobalBuffer::from_slice(&vals);
+        let r = multisplit_thread_level(&dev, &keys, Some(&values), n, &bucket, 8);
+        let (ek, ev, _) = multisplit_kv_ref(&data, Some(&vals), &bucket);
+        assert_eq!(r.keys.to_vec(), ek);
+        assert_eq!(r.values.unwrap().to_vec(), ev);
+    }
+
+    #[test]
+    fn scan_stage_dwarfs_warp_granularity() {
+        // Table 1: H is m x n/T at thread granularity vs m x n/32 at warp
+        // granularity — the scan moves ~8x more data (T=4).
+        let n = 1 << 16;
+        let bucket = RangeBuckets::new(16);
+        let data = keys_for(n, 5);
+        let keys = GlobalBuffer::from_slice(&data);
+        let dev_t = Device::new(K40C);
+        multisplit_thread_level(&dev_t, &keys, no_values(), n, &bucket, 8);
+        let dev_w = Device::new(K40C);
+        multisplit::multisplit_direct(&dev_w, &keys, no_values(), n, &bucket, 8);
+        let bytes = |dev: &Device, pat: &str| {
+            dev.records()
+                .iter()
+                .filter(|r| r.label.contains(pat) && !r.label.contains("pre") && !r.label.contains("post"))
+                .map(|r| r.stats.useful_bytes)
+                .sum::<u64>()
+        };
+        let t_scan = bytes(&dev_t, "/scan");
+        let w_scan = bytes(&dev_w, "/scan");
+        assert!(
+            t_scan > 6 * w_scan,
+            "thread-granularity scan bytes {t_scan} should dwarf warp-granularity {w_scan}"
+        );
+    }
+
+    #[test]
+    fn slower_than_every_paper_method() {
+        let n = 1 << 16;
+        let bucket = RangeBuckets::new(8);
+        let data = keys_for(n, 7);
+        let keys = GlobalBuffer::from_slice(&data);
+        let time = |f: &dyn Fn(&Device)| {
+            let dev = Device::new(K40C);
+            f(&dev);
+            dev.total_seconds()
+        };
+        let t_thread = time(&|d| {
+            multisplit_thread_level(d, &keys, no_values(), n, &bucket, 8);
+        });
+        let t_warp = time(&|d| {
+            multisplit::multisplit_warp_level(d, &keys, no_values(), n, &bucket, 8);
+        });
+        let t_block = time(&|d| {
+            multisplit::multisplit_block_level(d, &keys, no_values(), n, &bucket, 8);
+        });
+        assert!(t_thread > t_warp && t_thread > t_block, "{t_thread} vs {t_warp}/{t_block}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion benches for the baseline methods.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use msbench::{gen_keys, Distribution};
+use multisplit::{no_values, RangeBuckets};
+use simt::{Device, GlobalBuffer, K40C};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    let n = 1 << 16;
+    g.throughput(Throughput::Elements(n as u64));
+    let keys_host = gen_keys(n, 8, Distribution::Uniform, 1);
+    let keys = GlobalBuffer::from_slice(&keys_host);
+    let bucket = RangeBuckets::new(8);
+
+    g.bench_function("radix_sort_32bit", |b| {
+        let dev = Device::new(K40C);
+        b.iter(|| {
+            dev.reset();
+            baselines::radix_sort(&dev, "r", &keys, no_values(), n, 8)
+        });
+    });
+    g.bench_function("reduced_bit_m8", |b| {
+        let dev = Device::new(K40C);
+        b.iter(|| {
+            dev.reset();
+            baselines::reduced_bit_multisplit(&dev, &keys, n, &bucket, 8)
+        });
+    });
+    g.bench_function("recursive_split_m8", |b| {
+        let dev = Device::new(K40C);
+        b.iter(|| {
+            dev.reset();
+            baselines::recursive_scan_multisplit(&dev, &keys, no_values(), n, &bucket, 8)
+        });
+    });
+    g.bench_function("randomized_x2_m8", |b| {
+        let dev = Device::new(K40C);
+        b.iter(|| {
+            dev.reset();
+            baselines::randomized_multisplit(&dev, &keys, n, &bucket, Default::default())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Top-level multisplit API: method selection and host-convenience entry
+//! points.
+//!
+//! The paper's guidance (§6.2): Warp-level MS wins for small bucket counts
+//! (`m <= 6` key-only, `m <= 5` key-value), Block-level MS wins for large
+//! ones (`m >= 22` / `m >= 16`), anything in between is a wash. Above the
+//! warp width only the block-granularity large-`m` path applies.
+//! [`Method::auto`] encodes those crossovers.
+
+use simt::{Device, GlobalBuffer, Scalar};
+
+use crate::block_level::multisplit_block_level;
+use crate::bucket::BucketFn;
+use crate::common::DeviceMultisplit;
+use crate::direct::multisplit_direct;
+use crate::large_m::multisplit_large_m;
+use crate::warp_level::multisplit_warp_level;
+
+/// Warps per block used throughout the paper's evaluation (`N_W = 8`,
+/// i.e. 256 threads per block).
+pub const DEFAULT_WARPS_PER_BLOCK: usize = 8;
+
+/// Which multisplit implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Warp-sized subproblems, no reordering (§5, Algorithm 1).
+    Direct,
+    /// Warp-sized subproblems with intra-warp reordering (§5.2.1).
+    WarpLevel,
+    /// Block-sized subproblems with block-wide reordering (§5.2.2).
+    BlockLevel,
+    /// Block-granularity path for more than 32 buckets (§5.3).
+    LargeM,
+}
+
+impl Method {
+    /// The paper's empirically-best method for `m` buckets.
+    pub fn auto(m: u32, key_value: bool) -> Method {
+        let warp_limit = if key_value { 5 } else { 6 };
+        let block_limit = if key_value { 16 } else { 22 };
+        if m > 32 {
+            Method::LargeM
+        } else if m <= warp_limit {
+            Method::WarpLevel
+        } else if m >= block_limit {
+            Method::BlockLevel
+        } else {
+            // The middle ground is a wash (§6.2.1); warp-level has the
+            // simplest local work, so prefer it.
+            Method::WarpLevel
+        }
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Direct => "Direct MS",
+            Method::WarpLevel => "Warp-level MS",
+            Method::BlockLevel => "Block-level MS",
+            Method::LargeM => "Block-level MS (m > 32)",
+        }
+    }
+}
+
+/// Device-level multisplit with an explicit method.
+pub fn multisplit_device<B: BucketFn + ?Sized, V: Scalar>(
+    dev: &Device,
+    method: Method,
+    keys: &GlobalBuffer<u32>,
+    values: Option<&GlobalBuffer<V>>,
+    n: usize,
+    bucket: &B,
+    wpb: usize,
+) -> DeviceMultisplit<V> {
+    match method {
+        Method::Direct => multisplit_direct(dev, keys, values, n, bucket, wpb),
+        Method::WarpLevel => multisplit_warp_level(dev, keys, values, n, bucket, wpb),
+        Method::BlockLevel => multisplit_block_level(dev, keys, values, n, bucket, wpb),
+        Method::LargeM => multisplit_large_m(dev, keys, values, n, bucket, wpb),
+    }
+}
+
+/// Host-convenience key-only multisplit: uploads, runs the auto-selected
+/// method, downloads. Returns the permuted keys and the `m + 1` bucket
+/// offsets.
+pub fn multisplit<B: BucketFn + ?Sized>(dev: &Device, keys: &[u32], bucket: &B) -> (Vec<u32>, Vec<u32>) {
+    let buf = GlobalBuffer::from_slice(keys);
+    let method = Method::auto(bucket.num_buckets(), false);
+    let r = multisplit_device(dev, method, &buf, crate::common::no_values(), keys.len(), bucket, DEFAULT_WARPS_PER_BLOCK);
+    (r.keys.to_vec(), r.offsets)
+}
+
+/// Host-convenience key–value multisplit.
+///
+/// ```
+/// use multisplit::{multisplit_kv, IdentityBuckets};
+/// use simt::{Device, K40C};
+/// let dev = Device::new(K40C);
+/// let keys = [2u32, 0, 1, 2, 0];
+/// let values = [20u32, 0, 10, 21, 1];
+/// let (k, v, offsets) = multisplit_kv(&dev, &keys, &values, &IdentityBuckets { m: 3 });
+/// assert_eq!(k, vec![0, 0, 1, 2, 2]);
+/// assert_eq!(v, vec![0, 1, 10, 20, 21], "values travel with their keys, stably");
+/// assert_eq!(offsets, vec![0, 2, 3, 5]);
+/// ```
+pub fn multisplit_kv<B: BucketFn + ?Sized>(
+    dev: &Device,
+    keys: &[u32],
+    values: &[u32],
+    bucket: &B,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    assert_eq!(keys.len(), values.len(), "key/value length mismatch");
+    let kbuf = GlobalBuffer::from_slice(keys);
+    let vbuf = GlobalBuffer::from_slice(values);
+    let method = Method::auto(bucket.num_buckets(), true);
+    let r = multisplit_device(dev, method, &kbuf, Some(&vbuf), keys.len(), bucket, DEFAULT_WARPS_PER_BLOCK);
+    (r.keys.to_vec(), r.values.expect("kv path always returns values").to_vec(), r.offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::RangeBuckets;
+    use crate::cpu_ref::{multisplit_kv_ref, multisplit_ref};
+    use simt::K40C;
+
+    #[test]
+    fn auto_matches_paper_crossovers() {
+        assert_eq!(Method::auto(2, false), Method::WarpLevel);
+        assert_eq!(Method::auto(6, false), Method::WarpLevel);
+        assert_eq!(Method::auto(22, false), Method::BlockLevel);
+        assert_eq!(Method::auto(32, false), Method::BlockLevel);
+        assert_eq!(Method::auto(5, true), Method::WarpLevel);
+        assert_eq!(Method::auto(16, true), Method::BlockLevel);
+        assert_eq!(Method::auto(33, false), Method::LargeM);
+        assert_eq!(Method::auto(1024, true), Method::LargeM);
+    }
+
+    #[test]
+    fn names_are_paper_terms() {
+        assert_eq!(Method::Direct.name(), "Direct MS");
+        assert_eq!(Method::WarpLevel.name(), "Warp-level MS");
+        assert_eq!(Method::BlockLevel.name(), "Block-level MS");
+    }
+
+    #[test]
+    fn host_api_round_trips() {
+        let dev = Device::new(K40C);
+        let keys: Vec<u32> = (0..5000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        for m in [2u32, 10, 32, 64] {
+            let bucket = RangeBuckets::new(m);
+            let (out, offs) = multisplit(&dev, &keys, &bucket);
+            let (expect, expect_offs) = multisplit_ref(&keys, &bucket);
+            assert_eq!(out, expect, "m={m}");
+            assert_eq!(offs, expect_offs, "m={m}");
+        }
+    }
+
+    #[test]
+    fn host_kv_api_round_trips() {
+        let dev = Device::new(K40C);
+        let keys: Vec<u32> = (0..3000u32).map(|i| i.wrapping_mul(40503)).collect();
+        let values: Vec<u32> = (0..3000u32).collect();
+        let bucket = RangeBuckets::new(12);
+        let (ok, ov, offs) = multisplit_kv(&dev, &keys, &values, &bucket);
+        let (ek, ev, eo) = multisplit_kv_ref(&keys, Some(&values), &bucket);
+        assert_eq!(ok, ek);
+        assert_eq!(ov, ev);
+        assert_eq!(offs, eo);
+    }
+
+    #[test]
+    fn every_explicit_method_agrees() {
+        let dev = Device::new(K40C);
+        let n = 4096;
+        let keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(747796405)).collect();
+        let bucket = RangeBuckets::new(24);
+        let buf = GlobalBuffer::from_slice(&keys);
+        let (expect, _) = multisplit_ref(&keys, &bucket);
+        for method in [Method::Direct, Method::WarpLevel, Method::BlockLevel] {
+            let r = multisplit_device(&dev, method, &buf, crate::common::no_values(), n, &bucket, 8);
+            assert_eq!(r.keys.to_vec(), expect, "{method:?}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Sequential reference implementation: the oracle every GPU variant is
+//! tested against.
+//!
+//! A stable counting "sort" by bucket id — exactly the semantics of §3.1:
+//! output densely packed, buckets contiguous in ascending id order, input
+//! order preserved within each bucket.
+
+use crate::bucket::BucketFn;
+
+/// Stable multisplit of `keys`. Returns the permuted keys and the bucket
+/// offsets array: `offsets[b]..offsets[b+1]` is bucket `b`'s range
+/// (`m + 1` entries, `offsets[m] == n`).
+pub fn multisplit_ref<B: BucketFn + ?Sized>(keys: &[u32], bucket: &B) -> (Vec<u32>, Vec<u32>) {
+    let (out, _, offsets) = multisplit_kv_ref(keys, None, bucket);
+    (out, offsets)
+}
+
+/// Stable multisplit of key–value pairs (values optional). Returns
+/// (keys, values, offsets).
+pub fn multisplit_kv_ref<B: BucketFn + ?Sized>(
+    keys: &[u32],
+    values: Option<&[u32]>,
+    bucket: &B,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    if let Some(v) = values {
+        assert_eq!(v.len(), keys.len(), "key/value length mismatch");
+    }
+    let m = bucket.num_buckets() as usize;
+    let mut counts = vec![0u32; m + 1];
+    let ids: Vec<u32> = keys.iter().map(|&k| bucket.bucket_of(k)).collect();
+    for &b in &ids {
+        assert!((b as usize) < m, "bucket {b} out of range (m={m})");
+        counts[b as usize + 1] += 1;
+    }
+    for b in 0..m {
+        counts[b + 1] += counts[b];
+    }
+    let offsets = counts.clone();
+    let mut out_keys = vec![0u32; keys.len()];
+    let mut out_vals = vec![0u32; if values.is_some() { keys.len() } else { 0 }];
+    let mut cursor = counts;
+    for (i, (&k, &b)) in keys.iter().zip(&ids).enumerate() {
+        let p = cursor[b as usize] as usize;
+        out_keys[p] = k;
+        if let Some(v) = values {
+            out_vals[p] = v[i];
+        }
+        cursor[b as usize] += 1;
+    }
+    (out_keys, out_vals, offsets)
+}
+
+/// Check that `output` is *a* valid multisplit of `input` (permutation +
+/// contiguous ascending buckets), without requiring stability. Returns an
+/// error description on failure.
+pub fn check_multisplit<B: BucketFn + ?Sized>(
+    input: &[u32],
+    output: &[u32],
+    offsets: &[u32],
+    bucket: &B,
+) -> Result<(), String> {
+    let m = bucket.num_buckets() as usize;
+    if output.len() != input.len() {
+        return Err(format!("length mismatch: {} vs {}", output.len(), input.len()));
+    }
+    if offsets.len() != m + 1 {
+        return Err(format!("offsets length {} != m+1 = {}", offsets.len(), m + 1));
+    }
+    if offsets[m] as usize != input.len() {
+        return Err(format!("offsets[m] = {} != n = {}", offsets[m], input.len()));
+    }
+    #[allow(clippy::needless_range_loop)]
+    for b in 0..m {
+        if offsets[b] > offsets[b + 1] {
+            return Err(format!("offsets not monotone at bucket {b}"));
+        }
+        for i in offsets[b] as usize..offsets[b + 1] as usize {
+            let got = bucket.bucket_of(output[i]);
+            if got != b as u32 {
+                return Err(format!("output[{i}]={} is in bucket {got}, expected {b}", output[i]));
+            }
+        }
+    }
+    // Permutation check via sorted multisets.
+    let mut a = input.to_vec();
+    let mut b = output.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    if a != b {
+        return Err("output is not a permutation of input".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::{FnBuckets, IdentityBuckets, RangeBuckets};
+
+    #[test]
+    fn empty_input() {
+        let b = RangeBuckets::new(4);
+        let (out, offs) = multisplit_ref(&[], &b);
+        assert!(out.is_empty());
+        assert_eq!(offs, vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn figure_1_range_example() {
+        // Paper Fig. 1 case (2): three range buckets over {59,46,31,6,25,82,3,17}.
+        let b = FnBuckets::new(3, |k| if k <= 20 { 0 } else if k <= 48 { 1 } else { 2 });
+        let keys = [59u32, 46, 31, 6, 25, 82, 3, 17];
+        let (out, offs) = multisplit_ref(&keys, &b);
+        assert_eq!(out, vec![6, 3, 17, 46, 31, 25, 59, 82]);
+        assert_eq!(offs, vec![0, 3, 6, 8]);
+    }
+
+    #[test]
+    fn stability_preserves_input_order_within_buckets() {
+        let b = FnBuckets::new(2, |k| k & 1);
+        let keys = [10u32, 3, 12, 5, 14, 7, 16, 9];
+        let (out, offs) = multisplit_ref(&keys, &b);
+        assert_eq!(&out[..offs[1] as usize], &[10, 12, 14, 16]);
+        assert_eq!(&out[offs[1] as usize..], &[3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn values_follow_keys() {
+        let b = IdentityBuckets { m: 3 };
+        let keys = [2u32, 0, 1, 2, 0];
+        let vals = [20u32, 0, 10, 21, 1];
+        let (ok, ov, offs) = multisplit_kv_ref(&keys, Some(&vals), &b);
+        assert_eq!(ok, vec![0, 0, 1, 2, 2]);
+        assert_eq!(ov, vec![0, 1, 10, 20, 21]);
+        assert_eq!(offs, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn checker_accepts_reference_output() {
+        let b = RangeBuckets::new(8);
+        let keys: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let (out, offs) = multisplit_ref(&keys, &b);
+        check_multisplit(&keys, &out, &offs, &b).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_bad_outputs() {
+        let b = IdentityBuckets { m: 2 };
+        let keys = [0u32, 1, 0, 1];
+        // Wrong bucket placement.
+        assert!(check_multisplit(&keys, &[0, 1, 0, 1], &[0, 2, 4], &b).is_err());
+        // Not a permutation.
+        assert!(check_multisplit(&keys, &[0, 0, 1, 1], &[0, 3, 4], &b).is_err());
+        // Bad offsets length.
+        assert!(check_multisplit(&keys, &[0, 0, 1, 1], &[0, 2], &b).is_err());
+        // Valid.
+        assert!(check_multisplit(&keys, &[0, 0, 1, 1], &[0, 2, 4], &b).is_ok());
+    }
+}

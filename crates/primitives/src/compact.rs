@@ -1,0 +1,211 @@
+//! Scan-based split and compaction (paper §3.1–3.2).
+//!
+//! The classic two-bucket "split" builds a flag vector, scans it once, and
+//! scatters: flag-0 elements keep their rank among flag-0s, flag-1
+//! elements land after all flag-0s. The paper notes both directions come
+//! out of a *single* scan — the count of 1-flags before `i` also gives the
+//! count of 0-flags before `i` as `i - scan[i]`.
+
+use simt::{blocks_for, lanes_from_fn, Device, GlobalBuffer, WARP_SIZE};
+
+use crate::block_scan::tail_mask;
+use crate::scan::exclusive_scan_u32;
+
+/// Result of a two-way split: the partitioned data plus the size of the
+/// false (first) partition.
+pub struct SplitResult {
+    pub keys: GlobalBuffer<u32>,
+    /// Values permuted identically to keys (present iff input had values).
+    pub values: Option<GlobalBuffer<u32>>,
+    /// Number of elements for which the predicate was false (bucket 0).
+    pub false_count: u32,
+}
+
+/// Kernel 1: write `pred(key) as u32` flags.
+fn write_flags<F>(dev: &Device, label: &str, keys: &GlobalBuffer<u32>, flags: &GlobalBuffer<u32>, n: usize, wpb: usize, pred: &F)
+where
+    F: Fn(u32) -> bool + Sync,
+{
+    let blocks = blocks_for(n, wpb);
+    dev.launch(label, blocks, wpb, |blk| {
+        for w in blk.warps() {
+            let base = w.global_warp_id * WARP_SIZE;
+            let mask = tail_mask(base, n);
+            if mask == 0 {
+                continue;
+            }
+            let idx = lanes_from_fn(|l| if base + l < n { base + l } else { base });
+            let k = w.gather(keys, idx, mask);
+            w.charge(mask.count_ones() as u64);
+            w.scatter(flags, idx, lanes_from_fn(|l| pred(k[l]) as u32), mask);
+        }
+    });
+}
+
+/// Stable two-bucket split of `keys` (and optionally `values`) by `pred`:
+/// false-elements first, then true-elements, input order preserved within
+/// each side.
+pub fn split_by_pred<F>(
+    dev: &Device,
+    label: &str,
+    keys: &GlobalBuffer<u32>,
+    values: Option<&GlobalBuffer<u32>>,
+    n: usize,
+    wpb: usize,
+    pred: F,
+) -> SplitResult
+where
+    F: Fn(u32) -> bool + Sync,
+{
+    let flags = GlobalBuffer::<u32>::zeroed(n);
+    write_flags(dev, &format!("{label}/label"), keys, &flags, n, wpb, &pred);
+    let positions = GlobalBuffer::<u32>::zeroed(n);
+    let true_count = exclusive_scan_u32(dev, &format!("{label}/scan"), &flags, &positions, n, wpb);
+    let false_count = n as u32 - true_count;
+    let out_keys = GlobalBuffer::<u32>::zeroed(n);
+    let out_values = values.map(|_| GlobalBuffer::<u32>::zeroed(n));
+    let blocks = blocks_for(n, wpb);
+    dev.launch(&format!("{label}/split"), blocks, wpb, |blk| {
+        for w in blk.warps() {
+            let base = w.global_warp_id * WARP_SIZE;
+            let mask = tail_mask(base, n);
+            if mask == 0 {
+                continue;
+            }
+            let idx = lanes_from_fn(|l| if base + l < n { base + l } else { base });
+            let k = w.gather(keys, idx, mask);
+            let f = w.gather(&flags, idx, mask);
+            let s = w.gather(&positions, idx, mask);
+            w.charge(2 * mask.count_ones() as u64);
+            let dest = lanes_from_fn(|l| {
+                let i = (base + l) as u32;
+                if f[l] == 1 {
+                    (false_count + s[l]) as usize
+                } else {
+                    (i - s[l]) as usize
+                }
+            });
+            w.scatter(&out_keys, dest, k, mask);
+            if let (Some(vin), Some(vout)) = (values, &out_values) {
+                let v = w.gather(vin, idx, mask);
+                w.scatter(vout, dest, v, mask);
+            }
+        }
+    });
+    SplitResult { keys: out_keys, values: out_values, false_count }
+}
+
+/// Stable compaction: keep only elements where `pred` holds; returns the
+/// compacted buffer and its length.
+pub fn compact_by_pred<F>(
+    dev: &Device,
+    label: &str,
+    keys: &GlobalBuffer<u32>,
+    n: usize,
+    wpb: usize,
+    pred: F,
+) -> (GlobalBuffer<u32>, u32)
+where
+    F: Fn(u32) -> bool + Sync,
+{
+    let flags = GlobalBuffer::<u32>::zeroed(n);
+    write_flags(dev, &format!("{label}/label"), keys, &flags, n, wpb, &pred);
+    let positions = GlobalBuffer::<u32>::zeroed(n);
+    let kept = exclusive_scan_u32(dev, &format!("{label}/scan"), &flags, &positions, n, wpb);
+    let out = GlobalBuffer::<u32>::zeroed(kept as usize);
+    let blocks = blocks_for(n, wpb);
+    dev.launch(&format!("{label}/scatter"), blocks, wpb, |blk| {
+        for w in blk.warps() {
+            let base = w.global_warp_id * WARP_SIZE;
+            let mask = tail_mask(base, n);
+            if mask == 0 {
+                continue;
+            }
+            let idx = lanes_from_fn(|l| if base + l < n { base + l } else { base });
+            let k = w.gather(keys, idx, mask);
+            let f = w.gather(&flags, idx, mask);
+            let s = w.gather(&positions, idx, mask);
+            let keep = lanes_from_fn(|l| f[l] == 1);
+            let keep_mask = w.ballot(keep, mask);
+            w.scatter(&out, lanes_from_fn(|l| s[l] as usize), k, keep_mask);
+        }
+    });
+    (out, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::{Device, K40C};
+
+    fn inputs(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(2654435761) >> 3).collect()
+    }
+
+    #[test]
+    fn split_is_stable_partition() {
+        let dev = Device::new(K40C);
+        let n = 10_000;
+        let data = inputs(n);
+        let keys = GlobalBuffer::from_slice(&data);
+        let r = split_by_pred(&dev, "s", &keys, None, n, 8, |k| k % 2 == 1);
+        let out = r.keys.to_vec();
+        let expect_false: Vec<u32> = data.iter().copied().filter(|k| k % 2 == 0).collect();
+        let expect_true: Vec<u32> = data.iter().copied().filter(|k| k % 2 == 1).collect();
+        assert_eq!(r.false_count as usize, expect_false.len());
+        assert_eq!(&out[..expect_false.len()], &expect_false[..], "stable false side");
+        assert_eq!(&out[expect_false.len()..], &expect_true[..], "stable true side");
+    }
+
+    #[test]
+    fn split_carries_values() {
+        let dev = Device::new(K40C);
+        let n = 3000;
+        let data = inputs(n);
+        let vals: Vec<u32> = (0..n as u32).collect(); // original index as value
+        let keys = GlobalBuffer::from_slice(&data);
+        let values = GlobalBuffer::from_slice(&vals);
+        let r = split_by_pred(&dev, "s", &keys, Some(&values), n, 8, |k| k > u32::MAX / 2);
+        let ok = r.keys.to_vec();
+        let ov = r.values.unwrap().to_vec();
+        for i in 0..n {
+            assert_eq!(ok[i], data[ov[i] as usize], "value must follow its key");
+        }
+    }
+
+    #[test]
+    fn split_all_true_and_all_false() {
+        let dev = Device::new(K40C);
+        let n = 257;
+        let data = inputs(n);
+        let keys = GlobalBuffer::from_slice(&data);
+        let r = split_by_pred(&dev, "s", &keys, None, n, 4, |_| true);
+        assert_eq!(r.false_count, 0);
+        assert_eq!(r.keys.to_vec(), data);
+        let r = split_by_pred(&dev, "s", &keys, None, n, 4, |_| false);
+        assert_eq!(r.false_count, n as u32);
+        assert_eq!(r.keys.to_vec(), data);
+    }
+
+    #[test]
+    fn compact_keeps_matching_in_order() {
+        let dev = Device::new(K40C);
+        let n = 5000;
+        let data = inputs(n);
+        let keys = GlobalBuffer::from_slice(&data);
+        let (out, cnt) = compact_by_pred(&dev, "c", &keys, n, 8, |k| k % 3 == 0);
+        let expect: Vec<u32> = data.iter().copied().filter(|k| k % 3 == 0).collect();
+        assert_eq!(cnt as usize, expect.len());
+        assert_eq!(out.to_vec(), expect);
+    }
+
+    #[test]
+    fn compact_nothing() {
+        let dev = Device::new(K40C);
+        let n = 100;
+        let keys = GlobalBuffer::from_slice(&inputs(n));
+        let (out, cnt) = compact_by_pred(&dev, "c", &keys, n, 8, |_| false);
+        assert_eq!(cnt, 0);
+        assert_eq!(out.len(), 0);
+    }
+}

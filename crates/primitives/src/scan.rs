@@ -1,0 +1,328 @@
+//! Device-wide exclusive prefix sum (the paper's **global** operation).
+//!
+//! Multisplit's single global step is an exclusive scan over the
+//! row-vectorized histogram matrix `H` (size `m x L`). This module
+//! implements the classic three-kernel reduce / scan-partials / downsweep
+//! structure (as CUB's `DeviceScan` does), recursing on the partials when
+//! the grid has more than one block. Each thread processes
+//! [`ITEMS_PER_THREAD`] elements in warp-contiguous chunks so every global
+//! access is fully coalesced.
+
+use simt::{lanes_from_fn, Device, GlobalBuffer, WARP_SIZE};
+
+use crate::block_scan::{low_lanes_mask, tail_mask};
+use crate::warp_scan;
+
+/// Thread coarsening factor for scan kernels.
+pub const ITEMS_PER_THREAD: usize = 8;
+
+/// Elements processed by one block per scan kernel.
+pub fn scan_tile(warps_per_block: usize) -> usize {
+    warps_per_block * WARP_SIZE * ITEMS_PER_THREAD
+}
+
+/// Exclusive prefix-sum of `input[0..n]` into `output[0..n]`; returns the
+/// total. `label` prefixes all launches (e.g. `"direct/scan"`).
+///
+/// ```
+/// use simt::{Device, GlobalBuffer, K40C};
+/// let dev = Device::new(K40C);
+/// let input = GlobalBuffer::from_slice(&[3u32, 1, 4, 1, 5]);
+/// let output = GlobalBuffer::<u32>::zeroed(5);
+/// let total = primitives::exclusive_scan_u32(&dev, "demo", &input, &output, 5, 8);
+/// assert_eq!(output.to_vec(), vec![0, 3, 4, 8, 9]);
+/// assert_eq!(total, 14);
+/// ```
+pub fn exclusive_scan_u32(
+    dev: &Device,
+    label: &str,
+    input: &GlobalBuffer<u32>,
+    output: &GlobalBuffer<u32>,
+    n: usize,
+    warps_per_block: usize,
+) -> u32 {
+    assert!(input.len() >= n && output.len() >= n, "scan buffers too short");
+    if n == 0 {
+        return 0;
+    }
+    let tile = scan_tile(warps_per_block);
+    let blocks = n.div_ceil(tile);
+    if blocks == 1 {
+        let total = GlobalBuffer::<u32>::zeroed(1);
+        downsweep(dev, &format!("{label}/scan-single"), input, output, None, Some(&total), n, warps_per_block);
+        return total.get(0);
+    }
+    // 1. Per-block partial sums.
+    let partials = GlobalBuffer::<u32>::zeroed(blocks);
+    reduce_tiles(dev, &format!("{label}/scan-reduce"), input, &partials, n, warps_per_block);
+    // 2. Exclusive scan of the partials (recursive).
+    let partials_scanned = GlobalBuffer::<u32>::zeroed(blocks);
+    let total = exclusive_scan_u32(dev, label, &partials, &partials_scanned, blocks, warps_per_block);
+    // 3. Downsweep with per-block base offsets.
+    downsweep(dev, &format!("{label}/scan-downsweep"), input, output, Some(&partials_scanned), None, n, warps_per_block);
+    total
+}
+
+/// Kernel: each block sums its tile into `partials[block_id]`.
+fn reduce_tiles(
+    dev: &Device,
+    label: &str,
+    input: &GlobalBuffer<u32>,
+    partials: &GlobalBuffer<u32>,
+    n: usize,
+    wpb: usize,
+) {
+    let tile = scan_tile(wpb);
+    let blocks = n.div_ceil(tile);
+    dev.launch(label, blocks, wpb, |blk| {
+        let warp_sums = blk.alloc_shared::<u32>(blk.warps_per_block);
+        let tile_start = blk.block_id * tile;
+        for w in blk.warps() {
+            let mut acc = 0u32;
+            for c in 0..ITEMS_PER_THREAD {
+                let base = tile_start + (w.warp_id * ITEMS_PER_THREAD + c) * WARP_SIZE;
+                let mask = tail_mask(base, n);
+                if mask == 0 {
+                    break;
+                }
+                let idx = lanes_from_fn(|l| if base + l < n { base + l } else { base });
+                let v = w.gather(input, idx, mask);
+                acc += warp_scan::reduce_add(&w, lanes_from_fn(|l| if base + l < n { v[l] } else { 0 }));
+            }
+            warp_sums.set(w.warp_id, acc);
+        }
+        blk.sync();
+        {
+            let w = blk.warp(0);
+            let nw = blk.warps_per_block;
+            let mask = low_lanes_mask(nw);
+            let v = warp_sums.ld(lanes_from_fn(|l| if l < nw { l } else { 0 }), mask);
+            let total = warp_scan::reduce_add_low(&w, v, nw);
+            w.scatter_merged(partials, lanes_from_fn(|_| blk.block_id), simt::splat(total), 1);
+        }
+    });
+}
+
+/// Kernel: each block writes the exclusive scan of its tile, offset by
+/// `bases[block_id]` (or 0). If `total_out` is given, the grand total is
+/// stored to it (single-block path).
+#[allow(clippy::too_many_arguments)]
+fn downsweep(
+    dev: &Device,
+    label: &str,
+    input: &GlobalBuffer<u32>,
+    output: &GlobalBuffer<u32>,
+    bases: Option<&GlobalBuffer<u32>>,
+    total_out: Option<&GlobalBuffer<u32>>,
+    n: usize,
+    wpb: usize,
+) {
+    let tile = scan_tile(wpb);
+    let blocks = n.div_ceil(tile);
+    dev.launch(label, blocks, wpb, |blk| {
+        let nw = blk.warps_per_block;
+        // Per-(warp, chunk) sums so phase C can rebuild running offsets,
+        // plus a tile-sized scratch holding chunk-exclusive values (saves a
+        // second global read of the input, as CUB's shared staging does).
+        let chunk_sums = blk.alloc_shared::<u32>(nw * ITEMS_PER_THREAD + 1);
+        let scratch = blk.alloc_shared::<u32>(tile);
+        let tile_start = blk.block_id * tile;
+        for w in blk.warps() {
+            for c in 0..ITEMS_PER_THREAD {
+                let base = tile_start + (w.warp_id * ITEMS_PER_THREAD + c) * WARP_SIZE;
+                let mask = tail_mask(base, n);
+                let sum = if mask == 0 {
+                    0
+                } else {
+                    let idx = lanes_from_fn(|l| if base + l < n { base + l } else { base });
+                    let v = w.gather(input, idx, mask);
+                    let padded = lanes_from_fn(|l| if base + l < n { v[l] } else { 0 });
+                    let inc = warp_scan::inclusive_scan_add(&w, padded);
+                    let local = base - tile_start;
+                    scratch.st(
+                        lanes_from_fn(|l| local + l),
+                        lanes_from_fn(|l| inc[l] - padded[l]),
+                        mask,
+                    );
+                    let active = mask.count_ones() as usize;
+                    inc[active - 1]
+                };
+                chunk_sums.set(w.warp_id * ITEMS_PER_THREAD + c, sum);
+            }
+        }
+        blk.sync();
+        // Warp 0 scans all chunk sums (nw * IPT <= 64 for nw=8: two rounds).
+        {
+            let w = blk.warp(0);
+            let k = nw * ITEMS_PER_THREAD;
+            let mut carry = 0u32;
+            let mut base = 0usize;
+            while base < k {
+                let cnt = (k - base).min(WARP_SIZE);
+                let mask = low_lanes_mask(cnt);
+                let idx = lanes_from_fn(|l| if l < cnt { base + l } else { base });
+                let v = chunk_sums.ld(idx, mask);
+                let padded = lanes_from_fn(|l| if l < cnt { v[l] } else { 0 });
+                let inc = warp_scan::inclusive_scan_add(&w, padded);
+                let exc = lanes_from_fn(|l| inc[l] - padded[l] + carry);
+                chunk_sums.st(idx, exc, mask);
+                carry += inc[cnt - 1];
+                base += WARP_SIZE;
+            }
+            chunk_sums.set(k, carry); // block total
+        }
+        blk.sync();
+        let block_base = match bases {
+            Some(b) => {
+                let w = blk.warp(0);
+                w.gather_cached(b, lanes_from_fn(|_| blk.block_id), 1)[0]
+            }
+            None => 0,
+        };
+        for w in blk.warps() {
+            for c in 0..ITEMS_PER_THREAD {
+                let base = tile_start + (w.warp_id * ITEMS_PER_THREAD + c) * WARP_SIZE;
+                let mask = tail_mask(base, n);
+                if mask == 0 {
+                    break;
+                }
+                let idx = lanes_from_fn(|l| if base + l < n { base + l } else { base });
+                let local = base - tile_start;
+                let exc = scratch.ld(lanes_from_fn(|l| local + l), mask);
+                let off = block_base + chunk_sums.get(w.warp_id * ITEMS_PER_THREAD + c);
+                let out = lanes_from_fn(|l| exc[l] + off);
+                w.scatter(output, idx, out, mask);
+            }
+        }
+        if let Some(t) = total_out {
+            if blk.block_id == blocks - 1 {
+                let w = blk.warp(0);
+                let grand = chunk_sums.get(nw * ITEMS_PER_THREAD) + block_base;
+                w.scatter_merged(t, lanes_from_fn(|_| 0), simt::splat(grand), 1);
+            }
+        }
+    });
+}
+
+/// Device-wide sum reduction of `input[0..n]`.
+pub fn reduce_add_u32(dev: &Device, label: &str, input: &GlobalBuffer<u32>, n: usize, wpb: usize) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    let tile = scan_tile(wpb);
+    let blocks = n.div_ceil(tile);
+    let partials = GlobalBuffer::<u32>::zeroed(blocks);
+    reduce_tiles(dev, &format!("{label}/reduce"), input, &partials, n, wpb);
+    if blocks == 1 {
+        partials.get(0)
+    } else {
+        reduce_add_u32(dev, label, &partials, blocks, wpb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::{Device, K40C};
+
+    fn scan_ref(v: &[u32]) -> (Vec<u32>, u32) {
+        let mut out = Vec::with_capacity(v.len());
+        let mut run = 0u32;
+        for &x in v {
+            out.push(run);
+            run += x;
+        }
+        (out, run)
+    }
+
+    #[test]
+    fn scan_matches_reference_across_sizes() {
+        let dev = Device::new(K40C);
+        for n in [1usize, 31, 32, 33, 255, 256, 2048, 2049, 10_000, 100_000] {
+            let data: Vec<u32> = (0..n).map(|i| (i as u32).wrapping_mul(2654435761) % 13).collect();
+            let input = GlobalBuffer::from_slice(&data);
+            let output = GlobalBuffer::<u32>::zeroed(n);
+            let total = exclusive_scan_u32(&dev, "t", &input, &output, n, 8);
+            let (expect, expect_total) = scan_ref(&data);
+            assert_eq!(output.to_vec(), expect, "n={n}");
+            assert_eq!(total, expect_total, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_empty_is_zero() {
+        let dev = Device::new(K40C);
+        let input = GlobalBuffer::<u32>::zeroed(0);
+        let output = GlobalBuffer::<u32>::zeroed(0);
+        assert_eq!(exclusive_scan_u32(&dev, "t", &input, &output, 0, 8), 0);
+        assert!(dev.records().is_empty(), "no kernel launched for empty scan");
+    }
+
+    #[test]
+    fn scan_of_ones_is_identity_indices() {
+        let dev = Device::new(K40C);
+        let n = 5000;
+        let input = GlobalBuffer::from_slice(&vec![1u32; n]);
+        let output = GlobalBuffer::<u32>::zeroed(n);
+        let total = exclusive_scan_u32(&dev, "t", &input, &output, n, 4);
+        assert_eq!(total, n as u32);
+        let out = output.to_vec();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn scan_is_coalesced() {
+        // A fully-coalesced scan should move close to the ideal byte count:
+        // reduce reads n, downsweep reads n + writes n (plus partials).
+        let dev = Device::new(K40C);
+        let n = 1 << 16;
+        let input = GlobalBuffer::from_slice(&vec![1u32; n]);
+        let output = GlobalBuffer::<u32>::zeroed(n);
+        exclusive_scan_u32(&dev, "t", &input, &output, n, 8);
+        let stats = dev.records().iter().fold(simt::BlockStats::default(), |mut a, r| {
+            a += r.stats;
+            a
+        });
+        let ideal = (3 * n * 4) as u64;
+        assert!(
+            stats.dram_bytes() < ideal + ideal / 4,
+            "scan traffic {} should be within 25% of ideal {}",
+            stats.dram_bytes(),
+            ideal
+        );
+    }
+
+    #[test]
+    fn reduce_matches_reference() {
+        let dev = Device::new(K40C);
+        for n in [1usize, 100, 2048, 50_000] {
+            let data: Vec<u32> = (0..n).map(|i| i as u32 % 7).collect();
+            let input = GlobalBuffer::from_slice(&data);
+            let got = reduce_add_u32(&dev, "t", &input, n, 8);
+            assert_eq!(got, data.iter().sum::<u32>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn reduce_empty_is_zero() {
+        let dev = Device::new(K40C);
+        let input = GlobalBuffer::<u32>::zeroed(0);
+        assert_eq!(reduce_add_u32(&dev, "t", &input, 0, 8), 0);
+    }
+
+    #[test]
+    fn multi_level_recursion_works() {
+        // Force 3 levels: tile = 8*32*8 = 2048; need > 2048 blocks.
+        let dev = Device::new(K40C);
+        let n = 2048 * 2048 + 17;
+        let data = vec![1u32; n];
+        let input = GlobalBuffer::from_slice(&data);
+        let output = GlobalBuffer::<u32>::zeroed(n);
+        let total = exclusive_scan_u32(&dev, "t", &input, &output, n, 8);
+        assert_eq!(total, n as u32);
+        assert_eq!(output.get(n - 1), (n - 1) as u32);
+        assert_eq!(output.get(12345), 12345);
+    }
+}

@@ -1,0 +1,236 @@
+//! Kernel launches: the device and its grid executor.
+//!
+//! [`Device::launch`] runs a kernel over a grid of blocks. Blocks are
+//! independent (they cannot communicate within a kernel — the CUDA
+//! guarantee the paper's `{local, global, local}` structure is built
+//! around), so the simulator runs them in parallel with rayon. Per-block
+//! event counters are merged with a reduction; no locks sit on the hot
+//! path.
+
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use crate::block::BlockCtx;
+use crate::profile::DeviceProfile;
+use crate::stats::{BlockStats, LaunchRecord};
+
+/// Below this grid size the rayon fan-out costs more than it saves.
+const PARALLEL_GRID_THRESHOLD: usize = 16;
+
+/// A simulated GPU: a profile plus the log of every kernel launched on it.
+pub struct Device {
+    profile: DeviceProfile,
+    records: Mutex<Vec<LaunchRecord>>,
+    scope: Mutex<String>,
+    parallel: bool,
+}
+
+impl Device {
+    /// A device that executes blocks in parallel across host cores.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Self { profile, records: Mutex::new(Vec::new()), scope: Mutex::new(String::new()), parallel: true }
+    }
+
+    /// A single-threaded device (bit-identical scheduling; used by tests
+    /// that inspect intermediate buffers between phases).
+    pub fn sequential(profile: DeviceProfile) -> Self {
+        Self { profile, records: Mutex::new(Vec::new()), scope: Mutex::new(String::new()), parallel: false }
+    }
+
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Run `f` with `scope/` prepended to every launch label — lets a
+    /// composite algorithm (e.g. a radix-sort pass built from multisplit
+    /// kernels) keep its own stage names in the launch log.
+    pub fn with_scope<R>(&self, scope: &str, f: impl FnOnce() -> R) -> R {
+        let prev = {
+            let mut s = self.scope.lock().unwrap();
+            let prev = s.clone();
+            s.push_str(scope);
+            s.push('/');
+            prev
+        };
+        let r = f();
+        *self.scope.lock().unwrap() = prev;
+        r
+    }
+
+    /// Launch `kernel` over `num_blocks` blocks of `warps_per_block` warps.
+    ///
+    /// The label names the launch for per-stage reporting; by convention
+    /// it is `"algorithm/stage"` (e.g. `"direct/pre-scan"`).
+    pub fn launch<F>(&self, label: &str, num_blocks: usize, warps_per_block: usize, kernel: F) -> LaunchRecord
+    where
+        F: Fn(&BlockCtx) + Sync,
+    {
+        let run_block = |b: usize| -> BlockStats {
+            let blk = BlockCtx::new(b, num_blocks, warps_per_block);
+            kernel(&blk);
+            blk.into_stats()
+        };
+        let stats = if self.parallel && num_blocks >= PARALLEL_GRID_THRESHOLD {
+            (0..num_blocks)
+                .into_par_iter()
+                .map(run_block)
+                .reduce(BlockStats::default, |mut a, b| {
+                    a += b;
+                    a
+                })
+        } else {
+            let mut acc = BlockStats::default();
+            for b in 0..num_blocks {
+                acc += run_block(b);
+            }
+            acc
+        };
+        let record = LaunchRecord {
+            label: format!("{}{}", self.scope.lock().unwrap(), label),
+            blocks: num_blocks,
+            warps_per_block,
+            stats,
+            seconds: self.profile.estimate(&stats),
+        };
+        self.records.lock().unwrap().push(record.clone());
+        record
+    }
+
+    /// All launches so far, in order.
+    pub fn records(&self) -> Vec<LaunchRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Drain the launch log.
+    pub fn take_records(&self) -> Vec<LaunchRecord> {
+        std::mem::take(&mut self.records.lock().unwrap())
+    }
+
+    /// Clear the launch log.
+    pub fn reset(&self) {
+        self.records.lock().unwrap().clear();
+    }
+
+    /// Total estimated seconds over all recorded launches.
+    pub fn total_seconds(&self) -> f64 {
+        self.records.lock().unwrap().iter().map(|r| r.seconds).sum()
+    }
+
+    /// Total estimated seconds over launches whose label starts with `prefix`.
+    pub fn seconds_with_prefix(&self, prefix: &str) -> f64 {
+        self.records
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|r| r.label.starts_with(prefix))
+            .map(|r| r.seconds)
+            .sum()
+    }
+}
+
+/// Grid-size helper: blocks needed so that `grid_blocks * threads_per_block`
+/// covers `n` elements with one element per thread.
+pub fn blocks_for(n: usize, warps_per_block: usize) -> usize {
+    n.div_ceil(warps_per_block * crate::lanes::WARP_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{lanes_from_fn, FULL_MASK, WARP_SIZE};
+    use crate::memory::GlobalBuffer;
+    use crate::profile::K40C;
+
+    #[test]
+    fn blocks_for_covers_input() {
+        assert_eq!(blocks_for(0, 8), 0);
+        assert_eq!(blocks_for(1, 8), 1);
+        assert_eq!(blocks_for(256, 8), 1);
+        assert_eq!(blocks_for(257, 8), 2);
+        assert_eq!(blocks_for(1 << 20, 8), 4096);
+    }
+
+    /// A copy kernel: every thread moves one element.
+    fn copy_kernel(dev: &Device, src: &GlobalBuffer<u32>, dst: &GlobalBuffer<u32>, n: usize, wpb: usize) {
+        let blocks = blocks_for(n, wpb);
+        dev.launch("copy", blocks, wpb, |blk| {
+            for w in blk.warps() {
+                let base = w.global_warp_id * WARP_SIZE;
+                let idx = lanes_from_fn(|l| base + l);
+                let mask = crate::lanes::lanes_from_fn(|l| base + l < n)
+                    .iter()
+                    .enumerate()
+                    .fold(0u32, |m, (l, &a)| if a { m | 1 << l } else { m });
+                let v = w.gather(src, idx, mask);
+                w.scatter(dst, idx, v, mask);
+            }
+        });
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let n = 10_000;
+        let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let mut outputs = Vec::new();
+        let mut stats = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let src = GlobalBuffer::from_slice(&data);
+            let dst = GlobalBuffer::<u32>::zeroed(n);
+            copy_kernel(&dev, &src, &dst, n, 8);
+            outputs.push(dst.to_vec());
+            stats.push(dev.records()[0].stats);
+        }
+        assert_eq!(outputs[0], data);
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(stats[0], stats[1], "stats must be schedule-independent");
+    }
+
+    #[test]
+    fn records_accumulate_and_reset() {
+        let dev = Device::sequential(K40C);
+        dev.launch("a/one", 1, 1, |_| {});
+        dev.launch("a/two", 2, 2, |_| {});
+        dev.launch("b/one", 1, 1, |_| {});
+        assert_eq!(dev.records().len(), 3);
+        assert!(dev.seconds_with_prefix("a/") > dev.seconds_with_prefix("b/"));
+        assert!((dev.total_seconds() - dev.seconds_with_prefix("")).abs() < 1e-15);
+        let drained = dev.take_records();
+        assert_eq!(drained.len(), 3);
+        assert!(dev.records().is_empty());
+    }
+
+    #[test]
+    fn launch_reports_grid_shape() {
+        let dev = Device::sequential(K40C);
+        let rec = dev.launch("shape", 7, 4, |blk| {
+            assert_eq!(blk.num_blocks, 7);
+            assert_eq!(blk.warps_per_block, 4);
+        });
+        assert_eq!(rec.blocks, 7);
+        assert_eq!(rec.warps_per_block, 4);
+        assert_eq!(rec.label, "shape");
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let dev = Device::sequential(K40C);
+        dev.with_scope("radix", || {
+            dev.launch("label", 1, 1, |_| {});
+            dev.with_scope("pass0", || {
+                dev.launch("scan", 1, 1, |_| {});
+            });
+        });
+        dev.launch("plain", 1, 1, |_| {});
+        let labels: Vec<String> = dev.records().iter().map(|r| r.label.clone()).collect();
+        assert_eq!(labels, vec!["radix/label", "radix/pass0/scan", "plain"]);
+        assert!(dev.seconds_with_prefix("radix/") > 0.0);
+    }
+
+    #[test]
+    fn zero_block_launch_is_a_noop() {
+        let dev = Device::new(K40C);
+        let rec = dev.launch("empty", 0, 8, |_| panic!("must not run"));
+        assert_eq!(rec.stats, BlockStats::default());
+    }
+}

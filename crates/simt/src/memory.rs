@@ -1,0 +1,483 @@
+//! Global (device DRAM) memory with a coalescing-aware transaction model.
+//!
+//! Storage is a slice of relaxed [`AtomicU64`] words, one per logical
+//! element. This keeps the simulator data-race free in the Rust sense even
+//! when blocks execute on different host threads — exactly mirroring the
+//! GPU, where global memory is shared and unordered within a kernel, and
+//! any cross-block communication discipline is the kernel's problem, not
+//! the hardware's.
+//!
+//! Every warp-wide access counts the number of **distinct 32-byte sectors**
+//! its active lanes touch. Modern NVIDIA DRAM moves data in 32 B sectors
+//! (four per 128 B cache line), so a fully coalesced warp-wide read of 32
+//! consecutive `u32`s costs 4 sectors, while a fully scattered one costs up
+//! to 32 — an 8x difference that is precisely the scatter penalty the paper
+//! attacks with its reordering stages.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::lanes::{lane_active, Lanes, WARP_SIZE};
+use crate::stats::StatCells;
+
+/// DRAM sector size in bytes.
+pub const SECTOR_BYTES: u64 = 32;
+
+/// An element type that can live in simulated global memory.
+///
+/// Each element occupies one 64-bit storage word; `BYTES` is the *logical*
+/// size used for address/sector arithmetic, so a `u32` buffer has the same
+/// coalescing behaviour as on real hardware even though the host shadow
+/// storage is wider.
+pub trait Scalar: Copy + Default + Send + Sync + 'static {
+    /// Logical element size on the device, in bytes.
+    const BYTES: u64;
+    fn to_bits(self) -> u64;
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Scalar for u32 {
+    const BYTES: u64 = 4;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl Scalar for u64 {
+    const BYTES: u64 = 8;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Scalar for i32 {
+    const BYTES: u64 = 4;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u32 as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32 as i32
+    }
+}
+
+impl Scalar for f32 {
+    const BYTES: u64 = 4;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+/// A key–value pair moved as one 8-byte element (used by the packed
+/// reduced-bit sort path, paper §3.4).
+impl Scalar for (u32, u32) {
+    const BYTES: u64 = 8;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        (self.0 as u64) << 32 | self.1 as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        ((bits >> 32) as u32, bits as u32)
+    }
+}
+
+/// A buffer in simulated device global memory.
+pub struct GlobalBuffer<T: Scalar> {
+    words: Box<[AtomicU64]>,
+    /// Per-element kernel-epoch write marks for the race detector.
+    marks: Option<Box<[AtomicU32]>>,
+    epoch: AtomicU32,
+    _elem: std::marker::PhantomData<T>,
+}
+
+impl<T: Scalar> GlobalBuffer<T> {
+    /// Allocate and upload `data`.
+    pub fn from_slice(data: &[T]) -> Self {
+        Self {
+            words: data.iter().map(|v| AtomicU64::new(v.to_bits())).collect(),
+            marks: None,
+            epoch: AtomicU32::new(1),
+            _elem: std::marker::PhantomData,
+        }
+    }
+
+    /// Allocate `len` default-initialized elements.
+    pub fn zeroed(len: usize) -> Self {
+        Self::from_slice(&vec![T::default(); len])
+    }
+
+    /// Enable the write-race detector: within one *epoch* (kernel launch)
+    /// each element may be written at most once. Violations panic with the
+    /// offending index. Used by tests to prove scatter disjointness.
+    pub fn tracked(mut self) -> Self {
+        self.marks = Some((0..self.words.len()).map(|_| AtomicU32::new(0)).collect());
+        self
+    }
+
+    /// Start a new race-detection epoch (call between kernel launches).
+    pub fn next_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Download the buffer to the host.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.words.iter().map(|w| T::from_bits(w.load(Ordering::Relaxed))).collect()
+    }
+
+    /// Host-side single element read (no transaction accounting).
+    pub fn get(&self, idx: usize) -> T {
+        T::from_bits(self.words[idx].load(Ordering::Relaxed))
+    }
+
+    /// Host-side single element write (no transaction accounting).
+    pub fn set(&self, idx: usize, v: T) {
+        self.words[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Overwrite the whole buffer from the host.
+    pub fn upload(&self, data: &[T]) {
+        assert_eq!(data.len(), self.len(), "upload length mismatch");
+        for (w, v) in self.words.iter().zip(data) {
+            w.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    fn check_write_mark(&self, idx: usize) {
+        if let Some(marks) = &self.marks {
+            let epoch = self.epoch.load(Ordering::Relaxed);
+            let prev = marks[idx].swap(epoch, Ordering::Relaxed);
+            assert_ne!(
+                prev, epoch,
+                "race detector: element {idx} written twice within one kernel epoch"
+            );
+        }
+    }
+
+    /// Warp-wide gather: active lanes read `idx[lane]`.
+    ///
+    /// Counts one global request, the distinct sectors touched, and the
+    /// useful payload bytes.
+    pub fn gather(&self, stats: &StatCells, idx: Lanes<usize>, mask: u32) -> Lanes<T> {
+        let mut out = [T::default(); WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                out[lane] = T::from_bits(self.words[idx[lane]].load(Ordering::Relaxed));
+            }
+        }
+        self.account(stats, &idx, mask);
+        out
+    }
+
+    /// Warp-wide gather through the read-only / L2-cached path.
+    ///
+    /// Small, heavily reused tables (the scanned offset matrix `G`, bucket
+    /// descriptors) stay resident in L2 on real hardware: every 32 B sector
+    /// is fetched from DRAM once and then served to the many warps that
+    /// share it. Charging full sectors per *access* would bill that DRAM
+    /// fetch hundreds of times over, so this path bills only the useful
+    /// bytes (sector-rounded per request). Use it for read-only data whose
+    /// footprint is far below the L2 size; bulk key/value streams must use
+    /// [`GlobalBuffer::gather`].
+    pub fn gather_cached(&self, stats: &StatCells, idx: Lanes<usize>, mask: u32) -> Lanes<T> {
+        let mut out = [T::default(); WARP_SIZE];
+        let mut active = 0u64;
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                out[lane] = T::from_bits(self.words[idx[lane]].load(Ordering::Relaxed));
+                active += 1;
+            }
+        }
+        if active > 0 {
+            let bytes = active * T::BYTES;
+            StatCells::bump(&stats.sectors, bytes.div_ceil(SECTOR_BYTES));
+            StatCells::bump(&stats.useful_bytes, bytes);
+            StatCells::bump(&stats.global_requests, 1);
+            StatCells::bump(&stats.lane_ops, active);
+        }
+        out
+    }
+
+    /// Warp-wide scatter: active lanes write `val[lane]` to `idx[lane]`.
+    pub fn scatter(&self, stats: &StatCells, idx: Lanes<usize>, val: Lanes<T>, mask: u32) {
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                self.check_write_mark(idx[lane]);
+                self.words[idx[lane]].store(val[lane].to_bits(), Ordering::Relaxed);
+            }
+        }
+        self.account(stats, &idx, mask);
+    }
+
+    /// Warp-wide scatter through the write-merging (L2 write-back) path.
+    ///
+    /// Histogram tables are stored strided (`H[bucket * L + subproblem]`),
+    /// so one warp's stores land in `m` different sectors — but *adjacent
+    /// subproblems write adjacent columns at nearly the same time*, and the
+    /// GPU's write-back L2 merges those partial-sector writes before DRAM
+    /// sees them. Billing full sectors per warp would charge that merged
+    /// traffic `8x` over. This path bills sector-rounded useful bytes; use
+    /// it only for stores where neighbouring warps/blocks fill in the rest
+    /// of each sector (histogram matrices), never for the final data
+    /// scatter whose whole cost *is* the unmerged waste.
+    pub fn scatter_merged(&self, stats: &StatCells, idx: Lanes<usize>, val: Lanes<T>, mask: u32) {
+        let mut active = 0u64;
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                self.check_write_mark(idx[lane]);
+                self.words[idx[lane]].store(val[lane].to_bits(), Ordering::Relaxed);
+                active += 1;
+            }
+        }
+        if active > 0 {
+            let bytes = active * T::BYTES;
+            StatCells::bump(&stats.sectors, bytes.div_ceil(SECTOR_BYTES));
+            StatCells::bump(&stats.useful_bytes, bytes);
+            StatCells::bump(&stats.global_requests, 1);
+            StatCells::bump(&stats.lane_ops, active);
+        }
+    }
+
+    /// Count sectors / useful bytes / LSU replays for one warp-wide request.
+    ///
+    /// *Sectors* (order-insensitive distinct 32 B regions) model the DRAM
+    /// traffic. *Replays* model the load/store unit: the memory pipeline
+    /// issues one pass per maximal run of consecutive lanes accessing
+    /// consecutive addresses, so a request whose lanes are shuffled across
+    /// buckets replays many times even when its address *set* is compact —
+    /// this is precisely the cost the paper's shared-memory reordering
+    /// eliminates (same addresses, lane-contiguous order).
+    #[allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
+    fn account(&self, stats: &StatCells, idx: &Lanes<usize>, mask: u32) {
+        if mask == 0 {
+            return;
+        }
+        let mut sectors = [0u64; WARP_SIZE];
+        let mut n = 0usize;
+        let mut active = 0u64;
+        let mut replays = 0u64;
+        let mut prev: Option<usize> = None;
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                active += 1;
+                let byte = idx[lane] as u64 * T::BYTES;
+                // An element may straddle two sectors only if misaligned;
+                // our 4/8-byte elements never straddle 32 B sectors.
+                let s = byte / SECTOR_BYTES;
+                if !sectors[..n].contains(&s) {
+                    sectors[n] = s;
+                    n += 1;
+                }
+                if prev != Some(idx[lane].wrapping_sub(1)) {
+                    replays += 1;
+                }
+                prev = Some(idx[lane]);
+            } else {
+                prev = None;
+            }
+        }
+        StatCells::bump(&stats.sectors, n as u64);
+        StatCells::bump(&stats.useful_bytes, active * T::BYTES);
+        StatCells::bump(&stats.global_requests, 1);
+        StatCells::bump(&stats.replays, replays.saturating_sub(1));
+        StatCells::bump(&stats.lane_ops, active);
+    }
+}
+
+impl GlobalBuffer<u32> {
+    /// Warp-wide atomic minimum; returns the previous values. The workhorse
+    /// of SSSP edge relaxation.
+    pub fn atomic_min(&self, stats: &StatCells, idx: Lanes<usize>, val: Lanes<u32>, mask: u32) -> Lanes<u32> {
+        let mut out = [0u32; WARP_SIZE];
+        let mut conflicts = 0u64;
+        let mut seen = [0usize; WARP_SIZE];
+        let mut n = 0usize;
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                out[lane] = self.words[idx[lane]].fetch_min(val[lane] as u64, Ordering::Relaxed) as u32;
+                if seen[..n].contains(&idx[lane]) {
+                    conflicts += 1;
+                } else {
+                    seen[n] = idx[lane];
+                    n += 1;
+                }
+            }
+        }
+        self.account(stats, &idx, mask);
+        StatCells::bump(&stats.atomic_ops, mask.count_ones() as u64);
+        StatCells::bump(&stats.atomic_conflicts, conflicts);
+        out
+    }
+
+    /// Warp-wide atomic add; returns the previous values.
+    ///
+    /// Same-address conflicts within the warp serialize on real hardware;
+    /// we count them so the cost model can penalize contended histograms.
+    pub fn atomic_add(&self, stats: &StatCells, idx: Lanes<usize>, val: Lanes<u32>, mask: u32) -> Lanes<u32> {
+        let mut out = [0u32; WARP_SIZE];
+        let mut conflicts = 0u64;
+        let mut seen = [0usize; WARP_SIZE];
+        let mut n = 0usize;
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                out[lane] = self.words[idx[lane]].fetch_add(val[lane] as u64, Ordering::Relaxed) as u32;
+                if seen[..n].contains(&idx[lane]) {
+                    conflicts += 1;
+                } else {
+                    seen[n] = idx[lane];
+                    n += 1;
+                }
+            }
+        }
+        self.account(stats, &idx, mask);
+        StatCells::bump(&stats.atomic_ops, mask.count_ones() as u64);
+        StatCells::bump(&stats.atomic_conflicts, conflicts);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{lanes_from_fn, splat, FULL_MASK};
+
+    fn cells() -> StatCells {
+        StatCells::default()
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(u32::from_bits(12345u32.to_bits()), 12345);
+        assert_eq!(u64::from_bits(u64::MAX.to_bits()), u64::MAX);
+        assert_eq!(i32::from_bits((-7i32).to_bits()), -7);
+        assert_eq!(f32::from_bits(3.5f32.to_bits()), 3.5);
+        assert_eq!(<(u32, u32)>::from_bits((0xDEAD, 0xBEEF).to_bits()), (0xDEAD, 0xBEEF));
+    }
+
+    #[test]
+    fn coalesced_u32_read_costs_four_sectors() {
+        let buf = GlobalBuffer::from_slice(&(0..64u32).collect::<Vec<_>>());
+        let st = cells();
+        let got = buf.gather(&st, lanes_from_fn(|i| i), FULL_MASK);
+        assert_eq!(got[31], 31);
+        let s = st.snapshot();
+        // 32 consecutive u32 = 128 bytes = 4 sectors of 32 B.
+        assert_eq!(s.sectors, 4);
+        assert_eq!(s.useful_bytes, 128);
+        assert_eq!(s.global_requests, 1);
+    }
+
+    #[test]
+    fn strided_read_touches_every_sector() {
+        let buf = GlobalBuffer::<u32>::zeroed(32 * 8);
+        let st = cells();
+        buf.gather(&st, lanes_from_fn(|i| i * 8), FULL_MASK);
+        // stride 8 u32 = 32 bytes: each lane in its own sector.
+        assert_eq!(st.snapshot().sectors, 32);
+    }
+
+    #[test]
+    fn u64_coalesced_read_costs_eight_sectors() {
+        let buf = GlobalBuffer::<u64>::zeroed(32);
+        let st = cells();
+        buf.gather(&st, lanes_from_fn(|i| i), FULL_MASK);
+        assert_eq!(st.snapshot().sectors, 8);
+        assert_eq!(st.snapshot().useful_bytes, 256);
+    }
+
+    #[test]
+    fn partial_mask_counts_only_active_lanes() {
+        let buf = GlobalBuffer::<u32>::zeroed(32);
+        let st = cells();
+        buf.gather(&st, lanes_from_fn(|i| i), 0x0000_00FF);
+        let s = st.snapshot();
+        assert_eq!(s.useful_bytes, 8 * 4);
+        assert_eq!(s.sectors, 1);
+    }
+
+    #[test]
+    fn empty_mask_is_free() {
+        let buf = GlobalBuffer::<u32>::zeroed(32);
+        let st = cells();
+        buf.gather(&st, splat(0), 0);
+        assert_eq!(st.snapshot(), Default::default());
+    }
+
+    #[test]
+    fn scatter_roundtrip() {
+        let buf = GlobalBuffer::<u32>::zeroed(32);
+        let st = cells();
+        buf.scatter(&st, lanes_from_fn(|i| 31 - i), lanes_from_fn(|i| i as u32), FULL_MASK);
+        let v = buf.to_vec();
+        for i in 0..32 {
+            assert_eq!(v[i], 31 - i as u32);
+        }
+    }
+
+    #[test]
+    fn race_detector_accepts_disjoint_writes() {
+        let buf = GlobalBuffer::<u32>::zeroed(64).tracked();
+        let st = cells();
+        buf.scatter(&st, lanes_from_fn(|i| i), splat(1), FULL_MASK);
+        buf.scatter(&st, lanes_from_fn(|i| 32 + i), splat(2), FULL_MASK);
+        buf.next_epoch();
+        // Same cells again are fine in a new epoch.
+        buf.scatter(&st, lanes_from_fn(|i| i), splat(3), FULL_MASK);
+    }
+
+    #[test]
+    #[should_panic(expected = "race detector")]
+    fn race_detector_catches_double_write() {
+        let buf = GlobalBuffer::<u32>::zeroed(64).tracked();
+        let st = cells();
+        buf.scatter(&st, lanes_from_fn(|i| i), splat(1), FULL_MASK);
+        buf.scatter(&st, lanes_from_fn(|i| i), splat(2), FULL_MASK);
+    }
+
+    #[test]
+    fn atomic_add_counts_conflicts() {
+        let buf = GlobalBuffer::<u32>::zeroed(4);
+        let st = cells();
+        // All 32 lanes add 1 to index 0: 31 conflicts.
+        let prev = buf.atomic_add(&st, splat(0), splat(1), FULL_MASK);
+        assert_eq!(buf.get(0), 32);
+        let mut seen: Vec<u32> = prev.to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>(), "each lane saw a distinct previous value");
+        let s = st.snapshot();
+        assert_eq!(s.atomic_ops, 32);
+        assert_eq!(s.atomic_conflicts, 31);
+    }
+
+    #[test]
+    fn upload_and_to_vec() {
+        let buf = GlobalBuffer::<u32>::zeroed(4);
+        buf.upload(&[9, 8, 7, 6]);
+        assert_eq!(buf.to_vec(), vec![9, 8, 7, 6]);
+        buf.set(2, 42);
+        assert_eq!(buf.get(2), 42);
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-block shared memory with bank-conflict accounting.
+//!
+//! Shared memory on NVIDIA hardware is organized in 32 four-byte banks; a
+//! warp-wide access that hits the same bank from multiple lanes serializes.
+//! We charge each warp-wide access its *serialized* cost: the maximum
+//! number of active lanes mapped to any single bank. Conflict-free accesses
+//! therefore cost `active_lanes` lane-ops; a worst-case 32-way conflict
+//! costs `32 * active_lanes`.
+
+use std::cell::RefCell;
+
+use crate::lanes::{lane_active, Lanes, WARP_SIZE};
+use crate::memory::Scalar;
+use crate::stats::StatCells;
+
+/// Number of shared-memory banks (4-byte wide each).
+pub const SMEM_BANKS: usize = 32;
+
+/// A shared-memory array, alive for the duration of one block.
+pub struct SharedBuf<'a, T: Scalar> {
+    data: RefCell<Box<[T]>>,
+    stats: &'a StatCells,
+}
+
+impl<'a, T: Scalar> SharedBuf<'a, T> {
+    pub(crate) fn new(len: usize, stats: &'a StatCells) -> Self {
+        Self { data: RefCell::new(vec![T::default(); len].into_boxed_slice()), stats }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialized cost of one warp-wide access.
+    ///
+    /// Hardware broadcasts same-word accesses (multicast), so plain
+    /// loads/stores conflict only on *distinct* words mapping to the same
+    /// bank; atomics additionally serialize same-word lanes
+    /// (`serialize_duplicates`). Cost = worst-case bank passes times the
+    /// active lane count.
+    #[allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
+    fn bank_cost(idx: &Lanes<usize>, mask: u32, serialize_duplicates: bool) -> u64 {
+        let mut per_bank = [0u64; SMEM_BANKS];
+        let mut seen_words = [usize::MAX; WARP_SIZE];
+        let mut n_seen = 0usize;
+        let mut active = false;
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                active = true;
+                // Bank id depends on the 4-byte word address.
+                let word = idx[lane] * (T::BYTES as usize / 4).max(1);
+                if !serialize_duplicates {
+                    if seen_words[..n_seen].contains(&word) {
+                        continue; // broadcast: no extra pass
+                    }
+                    seen_words[n_seen] = word;
+                    n_seen += 1;
+                }
+                per_bank[word % SMEM_BANKS] += 1;
+            }
+        }
+        if !active {
+            return 0;
+        }
+        let worst = *per_bank.iter().max().unwrap();
+        worst * mask.count_ones() as u64
+    }
+
+    /// Warp-wide load.
+    pub fn ld(&self, idx: Lanes<usize>, mask: u32) -> Lanes<T> {
+        StatCells::bump(&self.stats.smem_ops, Self::bank_cost(&idx, mask, false));
+        let data = self.data.borrow();
+        let mut out = [T::default(); WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                out[lane] = data[idx[lane]];
+            }
+        }
+        out
+    }
+
+    /// Warp-wide store.
+    pub fn st(&self, idx: Lanes<usize>, val: Lanes<T>, mask: u32) {
+        StatCells::bump(&self.stats.smem_ops, Self::bank_cost(&idx, mask, false));
+        let mut data = self.data.borrow_mut();
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                data[idx[lane]] = val[lane];
+            }
+        }
+    }
+
+    /// Warp-wide read-modify-write add; returns the previous values.
+    ///
+    /// Lanes hitting the same index accumulate correctly (lane order), as
+    /// shared-memory atomics do on hardware; the bank-conflict charge
+    /// already prices the serialization of same-index lanes.
+    pub fn atomic_add(&self, idx: Lanes<usize>, val: Lanes<T>, mask: u32) -> Lanes<T>
+    where
+        T: std::ops::Add<Output = T>,
+    {
+        StatCells::bump(&self.stats.smem_ops, Self::bank_cost(&idx, mask, true));
+        let mut data = self.data.borrow_mut();
+        let mut out = [T::default(); WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                out[lane] = data[idx[lane]];
+                data[idx[lane]] = out[lane] + val[lane];
+            }
+        }
+        out
+    }
+
+    /// Single-thread load (costs one op).
+    pub fn get(&self, idx: usize) -> T {
+        StatCells::bump(&self.stats.smem_ops, 1);
+        self.data.borrow()[idx]
+    }
+
+    /// Single-thread store (costs one op).
+    pub fn set(&self, idx: usize, v: T) {
+        StatCells::bump(&self.stats.smem_ops, 1);
+        self.data.borrow_mut()[idx] = v;
+    }
+
+    /// Zero-cost debug snapshot (host-side inspection in tests).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.data.borrow().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{lanes_from_fn, splat, FULL_MASK};
+
+    #[test]
+    fn conflict_free_access_costs_warp_width() {
+        let st = StatCells::default();
+        let buf = SharedBuf::<u32>::new(64, &st);
+        buf.st(lanes_from_fn(|i| i), lanes_from_fn(|i| i as u32), FULL_MASK);
+        assert_eq!(st.smem_ops.get(), 32, "one lane per bank: fully parallel");
+        let got = buf.ld(lanes_from_fn(|i| i), FULL_MASK);
+        assert_eq!(got[13], 13);
+    }
+
+    #[test]
+    fn same_bank_stride_serializes() {
+        let st = StatCells::default();
+        let buf = SharedBuf::<u32>::new(32 * 32, &st);
+        // Stride 32: every lane hits bank 0 -> 32-way conflict.
+        buf.ld(lanes_from_fn(|i| i * 32), FULL_MASK);
+        assert_eq!(st.smem_ops.get(), 32 * 32);
+    }
+
+    #[test]
+    fn same_word_reads_broadcast() {
+        // Hardware multicasts same-word accesses: one pass.
+        let st = StatCells::default();
+        let buf = SharedBuf::<u32>::new(4, &st);
+        buf.ld(splat(0), 0b1111);
+        assert_eq!(st.smem_ops.get(), 4, "one pass for 4 active lanes");
+    }
+
+    #[test]
+    fn atomics_serialize_same_word_lanes() {
+        let st = StatCells::default();
+        let buf = SharedBuf::<u32>::new(4, &st);
+        buf.atomic_add(splat(0), splat(1u32), 0b1111);
+        assert_eq!(buf.get(0), 4);
+        // 4 serialized passes x 4 active lanes (+1 for the get).
+        assert_eq!(st.smem_ops.get(), 17);
+    }
+
+    #[test]
+    fn u64_elements_use_word_banks() {
+        let st = StatCells::default();
+        let buf = SharedBuf::<u64>::new(64, &st);
+        // Consecutive u64s map to even banks only -> 2-way conflicts.
+        buf.ld(lanes_from_fn(|i| i), FULL_MASK);
+        assert_eq!(st.smem_ops.get(), 64);
+    }
+
+    #[test]
+    fn scalar_ops_cost_one() {
+        let st = StatCells::default();
+        let buf = SharedBuf::<u32>::new(8, &st);
+        buf.set(3, 99);
+        assert_eq!(buf.get(3), 99);
+        assert_eq!(st.smem_ops.get(), 2);
+    }
+
+    #[test]
+    fn inactive_warp_access_is_free() {
+        let st = StatCells::default();
+        let buf = SharedBuf::<u32>::new(8, &st);
+        buf.ld(splat(0), 0);
+        assert_eq!(st.smem_ops.get(), 0);
+    }
+}

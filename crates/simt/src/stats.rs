@@ -1,0 +1,164 @@
+//! Event counters driving the performance model.
+//!
+//! Kernels do not measure wall-clock time; they *count* the events that
+//! determine GPU performance — DRAM sectors touched (the coalescing model),
+//! useful bytes moved, shared-memory operations, warp-wide intrinsics,
+//! per-lane ALU work, barriers and divergent retry iterations. A
+//! [`crate::DeviceProfile`] later converts a [`BlockStats`] aggregate into an
+//! estimated running time.
+
+use std::cell::Cell;
+use std::ops::AddAssign;
+
+/// Aggregated event counts for one block (or, summed, for one launch).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Distinct 32-byte DRAM sectors touched by warp-wide global accesses.
+    pub sectors: u64,
+    /// Bytes of payload actually requested by active lanes.
+    pub useful_bytes: u64,
+    /// Warp-wide global memory requests issued (gathers + scatters).
+    pub global_requests: u64,
+    /// Extra load/store-unit passes beyond the first, one per additional
+    /// maximal lane-consecutive address run in a request (order-sensitive
+    /// coalescing; what local reordering eliminates).
+    pub replays: u64,
+    /// Global atomic operations (one per active lane).
+    pub atomic_ops: u64,
+    /// Extra serialization caused by same-address atomics within one warp.
+    pub atomic_conflicts: u64,
+    /// Shared-memory accesses, counted per active lane.
+    pub smem_ops: u64,
+    /// Warp-wide intrinsics executed (ballot / shfl / shfl_up / shfl_xor).
+    pub intrinsics: u64,
+    /// Generic per-lane ALU operations (explicit charges from kernels).
+    pub lane_ops: u64,
+    /// Block-wide barriers (`__syncthreads`).
+    pub barriers: u64,
+    /// Warp-serialized retry iterations (divergence; randomized insertion).
+    pub divergent_iters: u64,
+}
+
+impl AddAssign for BlockStats {
+    fn add_assign(&mut self, o: Self) {
+        self.sectors += o.sectors;
+        self.useful_bytes += o.useful_bytes;
+        self.global_requests += o.global_requests;
+        self.replays += o.replays;
+        self.atomic_ops += o.atomic_ops;
+        self.atomic_conflicts += o.atomic_conflicts;
+        self.smem_ops += o.smem_ops;
+        self.intrinsics += o.intrinsics;
+        self.lane_ops += o.lane_ops;
+        self.barriers += o.barriers;
+        self.divergent_iters += o.divergent_iters;
+    }
+}
+
+impl BlockStats {
+    /// Total bytes moved over DRAM under the 32 B sector model.
+    pub fn dram_bytes(&self) -> u64 {
+        self.sectors * crate::memory::SECTOR_BYTES
+    }
+
+    /// Bytes fetched but not requested by any lane (coalescing waste).
+    pub fn wasted_bytes(&self) -> u64 {
+        self.dram_bytes().saturating_sub(self.useful_bytes)
+    }
+}
+
+/// Interior-mutable counter bundle owned by a [`crate::BlockCtx`].
+///
+/// `Cell`s let warp ops, shared buffers and global accesses all count
+/// through a shared `&StatCells` without borrow-checker contortions; the
+/// cells are folded into a plain [`BlockStats`] when the block retires.
+#[derive(Debug, Default)]
+pub struct StatCells {
+    pub sectors: Cell<u64>,
+    pub useful_bytes: Cell<u64>,
+    pub global_requests: Cell<u64>,
+    pub replays: Cell<u64>,
+    pub atomic_ops: Cell<u64>,
+    pub atomic_conflicts: Cell<u64>,
+    pub smem_ops: Cell<u64>,
+    pub intrinsics: Cell<u64>,
+    pub lane_ops: Cell<u64>,
+    pub barriers: Cell<u64>,
+    pub divergent_iters: Cell<u64>,
+}
+
+impl StatCells {
+    #[inline]
+    pub fn bump(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
+
+    pub fn snapshot(&self) -> BlockStats {
+        BlockStats {
+            sectors: self.sectors.get(),
+            useful_bytes: self.useful_bytes.get(),
+            global_requests: self.global_requests.get(),
+            replays: self.replays.get(),
+            atomic_ops: self.atomic_ops.get(),
+            atomic_conflicts: self.atomic_conflicts.get(),
+            smem_ops: self.smem_ops.get(),
+            intrinsics: self.intrinsics.get(),
+            lane_ops: self.lane_ops.get(),
+            barriers: self.barriers.get(),
+            divergent_iters: self.divergent_iters.get(),
+        }
+    }
+}
+
+/// Result of one kernel launch: summed block stats plus the time estimate
+/// the device profile assigned to it.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Caller-supplied label, e.g. `"direct/post-scan"`. The harness groups
+    /// records by label prefix to form the per-stage breakdown of Table 4.
+    pub label: String,
+    /// Number of blocks launched.
+    pub blocks: usize,
+    /// Warps per block.
+    pub warps_per_block: usize,
+    /// Event counts summed over all blocks.
+    pub stats: BlockStats,
+    /// Estimated execution time in seconds (model, not wall clock).
+    pub seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = BlockStats { sectors: 1, useful_bytes: 2, lane_ops: 5, ..Default::default() };
+        let b = BlockStats { sectors: 10, useful_bytes: 20, barriers: 1, ..Default::default() };
+        a += b;
+        assert_eq!(a.sectors, 11);
+        assert_eq!(a.useful_bytes, 22);
+        assert_eq!(a.lane_ops, 5);
+        assert_eq!(a.barriers, 1);
+    }
+
+    #[test]
+    fn dram_and_wasted_bytes() {
+        let s = BlockStats { sectors: 4, useful_bytes: 100, ..Default::default() };
+        assert_eq!(s.dram_bytes(), 128);
+        assert_eq!(s.wasted_bytes(), 28);
+        let t = BlockStats { sectors: 1, useful_bytes: 128, ..Default::default() };
+        assert_eq!(t.wasted_bytes(), 0, "waste saturates at zero");
+    }
+
+    #[test]
+    fn snapshot_reflects_cells() {
+        let c = StatCells::default();
+        StatCells::bump(&c.sectors, 3);
+        StatCells::bump(&c.intrinsics, 7);
+        let s = c.snapshot();
+        assert_eq!(s.sectors, 3);
+        assert_eq!(s.intrinsics, 7);
+        assert_eq!(s.smem_ops, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Chrome-trace export of a device's launch log.
+//!
+//! `about://tracing` / [Perfetto](https://ui.perfetto.dev) can open the
+//! JSON this module writes, giving a timeline of every kernel with its
+//! counted events attached — handy when figuring out where a multisplit
+//! variant's modeled time goes.
+
+use std::io::Write;
+
+use crate::stats::LaunchRecord;
+
+/// Serialize launch records as a Chrome trace (JSON array format), one
+/// complete event per kernel, laid end to end on a single track.
+pub fn chrome_trace_json(records: &[LaunchRecord]) -> String {
+    let mut out = String::from("[\n");
+    let mut t_us = 0.0f64;
+    for (i, r) in records.iter().enumerate() {
+        let dur = r.seconds * 1e6;
+        let s = &r.stats;
+        out.push_str(&format!(
+            concat!(
+                "{{\"name\":{:?},\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{:.3},\"dur\":{:.3},",
+                "\"args\":{{\"blocks\":{},\"warps_per_block\":{},\"sectors\":{},\"useful_bytes\":{},",
+                "\"replays\":{},\"smem_ops\":{},\"intrinsics\":{},\"lane_ops\":{},\"barriers\":{}}}}}"
+            ),
+            r.label,
+            t_us,
+            dur,
+            r.blocks,
+            r.warps_per_block,
+            s.sectors,
+            s.useful_bytes,
+            s.replays,
+            s.smem_ops,
+            s.intrinsics,
+            s.lane_ops,
+            s.barriers,
+        ));
+        t_us += dur;
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Write the trace to a file.
+pub fn write_chrome_trace(records: &[LaunchRecord], path: &std::path::Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json(records).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::BlockStats;
+
+    fn record(label: &str, seconds: f64) -> LaunchRecord {
+        LaunchRecord {
+            label: label.into(),
+            blocks: 4,
+            warps_per_block: 8,
+            stats: BlockStats { sectors: 10, useful_bytes: 320, ..Default::default() },
+            seconds,
+        }
+    }
+
+    #[test]
+    fn trace_is_valid_jsonish_and_ordered() {
+        let recs = vec![record("a/pre-scan", 1e-6), record("a/scan", 2e-6)];
+        let json = chrome_trace_json(&recs);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"a/pre-scan\""));
+        assert!(json.contains("\"dur\":2.000"));
+        // Second event starts where the first ended.
+        assert!(json.contains("\"ts\":1.000"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_log_is_an_empty_array() {
+        assert_eq!(chrome_trace_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("simt-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        write_chrome_trace(&[record("k", 5e-6)], &path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"k\""));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,163 @@
+//! Graph generators matching the characteristics of the paper's SSSP
+//! datasets (footnote 1): a social-network-like graph (flickr /
+//! yahoo-social stand-ins), an RMAT power-law graph (Graph500), and a
+//! sparse low-diameter graph in the spirit of Meyer's GBF(n, r) class.
+//!
+//! All generators are seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::CsrGraph;
+
+/// Uniform random directed graph: every node gets `avg_degree` out-edges
+/// to uniform targets, weights uniform in `1..=max_weight`.
+pub fn uniform_random(num_nodes: usize, avg_degree: usize, max_weight: u32, seed: u64) -> CsrGraph {
+    assert!(num_nodes > 0 && max_weight >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_nodes * avg_degree);
+    for src in 0..num_nodes as u32 {
+        for _ in 0..avg_degree {
+            let dst = rng.gen_range(0..num_nodes as u32);
+            let w = rng.gen_range(1..=max_weight);
+            edges.push((src, dst, w));
+        }
+    }
+    CsrGraph::from_edges(num_nodes, &edges)
+}
+
+/// RMAT power-law generator (Graph500 style), with the standard
+/// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) partition probabilities.
+pub fn rmat(scale: u32, edge_factor: usize, max_weight: u32, seed: u64) -> CsrGraph {
+    let num_nodes = 1usize << scale;
+    let num_edges = num_nodes * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (sbit, dbit) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= sbit << bit;
+            dst |= dbit << bit;
+        }
+        let w = rng.gen_range(1..=max_weight);
+        edges.push((src, dst, w));
+    }
+    CsrGraph::from_edges(num_nodes, &edges)
+}
+
+/// Sparse low-diameter graph in the spirit of Meyer's GBF(n, r) class:
+/// a sparse random base (degree ~2) plus `r` long-range shortcuts per
+/// node toward a small hub set, giving a small diameter with few edges —
+/// the regime where delta-stepping's bucket structure is stressed.
+pub fn low_diameter(num_nodes: usize, shortcuts: usize, max_weight: u32, seed: u64) -> CsrGraph {
+    assert!(num_nodes >= 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs = (num_nodes as f64).sqrt().ceil() as u32;
+    let mut edges = Vec::new();
+    for src in 0..num_nodes as u32 {
+        // Sparse local ring keeps the graph connected.
+        let next = (src + 1) % num_nodes as u32;
+        edges.push((src, next, rng.gen_range(1..=max_weight)));
+        // Long-range shortcuts through hubs collapse the diameter.
+        for _ in 0..shortcuts {
+            let hub = rng.gen_range(0..hubs);
+            edges.push((src, hub, rng.gen_range(1..=max_weight)));
+            let back = rng.gen_range(0..num_nodes as u32);
+            edges.push((hub, back, rng.gen_range(1..=max_weight)));
+        }
+    }
+    CsrGraph::from_edges(num_nodes, &edges)
+}
+
+/// The four footnote-1 dataset stand-ins, scaled down by `scale_div` so
+/// quick runs stay quick (1 = full size: flickr 10M edges, yahoo 4M,
+/// rmat 20M, GBF-like 15.5M).
+pub fn footnote1_suite(scale_div: usize, seed: u64) -> Vec<(&'static str, CsrGraph)> {
+    let d = scale_div.max(1);
+    vec![
+        ("flickr-like", uniform_random(500_000 / d, 20, 255, seed)),
+        ("yahoo-social-like", uniform_random(400_000 / d, 10, 255, seed + 1)),
+        ("rmat-like", rmat((20.0 - (d as f64).log2()).round() as u32, 20, 255, seed + 2)),
+        ("gbf-like", low_diameter(500_000 / d, 5, 255, seed + 3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_expected_shape() {
+        let g = uniform_random(1000, 8, 100, 1);
+        assert_eq!(g.num_nodes(), 1000);
+        assert_eq!(g.num_edges(), 8000);
+        assert!(g.max_weight() <= 100 && g.max_weight() >= 1);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 8, 50, 2);
+        assert_eq!(g.num_nodes(), 4096);
+        assert_eq!(g.num_edges(), 4096 * 8);
+        // Power-law: the max degree should far exceed the average.
+        let max_deg = (0..4096u32).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg > 8 * 8, "rmat max degree {max_deg} should be far above the mean");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform_random(100, 4, 10, 7);
+        let b = uniform_random(100, 4, 10, 7);
+        assert_eq!(a.col_indices, b.col_indices);
+        assert_eq!(a.weights, b.weights);
+        let c = uniform_random(100, 4, 10, 8);
+        assert_ne!(a.col_indices, c.col_indices, "different seed, different graph");
+    }
+
+    #[test]
+    fn low_diameter_is_low_diameter() {
+        let g = low_diameter(2000, 3, 20, 3);
+        // BFS from node 0: hop count to reach everything should be small
+        // relative to n (the ring alone would need ~2000 hops).
+        let mut dist = vec![usize::MAX; g.num_nodes()];
+        dist[0] = 0;
+        let mut frontier = vec![0u32];
+        let mut hops = 0;
+        while !frontier.is_empty() && hops < 100 {
+            hops += 1;
+            let mut next = Vec::new();
+            for v in frontier {
+                for (u, _) in g.neighbors(v) {
+                    if dist[u as usize] == usize::MAX {
+                        dist[u as usize] = hops;
+                        next.push(u);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let unreached = dist.iter().filter(|&&d| d == usize::MAX).count();
+        assert_eq!(unreached, 0, "graph must be connected");
+        assert!(hops < 64, "diameter {hops} should be far below n");
+    }
+
+    #[test]
+    fn footnote1_suite_produces_four_graphs() {
+        let suite = footnote1_suite(64, 1);
+        assert_eq!(suite.len(), 4);
+        for (name, g) in &suite {
+            assert!(g.num_edges() > 0, "{name} has edges");
+        }
+    }
+}

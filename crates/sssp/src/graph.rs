@@ -1,0 +1,115 @@
+//! Directed weighted graphs in CSR form.
+//!
+//! The layout the SSSP kernels consume: `row_offsets[v]..row_offsets[v+1]`
+//! indexes `col_indices`/`weights` with `v`'s out-edges. Weights are
+//! non-negative `u32` (delta-stepping's precondition).
+
+/// A directed graph with non-negative integer edge weights, in compressed
+/// sparse row format.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    pub row_offsets: Vec<u32>,
+    pub col_indices: Vec<u32>,
+    pub weights: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list; parallel edges and self-loops are kept
+    /// (they are harmless to SSSP).
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32, u32)]) -> Self {
+        let mut row_offsets = vec![0u32; num_nodes + 1];
+        for &(src, dst, _) in edges {
+            assert!((src as usize) < num_nodes && (dst as usize) < num_nodes, "edge endpoint out of range");
+            row_offsets[src as usize + 1] += 1;
+        }
+        for v in 0..num_nodes {
+            row_offsets[v + 1] += row_offsets[v];
+        }
+        let mut col_indices = vec![0u32; edges.len()];
+        let mut weights = vec![0u32; edges.len()];
+        let mut cursor = row_offsets.clone();
+        for &(src, dst, w) in edges {
+            let p = cursor[src as usize] as usize;
+            col_indices[p] = dst;
+            weights[p] = w;
+            cursor[src as usize] += 1;
+        }
+        Self { row_offsets, col_indices, weights }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    pub fn degree(&self, v: u32) -> usize {
+        (self.row_offsets[v as usize + 1] - self.row_offsets[v as usize]) as usize
+    }
+
+    /// Iterate `v`'s out-edges as (dst, weight).
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.row_offsets[v as usize] as usize;
+        let hi = self.row_offsets[v as usize + 1] as usize;
+        self.col_indices[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Largest edge weight (0 for an edgeless graph).
+    pub fn max_weight(&self) -> u32 {
+        self.weights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1 (1), 0 -> 2 (4), 1 -> 3 (2), 2 -> 3 (1)
+        CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 4), (1, 3, 2), (2, 3, 1)])
+    }
+
+    #[test]
+    fn csr_shape() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.row_offsets, vec![0, 2, 3, 4, 4]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.max_weight(), 4);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_iterate_in_insertion_order() {
+        let g = diamond();
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 1), (2, 4)]);
+        assert_eq!(g.neighbors(3).count(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_weight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edges() {
+        CsrGraph::from_edges(2, &[(0, 5, 1)]);
+    }
+}

@@ -1,0 +1,71 @@
+//! First stage of GPU hash-table construction — the Alcantara et al. use
+//! case the paper cites in §1: distribute keys into hash buckets with a
+//! multisplit, then build each bucket's table independently.
+//!
+//! ```text
+//! cargo run --release --example hash_build
+//! ```
+//!
+//! After the multisplit, every bucket is a contiguous slice sized ~n/m,
+//! so per-bucket construction kernels get perfectly coalesced input — the
+//! whole point of using multisplit here instead of a sort.
+
+use multisplit_repro::prelude::*;
+
+/// The hash that assigns keys to buckets (multiplicative hashing).
+fn bucket_hash(key: u32, m: u32) -> u32 {
+    (key.wrapping_mul(2654435761) >> 16) % m
+}
+
+fn main() {
+    let n = 1 << 18;
+    let m = 32u32; // hash buckets, each becoming an independent sub-table
+    let keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E3779B9) ^ 0xDEAD_BEEF).collect();
+    let payloads: Vec<u32> = (0..n as u32).collect();
+
+    let dev = Device::new(K40C);
+    let bucket = FnBuckets::new(m, move |k| bucket_hash(k, m));
+    let (hkeys, hvals, offsets) = multisplit_kv(&dev, &keys, &payloads, &bucket);
+
+    // Stage 2 (host-side stand-in): build a tiny open-addressing table per
+    // bucket from its contiguous slice and answer some lookups.
+    let mut tables: Vec<Vec<Option<(u32, u32)>>> = Vec::new();
+    for b in 0..m as usize {
+        let (lo, hi) = (offsets[b] as usize, offsets[b + 1] as usize);
+        let cap = ((hi - lo) * 2).next_power_of_two().max(4);
+        let mut table = vec![None; cap];
+        for i in lo..hi {
+            let mut slot = (hkeys[i] as usize).wrapping_mul(0x85EB_CA6B) & (cap - 1);
+            while table[slot].is_some() {
+                slot = (slot + 1) & (cap - 1);
+            }
+            table[slot] = Some((hkeys[i], hvals[i]));
+        }
+        tables.push(table);
+    }
+
+    // Look up every 1000th original key.
+    let mut found = 0;
+    for i in (0..n).step_by(1000) {
+        let k = keys[i];
+        let b = bucket_hash(k, m) as usize;
+        let table = &tables[b];
+        let cap = table.len();
+        let mut slot = (k as usize).wrapping_mul(0x85EB_CA6B) & (cap - 1);
+        loop {
+            match table[slot] {
+                Some((tk, tv)) if tk == k => {
+                    assert_eq!(tv, i as u32, "payload must match the original index");
+                    found += 1;
+                    break;
+                }
+                Some(_) => slot = (slot + 1) & (cap - 1),
+                None => panic!("key {k:#x} missing from bucket {b}"),
+            }
+        }
+    }
+    println!("{n} keys distributed into {m} hash buckets; {found} lookups verified");
+    let sizes: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+    println!("bucket sizes: min {} max {}", sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+    println!("estimated device time for the distribution step: {:.3} ms", dev.total_seconds() * 1e3);
+}

@@ -1,0 +1,45 @@
+//! Quickstart: the paper's Figure 1 scenarios on the public API.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Demonstrates (1) a stable two-bucket multisplit with a user-defined
+//! classifier (prime vs composite), (2) a stable three-bucket range
+//! multisplit, and (3) what the bucket-offsets array gives you.
+
+use multisplit_repro::prelude::*;
+
+fn main() {
+    let dev = Device::new(K40C);
+
+    // ---- Figure 1, case (1): prime / composite buckets.
+    let keys = vec![59u32, 46, 31, 6, 25, 82, 3, 17];
+    let (split, offsets) = multisplit(&dev, &keys, &PrimeComposite);
+    println!("input:      {keys:?}");
+    println!("multisplit: {split:?}   (primes first, stable)");
+    assert_eq!(split, vec![59, 31, 3, 17, 46, 6, 25, 82]);
+    assert_eq!(offsets, vec![0, 4, 8]);
+
+    // ---- Figure 1, case (2): three range buckets.
+    let ranges = FnBuckets::new(3, |k| if k <= 20 { 0 } else if k <= 48 { 1 } else { 2 });
+    let (split, offsets) = multisplit(&dev, &keys, &ranges);
+    println!("ranges:     {split:?}   offsets {offsets:?}");
+    assert_eq!(split, vec![6, 3, 17, 46, 31, 25, 59, 82]);
+    assert_eq!(offsets, vec![0, 3, 6, 8]);
+
+    // ---- A realistic size: 1M random keys into 8 equal ranges.
+    let n = 1 << 20;
+    let keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let bucket = RangeBuckets::new(8);
+    let (split, offsets) = multisplit(&dev, &keys, &bucket);
+    println!("\n{n} keys into 8 buckets:");
+    for b in 0..8 {
+        let (lo, hi) = (offsets[b] as usize, offsets[b + 1] as usize);
+        println!("  bucket {b}: {} keys, first = {:#010x}", hi - lo, split[lo]);
+        assert!(split[lo..hi].iter().all(|&k| bucket.bucket_of(k) == b as u32));
+    }
+
+    // The simulator also tells you what this would have cost on a K40c.
+    println!("\nestimated device time: {:.3} ms", dev.total_seconds() * 1e3);
+}

@@ -1,0 +1,44 @@
+//! Delta-stepping SSSP with multisplit bucketing — the application that
+//! motivated the paper (§1), end to end.
+//!
+//! ```text
+//! cargo run --release --example sssp_delta
+//! ```
+//!
+//! Builds a random road-network-like graph, runs delta-stepping with all
+//! three bucketing strategies (multisplit, Near-Far, radix sort), checks
+//! each against Dijkstra, and prints where the time goes — reproducing the
+//! observation of Davidson et al. that sort-based reorganization dominates
+//! the runtime, and that multisplit fixes it.
+
+use multisplit_repro::prelude::*;
+use sssp::{delta_stepping, dijkstra, uniform_random, Bucketing};
+
+fn main() {
+    let g = uniform_random(20_000, 8, 100, 7);
+    println!("graph: {} nodes, {} edges, weights 1..=100", g.num_nodes(), g.num_edges());
+
+    let reference = dijkstra(&g, 0);
+    let reached = reference.iter().filter(|&&d| d != sssp::INF).count();
+    println!("dijkstra: {reached} reachable nodes\n");
+
+    for strategy in [
+        Bucketing::Multisplit { m: 10 },
+        Bucketing::Multisplit { m: 2 },
+        Bucketing::NearFar,
+        Bucketing::SortBased,
+    ] {
+        let dev = Device::new(K40C);
+        let r = delta_stepping(&dev, &g, 0, 25, strategy);
+        assert_eq!(r.dist, reference, "{} must match Dijkstra", strategy.name());
+        println!(
+            "{:18} iterations {:4}   bucketing {:7.3} ms ({:4.1}% of total {:7.3} ms)",
+            strategy.name(),
+            r.iterations,
+            r.bucketing_seconds * 1e3,
+            100.0 * r.bucketing_seconds / r.total_seconds,
+            r.total_seconds * 1e3,
+        );
+    }
+    println!("\nAll strategies agree with Dijkstra; multisplit spends the least time reorganizing.");
+}

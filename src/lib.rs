@@ -1,0 +1,28 @@
+//! # multisplit-repro — umbrella crate
+//!
+//! Re-exports the whole workspace behind one dependency, hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). See the individual crates for the real content:
+//!
+//! * [`simt`] — the warp-synchronous GPU simulator substrate.
+//! * [`primitives`] — device-wide scan / reduce / histogram / split.
+//! * [`multisplit`] — the paper's contribution (Direct, Warp-level,
+//!   Block-level, and `m > 32` multisplit).
+//! * [`baselines`] — radix sort, reduced-bit sort, scan-based splits,
+//!   randomized insertion.
+//! * [`sssp`] — delta-stepping SSSP, the motivating application.
+
+pub use baselines;
+pub use multisplit;
+pub use primitives;
+pub use simt;
+pub use sssp;
+
+/// Convenience re-exports for the examples and quick starts.
+pub mod prelude {
+    pub use multisplit::{
+        multisplit, multisplit_kv, BucketFn, DeltaBuckets, FnBuckets, IdentityBuckets, LsbBuckets, Method,
+        PrimeComposite, RangeBuckets,
+    };
+    pub use simt::{Device, GTX750TI, K40C};
+}

@@ -1,0 +1,79 @@
+//! Application-level integration: delta-stepping SSSP over the full stack
+//! (graph generators -> SIMT kernels -> multisplit bucketing), validated
+//! against serial Dijkstra.
+
+use simt::{Device, K40C};
+use sssp::{bellman_ford, delta_stepping, dijkstra, low_diameter, rmat, uniform_random, Bucketing, INF};
+
+#[test]
+fn all_strategies_agree_on_all_generator_families() {
+    let graphs = [
+        ("uniform", uniform_random(1200, 6, 60, 1)),
+        ("rmat", rmat(10, 6, 60, 2)),
+        ("low-diameter", low_diameter(900, 3, 60, 3)),
+    ];
+    for (name, g) in &graphs {
+        let reference = dijkstra(g, 0);
+        for s in [Bucketing::Multisplit { m: 10 }, Bucketing::NearFar, Bucketing::SortBased] {
+            let dev = Device::new(K40C);
+            let r = delta_stepping(&dev, g, 0, 16, s);
+            assert_eq!(r.dist, reference, "{name}/{}", s.name());
+        }
+    }
+}
+
+#[test]
+fn bellman_ford_and_delta_stepping_agree() {
+    let g = uniform_random(600, 5, 30, 9);
+    let (bf, _) = bellman_ford(&g, 0);
+    let dev = Device::new(K40C);
+    let r = delta_stepping(&dev, &g, 0, 8, Bucketing::Multisplit { m: 8 });
+    assert_eq!(r.dist, bf);
+}
+
+#[test]
+fn different_sources_work() {
+    let g = uniform_random(500, 6, 40, 4);
+    for src in [0u32, 250, 499] {
+        let dev = Device::new(K40C);
+        let r = delta_stepping(&dev, &g, src, 16, Bucketing::Multisplit { m: 10 });
+        assert_eq!(r.dist, dijkstra(&g, src), "source {src}");
+        assert_eq!(r.dist[src as usize], 0);
+    }
+}
+
+#[test]
+fn multisplit_bucketing_reduces_reorganization_cost() {
+    // The end-to-end point of the paper (footnote 1): replacing sort-based
+    // bucketing with multisplit reduces reorganization time.
+    let g = uniform_random(4000, 8, 80, 11);
+    let reference = dijkstra(&g, 0);
+    let run = |s: Bucketing| {
+        let dev = Device::new(K40C);
+        let r = delta_stepping(&dev, &g, 0, 32, s);
+        assert_eq!(r.dist, reference);
+        r
+    };
+    let ms = run(Bucketing::Multisplit { m: 2 });
+    let nf = run(Bucketing::NearFar);
+    let sort = run(Bucketing::SortBased);
+    assert!(ms.bucketing_seconds < sort.bucketing_seconds, "multisplit must beat sort bucketing");
+    assert!(ms.bucketing_seconds <= nf.bucketing_seconds * 1.05, "multisplit should not lose to near-far");
+    assert!(ms.total_seconds < sort.total_seconds, "app-level speedup over sort bucketing");
+}
+
+#[test]
+fn unreachable_components_and_isolated_nodes() {
+    let g = sssp::CsrGraph::from_edges(6, &[(0, 1, 2), (1, 2, 3), (4, 5, 1)]);
+    let dev = Device::new(K40C);
+    let r = delta_stepping(&dev, &g, 0, 4, Bucketing::Multisplit { m: 4 });
+    assert_eq!(r.dist, vec![0, 2, 5, INF, INF, INF]);
+}
+
+#[test]
+fn zero_weight_edges_converge() {
+    let g = sssp::CsrGraph::from_edges(4, &[(0, 1, 0), (1, 2, 0), (2, 3, 5), (0, 3, 6)]);
+    let dev = Device::new(K40C);
+    let r = delta_stepping(&dev, &g, 0, 3, Bucketing::Multisplit { m: 4 });
+    assert_eq!(r.dist, vec![0, 0, 0, 5]);
+}
