@@ -19,8 +19,8 @@ use simt::{lanes_from_fn, splat, Device, GlobalBuffer, Scalar, WARP_SIZE};
 use multisplit::common::{empty_result, eval_buckets, offsets_from_scanned, DeviceMultisplit};
 use multisplit::BucketFn;
 use primitives::{
-    block_exclusive_scan_shared, exclusive_scan_u32, low_lanes_mask, multi_exclusive_scan_across_warps,
-    tail_mask,
+    block_exclusive_scan_shared, exclusive_scan_u32, low_lanes_mask,
+    multi_exclusive_scan_across_warps, tail_mask,
 };
 
 /// Largest bucket count the shared counters support for `wpb` warps.
@@ -39,7 +39,10 @@ pub fn multisplit_block_atomic<B: BucketFn + ?Sized, V: Scalar>(
     wpb: usize,
 ) -> DeviceMultisplit<V> {
     let m = bucket.num_buckets();
-    assert!(m <= max_buckets_atomic(wpb), "m = {m} exceeds shared-counter capacity");
+    assert!(
+        m <= max_buckets_atomic(wpb),
+        "m = {m} exceeds shared-counter capacity"
+    );
     assert!(keys.len() >= n, "key buffer shorter than n");
     if n == 0 {
         return empty_result(m as usize, values.is_some());
@@ -64,7 +67,11 @@ pub fn multisplit_block_atomic<B: BucketFn + ?Sized, V: Scalar>(
             let idx = lanes_from_fn(|j| if base + j < n { base + j } else { base });
             let k = w.gather(keys, idx, mask);
             let b = eval_buckets(&w, bucket, k, mask);
-            counters.atomic_add(lanes_from_fn(|j| w.warp_id * mp + b[j] as usize), splat(1u32), mask);
+            counters.atomic_add(
+                lanes_from_fn(|j| w.warp_id * mp + b[j] as usize),
+                splat(1u32),
+                mask,
+            );
         }
         blk.sync();
         multi_exclusive_scan_across_warps(blk, &counters, mu, mp, Some(&block_hist));
@@ -74,7 +81,12 @@ pub fn multisplit_block_atomic<B: BucketFn + ?Sized, V: Scalar>(
                 let cnt = (mu - row).min(WARP_SIZE);
                 let sm = low_lanes_mask(cnt);
                 let v = block_hist.ld(lanes_from_fn(|j| row + j.min(cnt - 1)), sm);
-                w.scatter_merged(&h, lanes_from_fn(|j| (row + j.min(cnt - 1)) * l + blk.block_id), v, sm);
+                w.scatter_merged(
+                    &h,
+                    lanes_from_fn(|j| (row + j.min(cnt - 1)) * l + blk.block_id),
+                    v,
+                    sm,
+                );
                 row += blk.warps_per_block * WARP_SIZE;
             }
         }
@@ -111,7 +123,11 @@ pub fn multisplit_block_atomic<B: BucketFn + ?Sized, V: Scalar>(
             let idx = lanes_from_fn(|j| if base + j < n { base + j } else { base });
             let k = w.gather(keys, idx, mask);
             let b = eval_buckets(&w, bucket, k, mask);
-            let rank = counters.atomic_add(lanes_from_fn(|j| w.warp_id * mp + b[j] as usize), splat(1u32), mask);
+            let rank = counters.atomic_add(
+                lanes_from_fn(|j| w.warp_id * mp + b[j] as usize),
+                splat(1u32),
+                mask,
+            );
             key_reg[w.warp_id] = k;
             bucket_reg[w.warp_id] = b;
             rank_reg[w.warp_id] = rank;
@@ -154,11 +170,21 @@ pub fn multisplit_block_atomic<B: BucketFn + ?Sized, V: Scalar>(
             if mask == 0 {
                 continue;
             }
-            let tidx = lanes_from_fn(|j| if local + j < block_n { local + j } else { local });
+            let tidx = lanes_from_fn(|j| {
+                if local + j < block_n {
+                    local + j
+                } else {
+                    local
+                }
+            });
             let k2 = keys2.ld(tidx, mask);
             let b2 = buckets2.ld(tidx, mask);
             let bb = bucket_base.ld(lanes_from_fn(|j| b2[j] as usize), mask);
-            let gbase = w.gather_cached(&g, lanes_from_fn(|j| b2[j] as usize * l + blk.block_id), mask);
+            let gbase = w.gather_cached(
+                &g,
+                lanes_from_fn(|j| b2[j] as usize * l + blk.block_id),
+                mask,
+            );
             let dest = lanes_from_fn(|j| (gbase[j] + (local + j) as u32 - bb[j]) as usize);
             w.scatter(&out_keys, dest, k2, mask);
             if let (Some(v2), Some(vout)) = (&values2, &out_values) {
@@ -169,17 +195,25 @@ pub fn multisplit_block_atomic<B: BucketFn + ?Sized, V: Scalar>(
     });
 
     let offsets = offsets_from_scanned(&g, mu, l, n);
-    DeviceMultisplit { keys: out_keys, values: out_values, offsets }
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multisplit::{multisplit_block_level, multisplit_kv_ref, multisplit_ref, no_values, RangeBuckets};
+    use multisplit::{
+        multisplit_block_level, multisplit_kv_ref, multisplit_ref, no_values, RangeBuckets,
+    };
     use simt::{Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]

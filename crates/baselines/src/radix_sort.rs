@@ -18,8 +18,8 @@
 use simt::{lanes_from_fn, Device, GlobalBuffer, Scalar, WARP_SIZE};
 
 use primitives::{
-    block_exclusive_scan_shared, exclusive_scan_u32, low_lanes_mask, multi_exclusive_scan_across_warps,
-    multi_reduce_across_warps, tail_mask,
+    block_exclusive_scan_shared, exclusive_scan_u32, low_lanes_mask,
+    multi_exclusive_scan_across_warps, multi_reduce_across_warps, tail_mask,
 };
 
 /// Digit width per radix pass (CUB on Kepler: 5 bits, 7 passes/32-bit key).
@@ -99,7 +99,12 @@ fn radix_pass<V: Scalar>(
                 let cnt = (m - row).min(WARP_SIZE);
                 let sm = low_lanes_mask(cnt);
                 let v = block_hist.ld(lanes_from_fn(|j| row + j.min(cnt - 1)), sm);
-                w.scatter_merged(&h, lanes_from_fn(|j| (row + j.min(cnt - 1)) * l + blk.block_id), v, sm);
+                w.scatter_merged(
+                    &h,
+                    lanes_from_fn(|j| (row + j.min(cnt - 1)) * l + blk.block_id),
+                    v,
+                    sm,
+                );
                 row += blk.warps_per_block * WARP_SIZE;
             }
         }
@@ -212,7 +217,13 @@ fn radix_pass<V: Scalar>(
                 if mask == 0 {
                     break;
                 }
-                let tidx = lanes_from_fn(|j| if local + j < block_n { local + j } else { local });
+                let tidx = lanes_from_fn(|j| {
+                    if local + j < block_n {
+                        local + j
+                    } else {
+                        local
+                    }
+                });
                 let k2 = keys2.ld(tidx, mask);
                 let d2 = lanes_from_fn(|j| ((k2[j] >> shift) & digit_mask) as usize);
                 let db = digit_base.ld(d2, mask);
@@ -295,7 +306,9 @@ mod tests {
     use simt::{Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -348,7 +361,13 @@ mod tests {
         let sv = sv.unwrap().to_vec();
         let mut expect: Vec<(u32, u32)> = data.iter().copied().zip(vals).collect();
         expect.sort_by_key(|&(k, _)| k);
-        assert_eq!(sk.iter().zip(&sv).map(|(a, b)| (*a, *b)).collect::<Vec<_>>(), expect);
+        assert_eq!(
+            sk.iter()
+                .zip(&sv)
+                .map(|(a, b)| (*a, *b))
+                .collect::<Vec<_>>(),
+            expect
+        );
     }
 
     #[test]
@@ -413,6 +432,9 @@ mod tests {
         radix_sort(&dev, "r", &keys, no_values(), n, 8);
         let t0 = dev.seconds_with_prefix("r/pass0/");
         let t5 = dev.seconds_with_prefix("r/pass5/");
-        assert!((t0 / t5) < 1.5 && (t5 / t0) < 1.5, "uniform keys: passes alike ({t0} vs {t5})");
+        assert!(
+            (t0 / t5) < 1.5 && (t5 / t0) < 1.5,
+            "uniform keys: passes alike ({t0} vs {t5})"
+        );
     }
 }

@@ -33,7 +33,11 @@ pub struct RandomizedConfig {
 
 impl Default for RandomizedConfig {
     fn default() -> Self {
-        Self { relaxation: 2.0, wpb: 8, seed: 0x9E37_79B9 }
+        Self {
+            relaxation: 2.0,
+            wpb: 8,
+            seed: 0x9E37_79B9,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ pub fn randomized_multisplit<B: BucketFn + ?Sized>(
     cfg: RandomizedConfig,
 ) -> (GlobalBuffer<u32>, Vec<u32>) {
     let m = bucket.num_buckets() as usize;
-    assert!((1..=1024).contains(&m), "randomized insertion supports 1..=1024 buckets");
+    assert!(
+        (1..=1024).contains(&m),
+        "randomized insertion supports 1..=1024 buckets"
+    );
     assert!(cfg.relaxation >= 1.0, "relaxation factor must be >= 1");
     if n == 0 {
         return (GlobalBuffer::zeroed(0), vec![0; m + 1]);
@@ -64,7 +71,9 @@ pub fn randomized_multisplit<B: BucketFn + ?Sized>(
     let wpb = cfg.wpb;
 
     // 1. Pre-processing global histogram (paper: sizes the relaxed buffers).
-    let hist = histogram_shared_atomic(dev, "randomized/histogram", keys, n, m, wpb, |k| bucket.bucket_of(k));
+    let hist = histogram_shared_atomic(dev, "randomized/histogram", keys, n, m, wpb, |k| {
+        bucket.bucket_of(k)
+    });
     let h = hist.to_vec();
     debug_assert_eq!(h.iter().map(|&c| c as usize).sum::<usize>(), n);
 
@@ -101,9 +110,16 @@ pub fn randomized_multisplit<B: BucketFn + ?Sized>(
                 return;
             }
             let reserve = if full { sbuf } else { cnt };
-            let cur = w.atomic_add(&cursors, lanes_from_fn(|_| b), lanes_from_fn(|_| reserve as u32), 1)[0]
-                as usize;
-            debug_assert!(cur + reserve <= region_start[b + 1] as usize, "region overflow");
+            let cur = w.atomic_add(
+                &cursors,
+                lanes_from_fn(|_| b),
+                lanes_from_fn(|_| reserve as u32),
+                1,
+            )[0] as usize;
+            debug_assert!(
+                cur + reserve <= region_start[b + 1] as usize,
+                "region overflow"
+            );
             if full {
                 let mut base = 0usize;
                 while base < sbuf {
@@ -190,24 +206,36 @@ pub fn randomized_multisplit<B: BucketFn + ?Sized>(
 
     // 4. Compact the relaxed regions (scan over flags + scatter).
     let positions = GlobalBuffer::<u32>::zeroed(total);
-    let kept = exclusive_scan_u32(dev, "randomized/compact-scan", &flags, &positions, total, wpb);
+    let kept = exclusive_scan_u32(
+        dev,
+        "randomized/compact-scan",
+        &flags,
+        &positions,
+        total,
+        wpb,
+    );
     assert_eq!(kept as usize, n, "every key must be placed exactly once");
     let out = GlobalBuffer::<u32>::zeroed(n);
-    dev.launch("randomized/compact-scatter", blocks_for(total, wpb), wpb, |blk| {
-        for w in blk.warps() {
-            let base = w.global_warp_id * WARP_SIZE;
-            let mask = tail_mask(base, total);
-            if mask == 0 {
-                continue;
+    dev.launch(
+        "randomized/compact-scatter",
+        blocks_for(total, wpb),
+        wpb,
+        |blk| {
+            for w in blk.warps() {
+                let base = w.global_warp_id * WARP_SIZE;
+                let mask = tail_mask(base, total);
+                if mask == 0 {
+                    continue;
+                }
+                let idx = lanes_from_fn(|j| if base + j < total { base + j } else { base });
+                let f = w.gather(&flags, idx, mask);
+                let v = w.gather(&staging, idx, mask);
+                let s = w.gather(&positions, idx, mask);
+                let keep = w.ballot(lanes_from_fn(|l| f[l] == 1), mask);
+                w.scatter(&out, lanes_from_fn(|l| s[l] as usize), v, keep);
             }
-            let idx = lanes_from_fn(|j| if base + j < total { base + j } else { base });
-            let f = w.gather(&flags, idx, mask);
-            let v = w.gather(&staging, idx, mask);
-            let s = w.gather(&positions, idx, mask);
-            let keep = w.ballot(lanes_from_fn(|l| f[l] == 1), mask);
-            w.scatter(&out, lanes_from_fn(|l| s[l] as usize), v, keep);
-        }
-    });
+        },
+    );
 
     // Offsets come straight from the exact histogram.
     let mut offsets = vec![0u32; m + 1];
@@ -224,7 +252,9 @@ mod tests {
     use simt::{Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -235,8 +265,10 @@ mod tests {
             let bucket = RangeBuckets::new(m);
             let data = keys_for(n, m);
             let keys = GlobalBuffer::from_slice(&data);
-            let (out, offs) = randomized_multisplit(&dev, &keys, n, &bucket, RandomizedConfig::default());
-            check_multisplit(&data, &out.to_vec(), &offs, &bucket).unwrap_or_else(|e| panic!("m={m}: {e}"));
+            let (out, offs) =
+                randomized_multisplit(&dev, &keys, n, &bucket, RandomizedConfig::default());
+            check_multisplit(&data, &out.to_vec(), &offs, &bucket)
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
         }
     }
 
@@ -248,9 +280,13 @@ mod tests {
         let data = keys_for(n, 7);
         let keys = GlobalBuffer::from_slice(&data);
         for x in [1.25, 1.5, 2.0, 4.0] {
-            let cfg = RandomizedConfig { relaxation: x, ..Default::default() };
+            let cfg = RandomizedConfig {
+                relaxation: x,
+                ..Default::default()
+            };
             let (out, offs) = randomized_multisplit(&dev, &keys, n, &bucket, cfg);
-            check_multisplit(&data, &out.to_vec(), &offs, &bucket).unwrap_or_else(|e| panic!("x={x}: {e}"));
+            check_multisplit(&data, &out.to_vec(), &offs, &bucket)
+                .unwrap_or_else(|e| panic!("x={x}: {e}"));
         }
     }
 
@@ -264,18 +300,30 @@ mod tests {
         let keys = GlobalBuffer::from_slice(&data);
         let run = |x: f64| {
             let dev = Device::new(K40C);
-            let cfg = RandomizedConfig { relaxation: x, ..Default::default() };
+            let cfg = RandomizedConfig {
+                relaxation: x,
+                ..Default::default()
+            };
             randomized_multisplit(&dev, &keys, n, &bucket, cfg);
-            let stats = dev.records().iter().fold(simt::BlockStats::default(), |mut a, r| {
-                a += r.stats;
-                a
-            });
+            let stats = dev
+                .records()
+                .iter()
+                .fold(simt::BlockStats::default(), |mut a, r| {
+                    a += r.stats;
+                    a
+                });
             (stats.divergent_iters, stats.useful_bytes)
         };
         let (div_tight, bytes_tight) = run(1.25);
         let (div_loose, bytes_loose) = run(4.0);
-        assert!(div_tight > div_loose, "x=1.25 stalls {div_tight} should exceed x=4 stalls {div_loose}");
-        assert!(bytes_loose > bytes_tight, "x=4 traffic {bytes_loose} should exceed x=1.25 {bytes_tight}");
+        assert!(
+            div_tight > div_loose,
+            "x=1.25 stalls {div_tight} should exceed x=4 stalls {div_loose}"
+        );
+        assert!(
+            bytes_loose > bytes_tight,
+            "x=4 traffic {bytes_loose} should exceed x=1.25 {bytes_tight}"
+        );
     }
 
     #[test]
@@ -283,7 +331,8 @@ mod tests {
         let dev = Device::new(K40C);
         let keys = GlobalBuffer::<u32>::zeroed(0);
         let bucket = RangeBuckets::new(4);
-        let (out, offs) = randomized_multisplit(&dev, &keys, 0, &bucket, RandomizedConfig::default());
+        let (out, offs) =
+            randomized_multisplit(&dev, &keys, 0, &bucket, RandomizedConfig::default());
         assert_eq!(out.len(), 0);
         assert_eq!(offs, vec![0; 5]);
     }
@@ -296,8 +345,13 @@ mod tests {
         let keys = GlobalBuffer::from_slice(&data);
         let run = |seed: u32| {
             let dev = Device::sequential(K40C);
-            let cfg = RandomizedConfig { seed, ..Default::default() };
-            randomized_multisplit(&dev, &keys, n, &bucket, cfg).0.to_vec()
+            let cfg = RandomizedConfig {
+                seed,
+                ..Default::default()
+            };
+            randomized_multisplit(&dev, &keys, n, &bucket, cfg)
+                .0
+                .to_vec()
         };
         assert_eq!(run(42), run(42), "same seed, same placement");
     }

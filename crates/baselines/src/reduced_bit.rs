@@ -79,9 +79,19 @@ pub fn reduced_bit_multisplit<B: BucketFn + ?Sized>(
     let m = bucket.num_buckets();
     let labels = GlobalBuffer::<u32>::zeroed(n);
     write_labels(dev, "reduced/label", keys, &labels, n, bucket, wpb);
-    let (sorted_labels, out_keys) =
-        radix_sort_by_bits(dev, "reduced/sort", &labels, Some(keys), n, label_bits(m), wpb);
-    (out_keys.expect("payload present"), offsets_from_labels(&sorted_labels.to_vec(), m as usize))
+    let (sorted_labels, out_keys) = radix_sort_by_bits(
+        dev,
+        "reduced/sort",
+        &labels,
+        Some(keys),
+        n,
+        label_bits(m),
+        wpb,
+    );
+    (
+        out_keys.expect("payload present"),
+        offsets_from_labels(&sorted_labels.to_vec(), m as usize),
+    )
 }
 
 /// Key–value reduced-bit multisplit via 64-bit packing. Stable.
@@ -107,13 +117,25 @@ pub fn reduced_bit_multisplit_kv<B: BucketFn + ?Sized>(
             let k = w.gather(keys, idx, mask);
             let v = w.gather(values, idx, mask);
             w.charge(mask.count_ones() as u64);
-            w.scatter(&packed, idx, lanes_from_fn(|l| (k[l] as u64) << 32 | v[l] as u64), mask);
+            w.scatter(
+                &packed,
+                idx,
+                lanes_from_fn(|l| (k[l] as u64) << 32 | v[l] as u64),
+                mask,
+            );
         }
     });
     let labels = GlobalBuffer::<u32>::zeroed(n);
     write_labels(dev, "reduced/label", keys, &labels, n, bucket, wpb);
-    let (sorted_labels, sorted_packed) =
-        radix_sort_by_bits(dev, "reduced/sort", &labels, Some(&packed), n, label_bits(m), wpb);
+    let (sorted_labels, sorted_packed) = radix_sort_by_bits(
+        dev,
+        "reduced/sort",
+        &labels,
+        Some(&packed),
+        n,
+        label_bits(m),
+        wpb,
+    );
     let sorted_packed = sorted_packed.expect("payload present");
     // Unpack.
     let out_keys = GlobalBuffer::<u32>::zeroed(n);
@@ -152,8 +174,15 @@ pub fn reduced_bit_multisplit_kv_by_index<B: BucketFn + ?Sized>(
     let labels = GlobalBuffer::<u32>::zeroed(n);
     write_labels(dev, "reduced-idx/label", keys, &labels, n, bucket, wpb);
     let indices = GlobalBuffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
-    let (sorted_labels, perm) =
-        radix_sort_by_bits(dev, "reduced-idx/sort", &labels, Some(&indices), n, label_bits(m), wpb);
+    let (sorted_labels, perm) = radix_sort_by_bits(
+        dev,
+        "reduced-idx/sort",
+        &labels,
+        Some(&indices),
+        n,
+        label_bits(m),
+        wpb,
+    );
     let perm = perm.expect("payload present");
     let out_keys = GlobalBuffer::<u32>::zeroed(n);
     let out_values = GlobalBuffer::<u32>::zeroed(n);
@@ -185,7 +214,9 @@ mod tests {
     use simt::{Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub fn scan_based_split<P>(
 where
     P: Fn(u32) -> bool + Sync,
 {
-    let r = dev.with_scope("scan-split", || split_by_pred(dev, "round0", keys, values, n, wpb, pred));
+    let r = dev.with_scope("scan-split", || {
+        split_by_pred(dev, "round0", keys, values, n, wpb, pred)
+    });
     let offsets = vec![0, r.false_count, n as u32];
     (r.keys, r.values, offsets)
 }
@@ -78,7 +80,9 @@ mod tests {
     use simt::{Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -88,7 +92,8 @@ mod tests {
         let data = keys_for(n, 1);
         let keys = GlobalBuffer::from_slice(&data);
         let bucket = RangeBuckets::new(2);
-        let (out, _, offs) = scan_based_split(&dev, &keys, None, n, 8, |k| bucket.bucket_of(k) == 1);
+        let (out, _, offs) =
+            scan_based_split(&dev, &keys, None, n, 8, |k| bucket.bucket_of(k) == 1);
         let (expect, expect_offs) = multisplit_ref(&data, &bucket);
         assert_eq!(out.to_vec(), expect);
         assert_eq!(offs, expect_offs);

@@ -47,38 +47,43 @@ pub fn multisplit_thread_level<B: BucketFn + ?Sized, V: Scalar>(
     // bottlenecks He et al. report.
     let h = GlobalBuffer::<u32>::zeroed(mu * l);
     let threads_total = l;
-    dev.launch("thread/pre-scan", blocks_for(threads_total, wpb), wpb, |blk| {
-        for w in blk.warps() {
-            let base_thread = w.global_warp_id * WARP_SIZE;
-            let mask = tail_mask(base_thread, threads_total);
-            if mask == 0 {
-                continue;
-            }
-            // Per-lane private histogram registers.
-            let mut hist = [[0u32; 32]; WARP_SIZE];
-            for e in 0..t {
-                let idx = lanes_from_fn(|lane| ((base_thread + lane) * t + e).min(n - 1));
-                let emask = (0..WARP_SIZE)
-                    .filter(|&lane| mask >> lane & 1 == 1 && (base_thread + lane) * t + e < n)
-                    .fold(0u32, |acc, lane| acc | 1 << lane);
-                if emask == 0 {
-                    break;
+    dev.launch(
+        "thread/pre-scan",
+        blocks_for(threads_total, wpb),
+        wpb,
+        |blk| {
+            for w in blk.warps() {
+                let base_thread = w.global_warp_id * WARP_SIZE;
+                let mask = tail_mask(base_thread, threads_total);
+                if mask == 0 {
+                    continue;
                 }
-                let k = w.gather(keys, idx, emask);
-                w.charge((bucket.eval_cost() + 2) * emask.count_ones() as u64);
-                for lane in 0..WARP_SIZE {
-                    if emask >> lane & 1 == 1 {
-                        hist[lane][bucket.bucket_of(k[lane]) as usize] += 1;
+                // Per-lane private histogram registers.
+                let mut hist = [[0u32; 32]; WARP_SIZE];
+                for e in 0..t {
+                    let idx = lanes_from_fn(|lane| ((base_thread + lane) * t + e).min(n - 1));
+                    let emask = (0..WARP_SIZE)
+                        .filter(|&lane| mask >> lane & 1 == 1 && (base_thread + lane) * t + e < n)
+                        .fold(0u32, |acc, lane| acc | 1 << lane);
+                    if emask == 0 {
+                        break;
+                    }
+                    let k = w.gather(keys, idx, emask);
+                    w.charge((bucket.eval_cost() + 2) * emask.count_ones() as u64);
+                    for lane in 0..WARP_SIZE {
+                        if emask >> lane & 1 == 1 {
+                            hist[lane][bucket.bucket_of(k[lane]) as usize] += 1;
+                        }
                     }
                 }
+                // Store each thread's column: H[b*L + thread] — strided writes.
+                for b in 0..mu {
+                    let idx = lanes_from_fn(|lane| b * l + (base_thread + lane).min(l - 1));
+                    w.scatter_merged(&h, idx, lanes_from_fn(|lane| hist[lane][b]), mask);
+                }
             }
-            // Store each thread's column: H[b*L + thread] — strided writes.
-            for b in 0..mu {
-                let idx = lanes_from_fn(|lane| b * l + (base_thread + lane).min(l - 1));
-                w.scatter_merged(&h, idx, lanes_from_fn(|lane| hist[lane][b]), mask);
-            }
-        }
-    });
+        },
+    );
 
     // ====== Scan: the point of the exercise — m*L = m*n/T entries.
     let g = GlobalBuffer::<u32>::zeroed(mu * l);
@@ -87,49 +92,58 @@ pub fn multisplit_thread_level<B: BucketFn + ?Sized, V: Scalar>(
     // ====== Post-scan: sequential local offsets, direct scatter.
     let out_keys = GlobalBuffer::<u32>::zeroed(n);
     let out_values = values.map(|_| GlobalBuffer::<V>::zeroed(n));
-    dev.launch("thread/post-scan", blocks_for(threads_total, wpb), wpb, |blk| {
-        for w in blk.warps() {
-            let base_thread = w.global_warp_id * WARP_SIZE;
-            let mask = tail_mask(base_thread, threads_total);
-            if mask == 0 {
-                continue;
-            }
-            let mut local = [[0u32; 32]; WARP_SIZE];
-            for e in 0..t {
-                let idx = lanes_from_fn(|lane| ((base_thread + lane) * t + e).min(n - 1));
-                let emask = (0..WARP_SIZE)
-                    .filter(|&lane| mask >> lane & 1 == 1 && (base_thread + lane) * t + e < n)
-                    .fold(0u32, |acc, lane| acc | 1 << lane);
-                if emask == 0 {
-                    break;
+    dev.launch(
+        "thread/post-scan",
+        blocks_for(threads_total, wpb),
+        wpb,
+        |blk| {
+            for w in blk.warps() {
+                let base_thread = w.global_warp_id * WARP_SIZE;
+                let mask = tail_mask(base_thread, threads_total);
+                if mask == 0 {
+                    continue;
                 }
-                let k = w.gather(keys, idx, emask);
-                w.charge((bucket.eval_cost() + 2) * emask.count_ones() as u64);
-                let b = lanes_from_fn(|lane| bucket.bucket_of(k[lane]) as usize);
-                let gbase = w.gather_cached(
-                    &g,
-                    lanes_from_fn(|lane| b[lane] * l + (base_thread + lane).min(l - 1)),
-                    emask,
-                );
-                let mut dest = [0usize; WARP_SIZE];
-                for lane in 0..WARP_SIZE {
-                    if emask >> lane & 1 == 1 {
-                        dest[lane] = (gbase[lane] + local[lane][b[lane]]) as usize;
-                        local[lane][b[lane]] += 1;
+                let mut local = [[0u32; 32]; WARP_SIZE];
+                for e in 0..t {
+                    let idx = lanes_from_fn(|lane| ((base_thread + lane) * t + e).min(n - 1));
+                    let emask = (0..WARP_SIZE)
+                        .filter(|&lane| mask >> lane & 1 == 1 && (base_thread + lane) * t + e < n)
+                        .fold(0u32, |acc, lane| acc | 1 << lane);
+                    if emask == 0 {
+                        break;
+                    }
+                    let k = w.gather(keys, idx, emask);
+                    w.charge((bucket.eval_cost() + 2) * emask.count_ones() as u64);
+                    let b = lanes_from_fn(|lane| bucket.bucket_of(k[lane]) as usize);
+                    let gbase = w.gather_cached(
+                        &g,
+                        lanes_from_fn(|lane| b[lane] * l + (base_thread + lane).min(l - 1)),
+                        emask,
+                    );
+                    let mut dest = [0usize; WARP_SIZE];
+                    for lane in 0..WARP_SIZE {
+                        if emask >> lane & 1 == 1 {
+                            dest[lane] = (gbase[lane] + local[lane][b[lane]]) as usize;
+                            local[lane][b[lane]] += 1;
+                        }
+                    }
+                    // The fully scattered store He et al. suffer from.
+                    w.scatter(&out_keys, dest, k, emask);
+                    if let (Some(vin), Some(vout)) = (values, &out_values) {
+                        let v = w.gather(vin, idx, emask);
+                        w.scatter(vout, dest, v, emask);
                     }
                 }
-                // The fully scattered store He et al. suffer from.
-                w.scatter(&out_keys, dest, k, emask);
-                if let (Some(vin), Some(vout)) = (values, &out_values) {
-                    let v = w.gather(vin, idx, emask);
-                    w.scatter(vout, dest, v, emask);
-                }
             }
-        }
-    });
+        },
+    );
 
     let offsets = offsets_from_scanned(&g, mu, l, n);
-    DeviceMultisplit { keys: out_keys, values: out_values, offsets }
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +153,9 @@ mod tests {
     use simt::{Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -188,7 +204,9 @@ mod tests {
         let bytes = |dev: &Device, pat: &str| {
             dev.records()
                 .iter()
-                .filter(|r| r.label.contains(pat) && !r.label.contains("pre") && !r.label.contains("post"))
+                .filter(|r| {
+                    r.label.contains(pat) && !r.label.contains("pre") && !r.label.contains("post")
+                })
                 .map(|r| r.stats.useful_bytes)
                 .sum::<u64>()
         };
@@ -220,6 +238,9 @@ mod tests {
         let t_block = time(&|d| {
             multisplit::multisplit_block_level(d, &keys, no_values(), n, &bucket, 8);
         });
-        assert!(t_thread > t_warp && t_thread > t_block, "{t_thread} vs {t_warp}/{t_block}");
+        assert!(
+            t_thread > t_warp && t_thread > t_block,
+            "{t_thread} vs {t_warp}/{t_block}"
+        );
     }
 }

@@ -1,50 +1,43 @@
-//! Criterion benches for the baseline methods.
+//! Wall-clock benches for the baseline methods (tiny offline harness;
+//! the *modeled* GPU times come from `paper table4/5`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use msbench::microbench::time;
 use msbench::{gen_keys, Distribution};
 use multisplit::{no_values, RangeBuckets};
 use simt::{Device, GlobalBuffer, K40C};
 
-fn bench_baselines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("baselines");
-    g.sample_size(10);
+fn main() {
     let n = 1 << 16;
-    g.throughput(Throughput::Elements(n as u64));
     let keys_host = gen_keys(n, 8, Distribution::Uniform, 1);
     let keys = GlobalBuffer::from_slice(&keys_host);
     let bucket = RangeBuckets::new(8);
 
-    g.bench_function("radix_sort_32bit", |b| {
+    {
         let dev = Device::new(K40C);
-        b.iter(|| {
+        time("baselines/radix_sort_32bit", || {
             dev.reset();
             baselines::radix_sort(&dev, "r", &keys, no_values(), n, 8)
         });
-    });
-    g.bench_function("reduced_bit_m8", |b| {
+    }
+    {
         let dev = Device::new(K40C);
-        b.iter(|| {
+        time("baselines/reduced_bit_m8", || {
             dev.reset();
             baselines::reduced_bit_multisplit(&dev, &keys, n, &bucket, 8)
         });
-    });
-    g.bench_function("recursive_split_m8", |b| {
+    }
+    {
         let dev = Device::new(K40C);
-        b.iter(|| {
+        time("baselines/recursive_split_m8", || {
             dev.reset();
             baselines::recursive_scan_multisplit(&dev, &keys, no_values(), n, &bucket, 8)
         });
-    });
-    g.bench_function("randomized_x2_m8", |b| {
+    }
+    {
         let dev = Device::new(K40C);
-        b.iter(|| {
+        time("baselines/randomized_x2_m8", || {
             dev.reset();
             baselines::randomized_multisplit(&dev, &keys, n, &bucket, Default::default())
         });
-    });
-    g.finish();
+    }
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

@@ -1,42 +1,32 @@
-//! Criterion benches for the three multisplit methods (host wall-clock of
-//! the simulator; the *modeled* GPU times come from `paper table4/5`).
+//! Wall-clock benches for the multisplit methods (host time of the
+//! simulator; the *modeled* GPU times come from `paper table4/5`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use msbench::microbench::time;
 use msbench::{gen_keys, gen_values, Distribution};
 use multisplit::{
-    multisplit_block_level, multisplit_direct, multisplit_large_m, multisplit_warp_level, no_values,
-    RangeBuckets,
+    multisplit_block_level, multisplit_direct, multisplit_large_m, multisplit_warp_level,
+    no_values, RangeBuckets,
 };
 use simt::{Device, GlobalBuffer, K40C};
 
-fn bench_methods(c: &mut Criterion) {
-    let mut g = c.benchmark_group("multisplit");
-    g.sample_size(10);
+fn main() {
     let n = 1 << 16;
-    g.throughput(Throughput::Elements(n as u64));
     for m in [2u32, 8, 32] {
         let keys_host = gen_keys(n, m, Distribution::Uniform, 1);
         let bucket = RangeBuckets::new(m);
         let keys = GlobalBuffer::from_slice(&keys_host);
         let dev = Device::new(K40C);
-        g.bench_with_input(BenchmarkId::new("direct", m), &m, |b, _| {
-            b.iter(|| {
-                dev.reset();
-                multisplit_direct(&dev, &keys, no_values(), n, &bucket, 8)
-            });
+        time(&format!("multisplit/direct/m{m}"), || {
+            dev.reset();
+            multisplit_direct(&dev, &keys, no_values(), n, &bucket, 8)
         });
-        g.bench_with_input(BenchmarkId::new("warp_level", m), &m, |b, _| {
-            b.iter(|| {
-                dev.reset();
-                multisplit_warp_level(&dev, &keys, no_values(), n, &bucket, 8)
-            });
+        time(&format!("multisplit/warp_level/m{m}"), || {
+            dev.reset();
+            multisplit_warp_level(&dev, &keys, no_values(), n, &bucket, 8)
         });
-        g.bench_with_input(BenchmarkId::new("block_level", m), &m, |b, _| {
-            b.iter(|| {
-                dev.reset();
-                multisplit_block_level(&dev, &keys, no_values(), n, &bucket, 8)
-            });
+        time(&format!("multisplit/block_level/m{m}"), || {
+            dev.reset();
+            multisplit_block_level(&dev, &keys, no_values(), n, &bucket, 8)
         });
     }
     // Key-value and large-m variants.
@@ -48,11 +38,9 @@ fn bench_methods(c: &mut Criterion) {
         let keys = GlobalBuffer::from_slice(&keys_host);
         let values = GlobalBuffer::from_slice(&vals);
         let dev = Device::new(K40C);
-        g.bench_function("block_level_kv_m8", |b| {
-            b.iter(|| {
-                dev.reset();
-                multisplit_block_level(&dev, &keys, Some(&values), n, &bucket, 8)
-            });
+        time("multisplit/block_level_kv_m8", || {
+            dev.reset();
+            multisplit_block_level(&dev, &keys, Some(&values), n, &bucket, 8)
         });
     }
     {
@@ -61,15 +49,9 @@ fn bench_methods(c: &mut Criterion) {
         let bucket = RangeBuckets::new(m);
         let keys = GlobalBuffer::from_slice(&keys_host);
         let dev = Device::new(K40C);
-        g.bench_function("large_m_256", |b| {
-            b.iter(|| {
-                dev.reset();
-                multisplit_large_m(&dev, &keys, no_values(), n, &bucket, 8)
-            });
+        time("multisplit/large_m_256", || {
+            dev.reset();
+            multisplit_large_m(&dev, &keys, no_values(), n, &bucket, 8)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_methods);
-criterion_main!(benches);

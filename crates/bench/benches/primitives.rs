@@ -1,63 +1,63 @@
-//! Criterion benches for the device-wide primitives (scan, reduce,
+//! Wall-clock benches for the device-wide primitives (scan, reduce,
 //! histogram, split) — simulator throughput on the host.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
-use primitives::{exclusive_scan_u32, histogram_shared_atomic, reduce_add_u32, split_by_pred};
+use msbench::microbench::time;
+use primitives::{
+    exclusive_scan_u32, exclusive_scan_u32_with, histogram_shared_atomic, reduce_add_u32,
+    split_by_pred, ScanStrategy,
+};
 use simt::{Device, GlobalBuffer, K40C};
 
-fn bench_scan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("device_scan");
-    g.sample_size(10);
+fn main() {
     for log_n in [14usize, 18] {
         let n = 1 << log_n;
-        g.throughput(Throughput::Elements(n as u64));
         let data: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
-        g.bench_with_input(BenchmarkId::new("exclusive_scan", n), &n, |b, &n| {
+        {
             let dev = Device::new(K40C);
             let input = GlobalBuffer::from_slice(&data);
             let output = GlobalBuffer::<u32>::zeroed(n);
-            b.iter(|| {
+            time(&format!("scan/chained/n{n}"), || {
                 dev.reset();
                 exclusive_scan_u32(&dev, "bench", &input, &output, n, 8)
             });
-        });
-        g.bench_with_input(BenchmarkId::new("reduce", n), &n, |b, &n| {
+            time(&format!("scan/recursive/n{n}"), || {
+                dev.reset();
+                exclusive_scan_u32_with(
+                    ScanStrategy::Recursive,
+                    &dev,
+                    "bench",
+                    &input,
+                    &output,
+                    n,
+                    8,
+                )
+            });
+        }
+        {
             let dev = Device::new(K40C);
             let input = GlobalBuffer::from_slice(&data);
-            b.iter(|| {
+            time(&format!("reduce/n{n}"), || {
                 dev.reset();
                 reduce_add_u32(&dev, "bench", &input, n, 8)
             });
-        });
+        }
     }
-    g.finish();
-}
-
-fn bench_histogram_and_split(c: &mut Criterion) {
-    let mut g = c.benchmark_group("histogram_split");
-    g.sample_size(10);
     let n = 1 << 16;
     let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("histogram_shared_m16", |b| {
+    {
         let dev = Device::new(K40C);
         let input = GlobalBuffer::from_slice(&data);
-        b.iter(|| {
+        time("histogram_shared_m16", || {
             dev.reset();
             histogram_shared_atomic(&dev, "bench", &input, n, 16, 8, |k| k % 16)
         });
-    });
-    g.bench_function("split_by_parity", |b| {
+    }
+    {
         let dev = Device::new(K40C);
         let input = GlobalBuffer::from_slice(&data);
-        b.iter(|| {
+        time("split_by_parity", || {
             dev.reset();
             split_by_pred(&dev, "bench", &input, None, n, 8, |k| k & 1 == 1)
         });
-    });
-    g.finish();
+    }
 }
-
-criterion_group!(benches, bench_scan, bench_histogram_and_split);
-criterion_main!(benches);

@@ -1,33 +1,38 @@
-//! Criterion microbenches (host wall-clock) for the warp-level ballot
-//! algorithms — the innermost kernels of every multisplit variant.
+//! Wall-clock microbenches for the warp-level ballot algorithms — the
+//! innermost kernels of every multisplit variant.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use msbench::microbench::{black_box, time};
 use multisplit::warp_ops::{warp_histogram, warp_histogram_and_offsets, warp_offsets};
 use simt::{lanes_from_fn, StatCells, WarpCtx, FULL_MASK};
 
-fn bench_warp_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("warp_ops");
+fn main() {
     for m in [2u32, 8, 32] {
         let buckets = lanes_from_fn(|l| (l as u32).wrapping_mul(2654435761) % m);
-        g.bench_with_input(BenchmarkId::new("histogram", m), &m, |b, &m| {
+        {
             let st = StatCells::default();
             let w = WarpCtx::new(0, 0, &st);
-            b.iter(|| black_box(warp_histogram(&w, black_box(buckets), m, FULL_MASK)));
-        });
-        g.bench_with_input(BenchmarkId::new("offsets", m), &m, |b, &m| {
+            time(&format!("warp_ops/histogram/m{m}"), || {
+                black_box(warp_histogram(&w, black_box(buckets), m, FULL_MASK))
+            });
+        }
+        {
             let st = StatCells::default();
             let w = WarpCtx::new(0, 0, &st);
-            b.iter(|| black_box(warp_offsets(&w, black_box(buckets), m, FULL_MASK)));
-        });
-        g.bench_with_input(BenchmarkId::new("fused", m), &m, |b, &m| {
+            time(&format!("warp_ops/offsets/m{m}"), || {
+                black_box(warp_offsets(&w, black_box(buckets), m, FULL_MASK))
+            });
+        }
+        {
             let st = StatCells::default();
             let w = WarpCtx::new(0, 0, &st);
-            b.iter(|| black_box(warp_histogram_and_offsets(&w, black_box(buckets), m, FULL_MASK)));
-        });
+            time(&format!("warp_ops/fused/m{m}"), || {
+                black_box(warp_histogram_and_offsets(
+                    &w,
+                    black_box(buckets),
+                    m,
+                    FULL_MASK,
+                ))
+            });
+        }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_warp_ops);
-criterion_main!(benches);

@@ -18,6 +18,7 @@
 //!   sssp        delta-stepping bucketing strategies (footnote 1)
 //!   randomized  dart-throwing relaxation sweep (§3.5)
 //!   ablate      design-choice ablations (N_W sweep, packed-vs-index, reorder)
+//!   scan        chained (decoupled lookback) vs recursive scan traffic
 //!   all         everything above
 //!
 //! options:
@@ -45,23 +46,41 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--n" => n_log = it.next().expect("--n needs a value").parse().expect("bad --n"),
+            "--n" => {
+                n_log = it
+                    .next()
+                    .expect("--n needs a value")
+                    .parse()
+                    .expect("bad --n")
+            }
             "--full" => {
                 n_log = 25;
                 fig4_log = 24;
             }
             "--no-verify" => verify = false,
-            "--trials" => trials = it.next().expect("--trials needs a value").parse().expect("bad --trials"),
+            "--trials" => {
+                trials = it
+                    .next()
+                    .expect("--trials needs a value")
+                    .parse()
+                    .expect("bad --trials")
+            }
             other => panic!("unknown option {other}"),
         }
     }
-    Opts { n: 1 << n_log, fig4_n: 1 << fig4_log, verify, trials }
+    Opts {
+        n: 1 << n_log,
+        fig4_n: 1 << fig4_log,
+        verify,
+        trials,
+    }
 }
 
 /// Average a contender over the configured trials.
 fn avg(opts: &Opts, f: impl Fn(u64) -> Outcome) -> Outcome {
     let mut total = 0.0;
     let mut stages: Vec<(&'static str, f64)> = Vec::new();
+    let mut sectors: Vec<(&'static str, u64)> = Vec::new();
     for t in 0..opts.trials {
         let o = f(t);
         total += o.total;
@@ -71,13 +90,38 @@ fn avg(opts: &Opts, f: impl Fn(u64) -> Outcome) -> Outcome {
                 None => stages.push((k, v)),
             }
         }
+        for (k, v) in o.sectors {
+            match sectors.iter_mut().find(|(s, _)| *s == k) {
+                Some((_, acc)) => *acc += v,
+                None => sectors.push((k, v)),
+            }
+        }
     }
     let k = opts.trials as f64;
-    Outcome { total: total / k, stages: stages.into_iter().map(|(s, v)| (s, v / k)).collect() }
+    Outcome {
+        total: total / k,
+        stages: stages.into_iter().map(|(s, v)| (s, v / k)).collect(),
+        sectors: sectors
+            .into_iter()
+            .map(|(s, v)| (s, v / opts.trials.max(1)))
+            .collect(),
+    }
 }
 
 fn run(opts: &Opts, c: Contender, kv: bool, m: u32, profile: DeviceProfile) -> Outcome {
-    avg(opts, |t| run_contender(c, kv, opts.n, m, Distribution::Uniform, profile, 8, 1000 + t, opts.verify))
+    avg(opts, |t| {
+        run_contender(
+            c,
+            kv,
+            opts.n,
+            m,
+            Distribution::Uniform,
+            profile,
+            8,
+            1000 + t,
+            opts.verify,
+        )
+    })
 }
 
 fn emit(name: &str, body: String) {
@@ -92,7 +136,13 @@ fn emit(name: &str, body: String) {
 
 fn table3(opts: &Opts) {
     let n = opts.n;
-    let mut t = Table::new(&["Method", "Avg time (ms)", "Rate (Gkeys/s)", "Paper (ms)", "Paper rate"]);
+    let mut t = Table::new(&[
+        "Method",
+        "Avg time (ms)",
+        "Rate (Gkeys/s)",
+        "Paper (ms)",
+        "Paper rate",
+    ]);
     let radix_k = run(opts, Contender::RadixSort, false, 2, K40C);
     let radix_kv = run(opts, Contender::RadixSort, true, 2, K40C);
     let split_k = avg(opts, |t| run_scan_split(false, n, K40C, 8, 2000 + t));
@@ -124,14 +174,23 @@ fn table3(opts: &Opts) {
 // ====================== Table 4 ======================
 
 fn table4(opts: &Opts) {
-    let mut out = format!("Table 4: per-stage average running time (ms), n = 2^{}\n", opts.n.ilog2());
+    let mut out = format!(
+        "Table 4: per-stage average running time (ms), n = 2^{}\n",
+        opts.n.ilog2()
+    );
     for kv in [false, true] {
         let scenario = if kv { "key-value" } else { "key-only" };
         let mut t = Table::new(&["Algorithm", "Stage", "m=2", "m=8", "m=32"]);
-        let ms_methods =
-            [(Contender::Direct, "Direct MS"), (Contender::WarpLevel, "Warp-level MS"), (Contender::BlockLevel, "Block-level MS")];
+        let ms_methods = [
+            (Contender::Direct, "Direct MS"),
+            (Contender::WarpLevel, "Warp-level MS"),
+            (Contender::BlockLevel, "Block-level MS"),
+        ];
         for (c, name) in ms_methods {
-            let runs: Vec<Outcome> = [2u32, 8, 32].iter().map(|&m| run(opts, c, kv, m, K40C)).collect();
+            let runs: Vec<Outcome> = [2u32, 8, 32]
+                .iter()
+                .map(|&m| run(opts, c, kv, m, K40C))
+                .collect();
             for stage in ["pre-scan", "scan", "post-scan"] {
                 t.row(vec![
                     name.into(),
@@ -141,14 +200,35 @@ fn table4(opts: &Opts) {
                     ms(runs[2].stage(stage)),
                 ]);
             }
-            t.row(vec![name.into(), "Total".into(), ms(runs[0].total), ms(runs[1].total), ms(runs[2].total)]);
+            t.row(vec![
+                name.into(),
+                "Total".into(),
+                ms(runs[0].total),
+                ms(runs[1].total),
+                ms(runs[2].total),
+            ]);
         }
         // Reduced-bit sort rows.
-        let runs: Vec<Outcome> = [2u32, 8, 32].iter().map(|&m| run(opts, Contender::ReducedBit, kv, m, K40C)).collect();
-        for (stage, label) in [("labeling", "Labeling"), ("pre-scan", "Sort: pre-scan"), ("scan", "Sort: scan"), ("post-scan", "Sort: post-scan"), ("packing", "(un)Packing")] {
+        let runs: Vec<Outcome> = [2u32, 8, 32]
+            .iter()
+            .map(|&m| run(opts, Contender::ReducedBit, kv, m, K40C))
+            .collect();
+        for (stage, label) in [
+            ("labeling", "Labeling"),
+            ("pre-scan", "Sort: pre-scan"),
+            ("scan", "Sort: scan"),
+            ("post-scan", "Sort: post-scan"),
+            ("packing", "(un)Packing"),
+        ] {
             let cells: Vec<String> = runs.iter().map(|r| ms(r.stage(stage))).collect();
             if cells.iter().any(|c| c != "0.00") {
-                t.row(vec!["Reduced-bit sort".into(), label.into(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+                t.row(vec![
+                    "Reduced-bit sort".into(),
+                    label.into(),
+                    cells[0].clone(),
+                    cells[1].clone(),
+                    cells[2].clone(),
+                ]);
             }
         }
         t.row(vec![
@@ -160,9 +240,15 @@ fn table4(opts: &Opts) {
         ]);
         // Recursive scan-based split (real implementation; the paper only
         // quotes an ideal lower bound).
-        let runs: Vec<Outcome> =
-            [2u32, 8, 32].iter().map(|&m| run(opts, Contender::RecursiveSplit, kv, m, K40C)).collect();
-        for (stage, label) in [("labeling", "Labeling"), ("scan", "Scan"), ("splitting", "Splitting")] {
+        let runs: Vec<Outcome> = [2u32, 8, 32]
+            .iter()
+            .map(|&m| run(opts, Contender::RecursiveSplit, kv, m, K40C))
+            .collect();
+        for (stage, label) in [
+            ("labeling", "Labeling"),
+            ("scan", "Scan"),
+            ("splitting", "Splitting"),
+        ] {
             t.row(vec![
                 "Recursive split".into(),
                 label.into(),
@@ -179,8 +265,10 @@ fn table4(opts: &Opts) {
             ms(runs[2].total),
         ]);
         // Identity-bucket sort comparison row.
-        let runs: Vec<Outcome> =
-            [2u32, 8, 32].iter().map(|&m| run(opts, Contender::IdentitySort, kv, m, K40C)).collect();
+        let runs: Vec<Outcome> = [2u32, 8, 32]
+            .iter()
+            .map(|&m| run(opts, Contender::IdentitySort, kv, m, K40C))
+            .collect();
         t.row(vec![
             "Sort on identity buckets".into(),
             "Total".into(),
@@ -227,12 +315,17 @@ fn table5(opts: &Opts) {
 
 fn table6(opts: &Opts) {
     let mut out = format!("Table 6: speedup vs radix sort, n = 2^{}\n", opts.n.ilog2());
-    for (profile, pname) in [(K40C, "Tesla K40c (Kepler)"), (GTX750TI, "GTX 750 Ti (Maxwell)")] {
+    for (profile, pname) in [
+        (K40C, "Tesla K40c (Kepler)"),
+        (GTX750TI, "GTX 750 Ti (Maxwell)"),
+    ] {
         for kv in [false, true] {
             let scenario = if kv { "key-value" } else { "key-only" };
             let mut t = Table::new(&["Algorithm", "m=2", "m=4", "m=8", "m=16", "m=32"]);
-            let radix: Vec<f64> =
-                [2u32, 4, 8, 16, 32].iter().map(|&m| run(opts, Contender::RadixSort, kv, m, profile).total).collect();
+            let radix: Vec<f64> = [2u32, 4, 8, 16, 32]
+                .iter()
+                .map(|&m| run(opts, Contender::RadixSort, kv, m, profile).total)
+                .collect();
             for (c, name) in [
                 (Contender::Direct, "Direct MS"),
                 (Contender::WarpLevel, "Warp-level MS"),
@@ -328,7 +421,11 @@ fn fig2(_opts: &Opts) {
         let keys = gen_keys(256, m, Distribution::Uniform, 7);
         let bucket = RangeBuckets::new(m);
         let ids: Vec<u32> = keys.iter().map(|&k| bucket.bucket_of(k)).collect();
-        let render = |seq: &[u32]| -> String { seq.iter().map(|&b| char::from_digit(b, 36).unwrap()).collect() };
+        let render = |seq: &[u32]| -> String {
+            seq.iter()
+                .map(|&b| char::from_digit(b, 36).unwrap())
+                .collect()
+        };
         // Direct MS writes in input order.
         let direct = ids.clone();
         // Warp-level MS reorders each 32-element warp (stable).
@@ -343,14 +440,28 @@ fn fig2(_opts: &Opts) {
         block.sort_by_key(|&b| b);
         let runs = |seq: &[u32]| seq.windows(2).filter(|w| w[0] != w[1]).count() + 1;
         out.push_str(&format!("\n== {m} buckets ==\n"));
-        out.push_str(&format!("input    ({:3} runs): {}\n", runs(&direct), render(&direct)));
-        out.push_str(&format!("warp  MS ({:3} runs): {}\n", runs(&warp), render(&warp)));
-        out.push_str(&format!("block MS ({:3} runs): {}\n", runs(&block), render(&block)));
+        out.push_str(&format!(
+            "input    ({:3} runs): {}\n",
+            runs(&direct),
+            render(&direct)
+        ));
+        out.push_str(&format!(
+            "warp  MS ({:3} runs): {}\n",
+            runs(&warp),
+            render(&warp)
+        ));
+        out.push_str(&format!(
+            "block MS ({:3} runs): {}\n",
+            runs(&block),
+            render(&block)
+        ));
         // Confirm with measured store behaviour.
         let n = 1 << 16;
-        for (c, name) in
-            [(Contender::Direct, "direct"), (Contender::WarpLevel, "warp"), (Contender::BlockLevel, "block")]
-        {
+        for (c, name) in [
+            (Contender::Direct, "direct"),
+            (Contender::WarpLevel, "warp"),
+            (Contender::BlockLevel, "block"),
+        ] {
             let o = run_contender(c, false, n, m, Distribution::Uniform, K40C, 8, 7, false);
             out.push_str(&format!(
                 "measured {name:>6}: post-scan {:.3} ms for n=2^16\n",
@@ -365,10 +476,20 @@ fn fig2(_opts: &Opts) {
 
 fn fig3(opts: &Opts) {
     let n = opts.n;
-    let mut out = format!("Figure 3: average running time (ms) vs number of buckets, n = 2^{}\n", n.ilog2());
+    let mut out = format!(
+        "Figure 3: average running time (ms) vs number of buckets, n = 2^{}\n",
+        n.ilog2()
+    );
     for kv in [false, true] {
         let scenario = if kv { "key-value" } else { "key-only" };
-        let mut t = Table::new(&["m", "Direct", "Warp-level", "Block-level", "Reduced-bit", "fastest"]);
+        let mut t = Table::new(&[
+            "m",
+            "Direct",
+            "Warp-level",
+            "Block-level",
+            "Reduced-bit",
+            "fastest",
+        ]);
         let mut crossover_block = None;
         for m in 1..=32u32 {
             let d = run(opts, Contender::Direct, kv, m, K40C).total;
@@ -382,7 +503,14 @@ fn fig3(opts: &Opts) {
             if best.0 == "block" && crossover_block.is_none() {
                 crossover_block = Some(m);
             }
-            t.row(vec![m.to_string(), ms(d), ms(w), ms(b), ms(r), best.0.into()]);
+            t.row(vec![
+                m.to_string(),
+                ms(d),
+                ms(w),
+                ms(b),
+                ms(r),
+                best.0.into(),
+            ]);
         }
         out.push_str(&format!("\n== {scenario} ==\n{}", t.render()));
         if let Some(m) = crossover_block {
@@ -399,21 +527,55 @@ fn fig3(opts: &Opts) {
 
 fn fig4(opts: &Opts) {
     let n = opts.fig4_n;
-    let mut out = format!("Figure 4: m > 32 — block-level MS vs reduced-bit sort, n = 2^{}\n", n.ilog2());
+    let mut out = format!(
+        "Figure 4: m > 32 — block-level MS vs reduced-bit sort, n = 2^{}\n",
+        n.ilog2()
+    );
     for kv in [false, true] {
         let scenario = if kv { "key-value" } else { "key-only" };
         let radix = avg(opts, |t| {
-            run_contender(Contender::RadixSort, kv, n, 32, Distribution::Uniform, K40C, 8, 4000 + t, opts.verify)
+            run_contender(
+                Contender::RadixSort,
+                kv,
+                n,
+                32,
+                Distribution::Uniform,
+                K40C,
+                8,
+                4000 + t,
+                opts.verify,
+            )
         })
         .total;
-        let mut t = Table::new(&["m", "Block-level MS (ms)", "Reduced-bit (ms)", "Radix limit (ms)"]);
+        let mut t = Table::new(&[
+            "m",
+            "Block-level MS (ms)",
+            "Reduced-bit (ms)",
+            "Radix limit (ms)",
+        ]);
         let mut block_conv = None;
         let block_cap = multisplit::max_buckets(8, kv);
-        for m in [32u32, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048, 4096, 16384, 65536] {
+        for m in [
+            32u32, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048, 4096, 16384, 65536,
+        ] {
             let b = if m <= block_cap {
                 let t = avg(opts, |tr| {
-                    let c = if m <= 32 { Contender::BlockLevel } else { Contender::LargeM };
-                    run_contender(c, kv, n, m, Distribution::Uniform, K40C, 8, 4100 + tr, opts.verify)
+                    let c = if m <= 32 {
+                        Contender::BlockLevel
+                    } else {
+                        Contender::LargeM
+                    };
+                    run_contender(
+                        c,
+                        kv,
+                        n,
+                        m,
+                        Distribution::Uniform,
+                        K40C,
+                        8,
+                        4100 + tr,
+                        opts.verify,
+                    )
                 })
                 .total;
                 if t > radix && block_conv.is_none() {
@@ -424,7 +586,17 @@ fn fig4(opts: &Opts) {
                 "- (smem)".into() // beyond the 48 kB histogram limit (§6.4)
             };
             let r = avg(opts, |tr| {
-                run_contender(Contender::ReducedBit, kv, n, m, Distribution::Uniform, K40C, 8, 4200 + tr, opts.verify)
+                run_contender(
+                    Contender::ReducedBit,
+                    kv,
+                    n,
+                    m,
+                    Distribution::Uniform,
+                    K40C,
+                    8,
+                    4200 + tr,
+                    opts.verify,
+                )
             })
             .total;
             t.row(vec![m.to_string(), b, ms(r), ms(radix)]);
@@ -461,7 +633,11 @@ fn fig5(opts: &Opts) {
         for m in [2u32, 4, 8, 16, 24, 32] {
             let mut row = vec![m.to_string()];
             for c in [Contender::BlockLevel, Contender::ReducedBit] {
-                for dist in [Distribution::Uniform, Distribution::Binomial, Distribution::Skew75] {
+                for dist in [
+                    Distribution::Uniform,
+                    Distribution::Binomial,
+                    Distribution::Skew75,
+                ] {
                     let o = avg(opts, |tr| {
                         run_contender(c, kv, opts.n, m, dist, K40C, 8, 5000 + tr, opts.verify)
                     });
@@ -480,7 +656,9 @@ fn fig5(opts: &Opts) {
 
 fn light(opts: &Opts) {
     let n = opts.n;
-    let mut out = String::from("Speed of light (§6.2.2): 3 (key) / 5 (key-value) coalesced accesses per element\n\n");
+    let mut out = String::from(
+        "Speed of light (§6.2.2): 3 (key) / 5 (key-value) coalesced accesses per element\n\n",
+    );
     for (profile, pname) in [(K40C, "K40c"), (GTX750TI, "GTX 750 Ti")] {
         for kv in [false, true] {
             let sol = profile.speed_of_light_gkeys(kv);
@@ -514,7 +692,15 @@ fn sssp_experiment(_opts: &Opts) {
         Bucketing::NearFar,
         Bucketing::SortBased,
     ];
-    let mut t = Table::new(&["graph", "nodes", "edges", "strategy", "iters", "bucket ms", "total ms"]);
+    let mut t = Table::new(&[
+        "graph",
+        "nodes",
+        "edges",
+        "strategy",
+        "iters",
+        "bucket ms",
+        "total ms",
+    ]);
     // speedup accumulators: (vs near-far, vs sort) for the m=2 config.
     let mut geo_nf = 0.0f64;
     let mut geo_sort = 0.0f64;
@@ -524,7 +710,12 @@ fn sssp_experiment(_opts: &Opts) {
         for s in strategies {
             let dev = Device::new(K40C);
             let r = delta_stepping(&dev, g, 0, 32, s);
-            assert_eq!(r.dist, reference, "{name}/{} disagrees with Dijkstra", s.name());
+            assert_eq!(
+                r.dist,
+                reference,
+                "{name}/{} disagrees with Dijkstra",
+                s.name()
+            );
             t.row(vec![
                 name.to_string(),
                 g.num_nodes().to_string(),
@@ -553,9 +744,22 @@ fn sssp_experiment(_opts: &Opts) {
 
 fn randomized(opts: &Opts) {
     let n = opts.n.min(1 << 22);
-    let mut out = format!("Randomized dart-throwing insertion (§3.5), n = 2^{}, m = 8\n\n", n.ilog2());
+    let mut out = format!(
+        "Randomized dart-throwing insertion (§3.5), n = 2^{}, m = 8\n\n",
+        n.ilog2()
+    );
     let radix = avg(opts, |t| {
-        run_contender(Contender::RadixSort, false, n, 8, Distribution::Uniform, K40C, 8, 6000 + t, false)
+        run_contender(
+            Contender::RadixSort,
+            false,
+            n,
+            8,
+            Distribution::Uniform,
+            K40C,
+            8,
+            6000 + t,
+            false,
+        )
     })
     .total;
     let mut t = Table::new(&["relaxation x", "time (ms)", "vs radix", "verdict"]);
@@ -563,7 +767,17 @@ fn randomized(opts: &Opts) {
     let mut best_x = 0.0;
     for x in [1.25, 1.5, 2.0, 3.0, 4.0] {
         let o = avg(opts, |tr| {
-            run_contender(Contender::Randomized(x), false, n, 8, Distribution::Uniform, K40C, 8, 6100 + tr, opts.verify)
+            run_contender(
+                Contender::Randomized(x),
+                false,
+                n,
+                8,
+                Distribution::Uniform,
+                K40C,
+                8,
+                6100 + tr,
+                opts.verify,
+            )
         });
         if o.total < best {
             best = o.total;
@@ -573,7 +787,11 @@ fn randomized(opts: &Opts) {
             format!("{x}"),
             ms(o.total),
             format!("{:.2}x slower", o.total / radix),
-            if o.total > radix { "loses to radix".into() } else { "beats radix".into() },
+            if o.total > radix {
+                "loses to radix".into()
+            } else {
+                "beats radix".into()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -599,11 +817,31 @@ fn ablate(opts: &Opts) {
     let mut base_b = 0.0;
     for wpb in [1usize, 2, 4, 8, 16] {
         let w = avg(opts, |tr| {
-            run_contender(Contender::WarpLevel, false, n, 16, Distribution::Uniform, K40C, wpb, 7000 + tr, false)
+            run_contender(
+                Contender::WarpLevel,
+                false,
+                n,
+                16,
+                Distribution::Uniform,
+                K40C,
+                wpb,
+                7000 + tr,
+                false,
+            )
         })
         .total;
         let b = avg(opts, |tr| {
-            run_contender(Contender::BlockLevel, false, n, 16, Distribution::Uniform, K40C, wpb, 7000 + tr, false)
+            run_contender(
+                Contender::BlockLevel,
+                false,
+                n,
+                16,
+                Distribution::Uniform,
+                K40C,
+                wpb,
+                7000 + tr,
+                false,
+            )
         })
         .total;
         if wpb == 8 {
@@ -675,7 +913,12 @@ fn ablate(opts: &Opts) {
             baselines::multisplit_block_atomic(&dev, &keys, no_values(), n, &bucket, 8);
             // Shared-atomic serialization shows up as extra bank passes.
             let smem: u64 = dev.records().iter().map(|r| r.stats.smem_ops).sum();
-            t.row(vec![m.to_string(), ballot, ms(dev.total_seconds()), format!("{:.1}", smem as f64 / 1e6)]);
+            t.row(vec![
+                m.to_string(),
+                ballot,
+                ms(dev.total_seconds()),
+                format!("{:.1}", smem as f64 / 1e6),
+            ]);
         }
         out.push_str(&t.render());
         out.push_str("ballot ranking is contention-free; atomics serialize same-bucket lanes\n(the paper's reason to prefer warp-synchronous schemes, lesson 3).\n");
@@ -685,13 +928,17 @@ fn ablate(opts: &Opts) {
     //     sets: compare store replays.
     out.push_str("\n== reordering ablation: store replays per warp (m = 2) ==\n");
     {
-        use simt::{Device, GlobalBuffer};
         use multisplit::{multisplit_direct, multisplit_warp_level, no_values, RangeBuckets};
+        use simt::{Device, GlobalBuffer};
         let keys_host = gen_keys(n, 2, Distribution::Uniform, 13);
         let keys = GlobalBuffer::from_slice(&keys_host);
         let bucket = RangeBuckets::new(2);
         let replays = |dev: &Device, prefix: &str| -> u64 {
-            dev.records().iter().filter(|r| r.label.starts_with(prefix)).map(|r| r.stats.replays).sum()
+            dev.records()
+                .iter()
+                .filter(|r| r.label.starts_with(prefix))
+                .map(|r| r.stats.replays)
+                .sum()
         };
         let dev_d = Device::new(K40C);
         multisplit_direct(&dev_d, &keys, no_values(), n, &bucket, 8);
@@ -704,6 +951,100 @@ fn ablate(opts: &Opts) {
         ));
     }
     emit("ablate", out);
+}
+
+// ====================== Scan strategy comparison ======================
+
+/// Chained (single-pass decoupled lookback) vs recursive global scan.
+///
+/// The claim under test: at n = 2^20, m = 32 on a sequential K40c, the
+/// `*/scan-chained` stage moves >= 30% fewer global-memory sectors (and
+/// costs less estimated time) than the recursive `*/scan-reduce` +
+/// `*/scan-downsweep` pair, while every end-to-end multisplit result
+/// stays bit-identical between strategies and between parallel and
+/// sequential devices.
+fn scan_compare(opts: &Opts) {
+    use multisplit::{check_multisplit, multisplit_device, no_values, Method, RangeBuckets};
+    use primitives::ScanStrategy;
+    use simt::{Device, GlobalBuffer};
+    let n: usize = 1 << 20;
+    let m = 32u32;
+    let mut out = format!(
+        "Scan strategy: single-pass chained (decoupled lookback) vs recursive\n\
+         n = 2^20, m = {m}, sequential K40c; scan stage = every */scan-* launch\n\n"
+    );
+    let keys_host = gen_keys(n, m, Distribution::Uniform, 7);
+    let bucket = RangeBuckets::new(m);
+    let mut t = Table::new(&[
+        "method",
+        "chained sectors",
+        "recursive sectors",
+        "saved",
+        "chained ms",
+        "recursive ms",
+    ]);
+    for (method, name) in [
+        (Method::Direct, "direct"),
+        (Method::WarpLevel, "warp"),
+        (Method::BlockLevel, "block"),
+    ] {
+        let mut per: Vec<(u64, f64)> = Vec::new();
+        let mut outputs: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+        for strat in [ScanStrategy::Chained, ScanStrategy::Recursive] {
+            let (sectors, msecs, result) = with_scan_strategy(strat, || {
+                let dev = Device::sequential(K40C);
+                let keys = GlobalBuffer::from_slice(&keys_host);
+                let r = multisplit_device(&dev, method, &keys, no_values(), n, &bucket, 8);
+                let scan = |f: &dyn Fn(&simt::LaunchRecord) -> f64| {
+                    dev.records()
+                        .iter()
+                        .filter(|rec| stage_of(&rec.label) == "scan")
+                        .map(f)
+                        .sum::<f64>()
+                };
+                let sectors = scan(&|rec| rec.stats.sectors as f64) as u64;
+                let secs = scan(&|rec| rec.seconds);
+                (sectors, secs * 1e3, (r.keys.to_vec(), r.offsets))
+            });
+            if opts.verify {
+                check_multisplit(&keys_host, &result.0, &result.1, &bucket)
+                    .expect("invalid multisplit");
+                let parallel = with_scan_strategy(strat, || {
+                    let dev = Device::new(K40C);
+                    let keys = GlobalBuffer::from_slice(&keys_host);
+                    let r = multisplit_device(&dev, method, &keys, no_values(), n, &bucket, 8);
+                    (r.keys.to_vec(), r.offsets)
+                });
+                assert_eq!(
+                    parallel, result,
+                    "{name}: parallel and sequential devices diverge"
+                );
+            }
+            per.push((sectors, msecs));
+            outputs.push(result);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "{name}: scan strategies give different results"
+        );
+        let (cs, cms) = per[0];
+        let (rs, rms) = per[1];
+        t.row(vec![
+            name.into(),
+            cs.to_string(),
+            rs.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - cs as f64 / rs as f64)),
+            format!("{cms:.3}"),
+            format!("{rms:.3}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nchained moves ~2n words through DRAM (read once, write once, plus 3 state\n\
+         words per 2048-element tile) where the recursive reduce+downsweep pair\n\
+         moves ~3n; both end-to-end outputs verified bit-identical.\n",
+    );
+    emit("scan", out);
 }
 
 fn main() {
@@ -724,6 +1065,7 @@ fn main() {
         "sssp" => sssp_experiment(&opts),
         "randomized" => randomized(&opts),
         "ablate" => ablate(&opts),
+        "scan" => scan_compare(&opts),
         "all" => {
             table1(&opts);
             table3(&opts);
@@ -738,9 +1080,10 @@ fn main() {
             sssp_experiment(&opts);
             randomized(&opts);
             ablate(&opts);
+            scan_compare(&opts);
         }
         _ => {
-            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|all> [--n LOG2] [--full] [--no-verify] [--trials K]");
+            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|all> [--n LOG2] [--full] [--no-verify] [--trials K]");
             std::process::exit(2);
         }
     }

@@ -7,10 +7,13 @@
 //! the CPU reference, and per-stage time grouping for the Table 4
 //! breakdown.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod microbench;
 
-use multisplit::{check_multisplit, multisplit_device, multisplit_kv_ref, BucketFn, Method, RangeBuckets};
+use msrng::SmallRng;
+
+use multisplit::{
+    check_multisplit, multisplit_device, multisplit_kv_ref, BucketFn, Method, RangeBuckets,
+};
 use simt::{Device, DeviceProfile, GlobalBuffer};
 
 /// Initial key distribution over buckets (paper §6.5 / Fig. 5).
@@ -36,10 +39,10 @@ impl Distribution {
 
 /// Generate `n` keys whose [`RangeBuckets`]`(m)` bucket ids follow `dist`.
 pub fn gen_keys(n: usize, m: u32, dist: Distribution, seed: u64) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let bucket = RangeBuckets::new(m);
     let width = (1u64 << 32).div_ceil(m as u64);
-    let key_in_bucket = |b: u32, rng: &mut StdRng| -> u32 {
+    let key_in_bucket = |b: u32, rng: &mut SmallRng| -> u32 {
         let lo = b as u64 * width;
         let hi = ((b as u64 + 1) * width).min(1 << 32);
         rng.gen_range(lo..hi) as u32
@@ -111,6 +114,29 @@ pub fn stage_seconds(dev: &Device) -> Vec<(&'static str, f64)> {
     acc
 }
 
+/// Aggregate a device's launch log into (stage -> global-memory sectors) —
+/// the per-stage traffic view behind the chained-vs-recursive scan claim.
+pub fn stage_sector_counts(dev: &Device) -> Vec<(&'static str, u64)> {
+    let mut acc: Vec<(&'static str, u64)> = Vec::new();
+    for r in dev.records() {
+        let s = stage_of(&r.label);
+        match acc.iter_mut().find(|(k, _)| *k == s) {
+            Some((_, c)) => *c += r.stats.sectors,
+            None => acc.push((s, r.stats.sectors)),
+        }
+    }
+    acc
+}
+
+/// Run `f` with [`primitives::set_scan_strategy`] pinned to `s`, restoring
+/// the previous strategy afterwards.
+pub fn with_scan_strategy<R>(s: primitives::ScanStrategy, f: impl FnOnce() -> R) -> R {
+    let prev = primitives::set_scan_strategy(s);
+    let r = f();
+    primitives::set_scan_strategy(prev);
+    r
+}
+
 /// Every method the evaluation compares.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Contender {
@@ -145,15 +171,30 @@ impl Contender {
     }
 }
 
-/// One measured run: total estimated seconds plus the per-stage split.
+/// One measured run: total estimated seconds plus the per-stage split
+/// (time and DRAM sectors).
 pub struct Outcome {
     pub total: f64,
     pub stages: Vec<(&'static str, f64)>,
+    pub sectors: Vec<(&'static str, u64)>,
 }
 
 impl Outcome {
     pub fn stage(&self, name: &str) -> f64 {
-        self.stages.iter().find(|(k, _)| *k == name).map(|(_, t)| *t).unwrap_or(0.0)
+        self.stages
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    }
+
+    /// Global-memory sectors moved by one stage.
+    pub fn stage_sectors(&self, name: &str) -> u64 {
+        self.sectors
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
     }
 
     /// Processing rate in G keys/s for `n` keys.
@@ -178,7 +219,7 @@ pub fn run_contender(
 ) -> Outcome {
     let keys_host = if matches!(contender, Contender::IdentitySort) {
         // Identity buckets: keys *are* bucket ids.
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen_range(0..m)).collect::<Vec<u32>>()
     } else {
         gen_keys(n, m, dist, seed)
@@ -205,7 +246,8 @@ pub fn run_contender(
         }
         Contender::ReducedBit => {
             if let Some(v) = &values {
-                let (k, v, o) = baselines::reduced_bit_multisplit_kv(&dev, &keys, v, n, &bucket, wpb);
+                let (k, v, o) =
+                    baselines::reduced_bit_multisplit_kv(&dev, &keys, v, n, &bucket, wpb);
                 Some((k.to_vec(), Some(v.to_vec()), o))
             } else {
                 let (k, o) = baselines::reduced_bit_multisplit(&dev, &keys, n, &bucket, wpb);
@@ -221,21 +263,37 @@ pub fn run_contender(
             // Identity buckets: keys are bucket ids, so (as CUB's
             // begin_bit/end_bit API allows) only ceil(log2 m) bits need
             // sorting — the paper's footnoted comparison row.
-            let bits = if matches!(contender, Contender::IdentitySort) { baselines::label_bits(m) } else { 32 };
-            let (k, v) = baselines::radix_sort_by_bits(&dev, "radix", &keys, values.as_ref(), n, bits, wpb);
+            let bits = if matches!(contender, Contender::IdentitySort) {
+                baselines::label_bits(m)
+            } else {
+                32
+            };
+            let (k, v) =
+                baselines::radix_sort_by_bits(&dev, "radix", &keys, values.as_ref(), n, bits, wpb);
             if verify {
                 let kv = k.to_vec();
-                assert!(kv.windows(2).all(|w| w[0] <= w[1]), "radix output must be sorted");
+                assert!(
+                    kv.windows(2).all(|w| w[0] <= w[1]),
+                    "radix output must be sorted"
+                );
                 let _ = v;
             }
             None
         }
         Contender::Randomized(x) => {
-            assert!(!key_value, "the randomized baseline is key-only (paper §3.5)");
-            let cfg = baselines::RandomizedConfig { relaxation: x, wpb, ..Default::default() };
+            assert!(
+                !key_value,
+                "the randomized baseline is key-only (paper §3.5)"
+            );
+            let cfg = baselines::RandomizedConfig {
+                relaxation: x,
+                wpb,
+                ..Default::default()
+            };
             let (k, o) = baselines::randomized_multisplit(&dev, &keys, n, &bucket, cfg);
             if verify {
-                check_multisplit(&keys_host, &k.to_vec(), &o, &bucket).expect("randomized output invalid");
+                check_multisplit(&keys_host, &k.to_vec(), &o, &bucket)
+                    .expect("randomized output invalid");
             }
             None
         }
@@ -252,11 +310,21 @@ pub fn run_contender(
         }
     }
 
-    Outcome { total: dev.total_seconds(), stages: stage_seconds(&dev) }
+    Outcome {
+        total: dev.total_seconds(),
+        stages: stage_seconds(&dev),
+        sectors: stage_sector_counts(&dev),
+    }
 }
 
 /// Two-bucket scan-based split runner (Table 3's second baseline).
-pub fn run_scan_split(key_value: bool, n: usize, profile: DeviceProfile, wpb: usize, seed: u64) -> Outcome {
+pub fn run_scan_split(
+    key_value: bool,
+    n: usize,
+    profile: DeviceProfile,
+    wpb: usize,
+    seed: u64,
+) -> Outcome {
     let keys_host = gen_keys(n, 2, Distribution::Uniform, seed);
     let bucket = RangeBuckets::new(2);
     let dev = Device::new(profile);
@@ -264,9 +332,15 @@ pub fn run_scan_split(key_value: bool, n: usize, profile: DeviceProfile, wpb: us
     let values_host = key_value.then(|| gen_values(n));
     let values = values_host.as_ref().map(|v| GlobalBuffer::from_slice(v));
     let (out, _, offs) =
-        baselines::scan_based_split(&dev, &keys, values.as_ref(), n, wpb, move |k| bucket.bucket_of(k) == 1);
+        baselines::scan_based_split(&dev, &keys, values.as_ref(), n, wpb, move |k| {
+            bucket.bucket_of(k) == 1
+        });
     check_multisplit(&keys_host, &out.to_vec(), &offs, &bucket).expect("scan split invalid");
-    Outcome { total: dev.total_seconds(), stages: stage_seconds(&dev) }
+    Outcome {
+        total: dev.total_seconds(),
+        stages: stage_seconds(&dev),
+        sectors: stage_sector_counts(&dev),
+    }
 }
 
 /// Format milliseconds with two decimals.
@@ -291,7 +365,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -356,7 +433,10 @@ mod tests {
         }
         let mid: u32 = h[6..10].iter().sum();
         let edges: u32 = h[0..2].iter().sum::<u32>() + h[14..16].iter().sum::<u32>();
-        assert!(mid > 10 * edges.max(1), "binomial mass must concentrate centrally: {h:?}");
+        assert!(
+            mid > 10 * edges.max(1),
+            "binomial mass must concentrate centrally: {h:?}"
+        );
     }
 
     #[test]
@@ -374,6 +454,7 @@ mod tests {
     #[test]
     fn stage_classification() {
         assert_eq!(stage_of("direct/pre-scan"), "pre-scan");
+        assert_eq!(stage_of("direct/scan/scan-chained"), "scan");
         assert_eq!(stage_of("direct/scan/scan-reduce"), "scan");
         assert_eq!(stage_of("reduced/sort/pass0/scan/scan-reduce"), "scan");
         assert_eq!(stage_of("recursive-split/round0/scan/scan-single"), "scan");
@@ -386,16 +467,40 @@ mod tests {
 
     #[test]
     fn contender_runs_and_verifies() {
-        for c in [Contender::Direct, Contender::WarpLevel, Contender::BlockLevel, Contender::ReducedBit] {
-            let o = run_contender(c, false, 4096, 8, Distribution::Uniform, simt::K40C, 8, 1, true);
+        for c in [
+            Contender::Direct,
+            Contender::WarpLevel,
+            Contender::BlockLevel,
+            Contender::ReducedBit,
+        ] {
+            let o = run_contender(
+                c,
+                false,
+                4096,
+                8,
+                Distribution::Uniform,
+                simt::K40C,
+                8,
+                1,
+                true,
+            );
             assert!(o.total > 0.0, "{}", c.name());
         }
     }
 
     #[test]
     fn kv_contender_runs_and_verifies() {
-        let o =
-            run_contender(Contender::BlockLevel, true, 4096, 16, Distribution::Binomial, simt::K40C, 8, 2, true);
+        let o = run_contender(
+            Contender::BlockLevel,
+            true,
+            4096,
+            16,
+            Distribution::Binomial,
+            simt::K40C,
+            8,
+            2,
+            true,
+        );
         assert!(o.stage("post-scan") > 0.0);
         assert!(o.gkeys(4096) > 0.0);
     }

@@ -1,0 +1,46 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The seed repo benchmarked with `criterion`, which cannot be fetched in
+//! this offline build. The `[[bench]]` targets keep their names but run on
+//! this tiny harness instead: a calibration pass sizes the iteration count
+//! so each sample takes ~20 ms, then the median per-iteration time over a
+//! handful of samples is printed. Good enough to spot order-of-magnitude
+//! regressions in the simulator's host throughput; the *modeled* GPU times
+//! come from the cost model, not from these wall-clock numbers.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Samples per benchmark; the median is reported.
+const SAMPLES: usize = 5;
+
+/// Time `f`, printing the per-iteration median wall-clock time.
+pub fn time<R>(name: &str, mut f: impl FnMut() -> R) {
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.02 / once).ceil() as u64).clamp(1, 1_000_000);
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[SAMPLES / 2];
+    if median >= 1e-3 {
+        println!(
+            "{name:<44} {:>10.3} ms/iter  ({iters} iters/sample)",
+            median * 1e3
+        );
+    } else {
+        println!(
+            "{name:<44} {:>10.3} µs/iter  ({iters} iters/sample)",
+            median * 1e6
+        );
+    }
+}

@@ -83,10 +83,22 @@ pub fn multisplit_device<B: BucketFn + ?Sized, V: Scalar>(
 /// Host-convenience key-only multisplit: uploads, runs the auto-selected
 /// method, downloads. Returns the permuted keys and the `m + 1` bucket
 /// offsets.
-pub fn multisplit<B: BucketFn + ?Sized>(dev: &Device, keys: &[u32], bucket: &B) -> (Vec<u32>, Vec<u32>) {
+pub fn multisplit<B: BucketFn + ?Sized>(
+    dev: &Device,
+    keys: &[u32],
+    bucket: &B,
+) -> (Vec<u32>, Vec<u32>) {
     let buf = GlobalBuffer::from_slice(keys);
     let method = Method::auto(bucket.num_buckets(), false);
-    let r = multisplit_device(dev, method, &buf, crate::common::no_values(), keys.len(), bucket, DEFAULT_WARPS_PER_BLOCK);
+    let r = multisplit_device(
+        dev,
+        method,
+        &buf,
+        crate::common::no_values(),
+        keys.len(),
+        bucket,
+        DEFAULT_WARPS_PER_BLOCK,
+    );
     (r.keys.to_vec(), r.offsets)
 }
 
@@ -113,8 +125,20 @@ pub fn multisplit_kv<B: BucketFn + ?Sized>(
     let kbuf = GlobalBuffer::from_slice(keys);
     let vbuf = GlobalBuffer::from_slice(values);
     let method = Method::auto(bucket.num_buckets(), true);
-    let r = multisplit_device(dev, method, &kbuf, Some(&vbuf), keys.len(), bucket, DEFAULT_WARPS_PER_BLOCK);
-    (r.keys.to_vec(), r.values.expect("kv path always returns values").to_vec(), r.offsets)
+    let r = multisplit_device(
+        dev,
+        method,
+        &kbuf,
+        Some(&vbuf),
+        keys.len(),
+        bucket,
+        DEFAULT_WARPS_PER_BLOCK,
+    );
+    (
+        r.keys.to_vec(),
+        r.values.expect("kv path always returns values").to_vec(),
+        r.offsets,
+    )
 }
 
 #[cfg(test)]
@@ -178,7 +202,15 @@ mod tests {
         let buf = GlobalBuffer::from_slice(&keys);
         let (expect, _) = multisplit_ref(&keys, &bucket);
         for method in [Method::Direct, Method::WarpLevel, Method::BlockLevel] {
-            let r = multisplit_device(&dev, method, &buf, crate::common::no_values(), n, &bucket, 8);
+            let r = multisplit_device(
+                &dev,
+                method,
+                &buf,
+                crate::common::no_values(),
+                n,
+                &bucket,
+                8,
+            );
             assert_eq!(r.keys.to_vec(), expect, "{method:?}");
         }
     }

@@ -12,8 +12,8 @@
 use simt::{lanes_from_fn, Device, GlobalBuffer, Scalar, WARP_SIZE};
 
 use primitives::{
-    exclusive_scan_u32, low_lanes_mask, multi_exclusive_scan_across_warps, multi_reduce_across_warps, tail_mask,
-    warp_scan,
+    exclusive_scan_u32, low_lanes_mask, multi_exclusive_scan_across_warps,
+    multi_reduce_across_warps, tail_mask, warp_scan,
 };
 
 use crate::bucket::BucketFn;
@@ -53,7 +53,11 @@ fn block_prescan<B: BucketFn + ?Sized>(
             };
             // Column-major store: warp w's histogram is contiguous.
             let col = w.warp_id * pitch;
-            h2.st(lanes_from_fn(|lane| col + lane.min(m as usize - 1)), histo, low_lanes_mask(m as usize));
+            h2.st(
+                lanes_from_fn(|lane| col + lane.min(m as usize - 1)),
+                histo,
+                low_lanes_mask(m as usize),
+            );
         }
         blk.sync();
         multi_reduce_across_warps(blk, &h2, m as usize, pitch, &block_hist);
@@ -77,7 +81,10 @@ pub fn multisplit_block_level<B: BucketFn + ?Sized, V: Scalar>(
     wpb: usize,
 ) -> DeviceMultisplit<V> {
     let m = bucket.num_buckets();
-    assert!(m <= 32, "block-level multisplit requires m <= 32 (use the large-m path)");
+    assert!(
+        m <= 32,
+        "block-level multisplit requires m <= 32 (use the large-m path)"
+    );
     assert!(keys.len() >= n, "key buffer shorter than n");
     if n == 0 {
         return empty_result(m as usize, values.is_some());
@@ -119,14 +126,22 @@ pub fn multisplit_block_level<B: BucketFn + ?Sized, V: Scalar>(
             let mask = tail_mask(base, n);
             let col = w.warp_id * pitch;
             if mask == 0 {
-                h2.st(lanes_from_fn(|lane| col + lane.min(mu - 1)), [0; WARP_SIZE], low_lanes_mask(mu));
+                h2.st(
+                    lanes_from_fn(|lane| col + lane.min(mu - 1)),
+                    [0; WARP_SIZE],
+                    low_lanes_mask(mu),
+                );
                 continue;
             }
             let idx = lanes_from_fn(|j| if base + j < n { base + j } else { base });
             let k = w.gather(keys, idx, mask);
             let b = eval_buckets(&w, bucket, k, mask);
             let (histo, offs) = warp_histogram_and_offsets(&w, b, m, mask);
-            h2.st(lanes_from_fn(|lane| col + lane.min(mu - 1)), histo, low_lanes_mask(mu));
+            h2.st(
+                lanes_from_fn(|lane| col + lane.min(mu - 1)),
+                histo,
+                low_lanes_mask(mu),
+            );
             key_reg[w.warp_id] = k;
             bucket_reg[w.warp_id] = b;
             offs_reg[w.warp_id] = offs;
@@ -184,8 +199,11 @@ pub fn multisplit_block_level<B: BucketFn + ?Sized, V: Scalar>(
             let k2 = keys2_s.ld(tid, mask);
             let b2 = buckets2_s.ld(tid, mask);
             let bb = bucket_base.ld(lanes_from_fn(|lane| b2[lane] as usize), mask);
-            let gbase =
-                w.gather_cached(&g, lanes_from_fn(|lane| b2[lane] as usize * l + blk.block_id), mask);
+            let gbase = w.gather_cached(
+                &g,
+                lanes_from_fn(|lane| b2[lane] as usize * l + blk.block_id),
+                mask,
+            );
             let dest = lanes_from_fn(|lane| (gbase[lane] + tid[lane] as u32 - bb[lane]) as usize);
             w.scatter(&out_keys, dest, k2, mask);
             if let (Some(vs2), Some(vout)) = (&values2_s, &out_values) {
@@ -196,7 +214,11 @@ pub fn multisplit_block_level<B: BucketFn + ?Sized, V: Scalar>(
     });
 
     let offsets = offsets_from_scanned(&g, m as usize, l, n);
-    DeviceMultisplit { keys: out_keys, values: out_values, offsets }
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +231,9 @@ mod tests {
     use simt::{BlockStats, Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -282,7 +306,10 @@ mod tests {
         multisplit_block_level(&dev_b, &keys, no_values(), n, &bucket, 8);
         let ws = post_scan_sectors(&dev_w, "warp/post-scan");
         let bs = post_scan_sectors(&dev_b, "block/post-scan");
-        assert!(bs < ws, "block post-scan sectors {bs} should beat warp {ws} at m=32");
+        assert!(
+            bs < ws,
+            "block post-scan sectors {bs} should beat warp {ws} at m=32"
+        );
     }
 
     #[test]
@@ -307,7 +334,10 @@ mod tests {
         };
         let w_scan = bytes(&dev_w, "warp/scan");
         let b_scan = bytes(&dev_b, "block/scan");
-        assert!(b_scan * 4 < w_scan, "block scan bytes {b_scan} vs warp scan bytes {w_scan}");
+        assert!(
+            b_scan * 4 < w_scan,
+            "block scan bytes {b_scan} vs warp scan bytes {w_scan}"
+        );
     }
 
     #[test]

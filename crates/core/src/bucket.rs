@@ -213,7 +213,7 @@ mod tests {
         let b = RangeBuckets::new(m);
         let mut counts = vec![0u64; m as usize];
         for i in 0..10_000u64 {
-            let k = (i * 429_496_7295 / 10_000) as u32;
+            let k = (i * 4_294_967_295 / 10_000) as u32;
             counts[b.bucket_of(k) as usize] += 1;
         }
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
@@ -244,7 +244,9 @@ mod tests {
 
     #[test]
     fn primality() {
-        let primes = [2u32, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 97, 7919, 104729, 2147483647];
+        let primes = [
+            2u32, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 97, 7919, 104729, 2147483647,
+        ];
         for p in primes {
             assert!(is_prime(p), "{p} is prime");
         }
@@ -263,8 +265,16 @@ mod tests {
         // land in B0 in input order, composites {46,6,25,82} in B1.
         let pc = PrimeComposite;
         let keys = [59u32, 46, 31, 6, 25, 82, 3, 17];
-        let b0: Vec<u32> = keys.iter().copied().filter(|&k| pc.bucket_of(k) == 0).collect();
-        let b1: Vec<u32> = keys.iter().copied().filter(|&k| pc.bucket_of(k) == 1).collect();
+        let b0: Vec<u32> = keys
+            .iter()
+            .copied()
+            .filter(|&k| pc.bucket_of(k) == 0)
+            .collect();
+        let b1: Vec<u32> = keys
+            .iter()
+            .copied()
+            .filter(|&k| pc.bucket_of(k) == 1)
+            .collect();
         assert_eq!(b0, vec![59, 31, 3, 17]);
         assert_eq!(b1, vec![46, 6, 25, 82]);
     }

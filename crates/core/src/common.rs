@@ -31,7 +31,12 @@ pub fn no_values() -> Option<&'static GlobalBuffer<u32>> {
 
 /// Evaluate the bucket function on a warp's keys, charging its ALU cost.
 #[inline]
-pub fn eval_buckets<B: BucketFn + ?Sized>(w: &WarpCtx, bucket: &B, keys: Lanes<u32>, mask: u32) -> Lanes<u32> {
+pub fn eval_buckets<B: BucketFn + ?Sized>(
+    w: &WarpCtx,
+    bucket: &B,
+    keys: Lanes<u32>,
+    mask: u32,
+) -> Lanes<u32> {
     w.charge(bucket.eval_cost() * mask.count_ones() as u64);
     simt::lanes_from_fn(|l| bucket.bucket_of(keys[l]))
 }

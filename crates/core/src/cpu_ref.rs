@@ -61,13 +61,25 @@ pub fn check_multisplit<B: BucketFn + ?Sized>(
 ) -> Result<(), String> {
     let m = bucket.num_buckets() as usize;
     if output.len() != input.len() {
-        return Err(format!("length mismatch: {} vs {}", output.len(), input.len()));
+        return Err(format!(
+            "length mismatch: {} vs {}",
+            output.len(),
+            input.len()
+        ));
     }
     if offsets.len() != m + 1 {
-        return Err(format!("offsets length {} != m+1 = {}", offsets.len(), m + 1));
+        return Err(format!(
+            "offsets length {} != m+1 = {}",
+            offsets.len(),
+            m + 1
+        ));
     }
     if offsets[m] as usize != input.len() {
-        return Err(format!("offsets[m] = {} != n = {}", offsets[m], input.len()));
+        return Err(format!(
+            "offsets[m] = {} != n = {}",
+            offsets[m],
+            input.len()
+        ));
     }
     #[allow(clippy::needless_range_loop)]
     for b in 0..m {
@@ -77,7 +89,10 @@ pub fn check_multisplit<B: BucketFn + ?Sized>(
         for i in offsets[b] as usize..offsets[b + 1] as usize {
             let got = bucket.bucket_of(output[i]);
             if got != b as u32 {
-                return Err(format!("output[{i}]={} is in bucket {got}, expected {b}", output[i]));
+                return Err(format!(
+                    "output[{i}]={} is in bucket {got}, expected {b}",
+                    output[i]
+                ));
             }
         }
     }
@@ -108,7 +123,15 @@ mod tests {
     #[test]
     fn figure_1_range_example() {
         // Paper Fig. 1 case (2): three range buckets over {59,46,31,6,25,82,3,17}.
-        let b = FnBuckets::new(3, |k| if k <= 20 { 0 } else if k <= 48 { 1 } else { 2 });
+        let b = FnBuckets::new(3, |k| {
+            if k <= 20 {
+                0
+            } else if k <= 48 {
+                1
+            } else {
+                2
+            }
+        });
         let keys = [59u32, 46, 31, 6, 25, 82, 3, 17];
         let (out, offs) = multisplit_ref(&keys, &b);
         assert_eq!(out, vec![6, 3, 17, 46, 31, 25, 59, 82]);

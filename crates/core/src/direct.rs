@@ -66,7 +66,10 @@ pub fn multisplit_direct<B: BucketFn + ?Sized, V: Scalar>(
     wpb: usize,
 ) -> DeviceMultisplit<V> {
     let m = bucket.num_buckets();
-    assert!(m <= 32, "direct multisplit requires m <= 32 (use the large-m path)");
+    assert!(
+        m <= 32,
+        "direct multisplit requires m <= 32 (use the large-m path)"
+    );
     assert!(keys.len() >= n, "key buffer shorter than n");
     if n == 0 {
         return empty_result(m as usize, values.is_some());
@@ -111,7 +114,11 @@ pub fn multisplit_direct<B: BucketFn + ?Sized, V: Scalar>(
     });
 
     let offsets = offsets_from_scanned(&g, m as usize, l, n);
-    DeviceMultisplit { keys: out_keys, values: out_values, offsets }
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
 }
 
 /// The warp-level mask convention guarantees full warps everywhere except
@@ -130,7 +137,9 @@ mod tests {
     use simt::{Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -195,7 +204,11 @@ mod tests {
         let data = keys_for(n, 3);
         let keys = GlobalBuffer::from_slice(&data);
         let r = multisplit_direct(&dev, &keys, no_values(), n, &bucket, 8);
-        assert_eq!(r.keys.to_vec(), data, "single-bucket multisplit is identity");
+        assert_eq!(
+            r.keys.to_vec(),
+            data,
+            "single-bucket multisplit is identity"
+        );
         assert_eq!(r.offsets, vec![0, 0, 0, 0, 1000, 1000, 1000, 1000, 1000]);
     }
 

@@ -41,7 +41,10 @@ pub fn multisplit_large_m<B: BucketFn + ?Sized, V: Scalar>(
     wpb: usize,
 ) -> DeviceMultisplit<V> {
     let m = bucket.num_buckets();
-    assert!(m > 32, "use the dedicated m <= 32 paths below the warp width");
+    assert!(
+        m > 32,
+        "use the dedicated m <= 32 paths below the warp width"
+    );
     assert!(
         m <= max_buckets(wpb, values.is_some()),
         "m = {m} exceeds shared-memory capacity for {wpb} warps/block (max {})",
@@ -93,11 +96,19 @@ pub fn multisplit_large_m<B: BucketFn + ?Sized, V: Scalar>(
                 let sm = low_lanes_mask(cnt);
                 let mut acc = [0u32; WARP_SIZE];
                 for wid in 0..nw {
-                    let v = hrow.ld(lanes_from_fn(|lane| (row + lane.min(cnt - 1)) * nwp + wid), sm);
+                    let v = hrow.ld(
+                        lanes_from_fn(|lane| (row + lane.min(cnt - 1)) * nwp + wid),
+                        sm,
+                    );
                     acc = lanes_from_fn(|lane| acc[lane] + v[lane]);
                 }
                 w.charge(nw as u64 * cnt as u64);
-                w.scatter_merged(&h, lanes_from_fn(|lane| (row + lane.min(cnt - 1)) * l + blk.block_id), acc, sm);
+                w.scatter_merged(
+                    &h,
+                    lanes_from_fn(|lane| (row + lane.min(cnt - 1)) * l + blk.block_id),
+                    acc,
+                    sm,
+                );
                 row += nw * WARP_SIZE;
             }
         }
@@ -172,7 +183,10 @@ pub fn multisplit_large_m<B: BucketFn + ?Sized, V: Scalar>(
             let k = key_reg[w.warp_id];
             let b = bucket_reg[w.warp_id];
             let offs = offs_reg[w.warp_id];
-            let bases = hrow.ld(lanes_from_fn(|lane| b[lane] as usize * nwp + w.warp_id), mask);
+            let bases = hrow.ld(
+                lanes_from_fn(|lane| b[lane] as usize * nwp + w.warp_id),
+                mask,
+            );
             let new_idx = lanes_from_fn(|lane| (bases[lane] + offs[lane]) as usize);
             keys2_s.st(new_idx, k, mask);
             buckets2_s.st(new_idx, b, mask);
@@ -194,7 +208,11 @@ pub fn multisplit_large_m<B: BucketFn + ?Sized, V: Scalar>(
             let k2 = keys2_s.ld(tid, mask);
             let b2 = buckets2_s.ld(tid, mask);
             let bb = hrow.ld(lanes_from_fn(|lane| b2[lane] as usize * nwp), mask);
-            let gbase = w.gather_cached(&g, lanes_from_fn(|lane| b2[lane] as usize * l + blk.block_id), mask);
+            let gbase = w.gather_cached(
+                &g,
+                lanes_from_fn(|lane| b2[lane] as usize * l + blk.block_id),
+                mask,
+            );
             let dest = lanes_from_fn(|lane| (gbase[lane] + tid[lane] as u32 - bb[lane]) as usize);
             w.scatter(&out_keys, dest, k2, mask);
             if let (Some(vs2), Some(vout)) = (&values2_s, &out_values) {
@@ -205,7 +223,11 @@ pub fn multisplit_large_m<B: BucketFn + ?Sized, V: Scalar>(
     });
 
     let offsets = offsets_from_scanned(&g, mu, l, n);
-    DeviceMultisplit { keys: out_keys, values: out_values, offsets }
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +239,9 @@ mod tests {
     use simt::{Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]

@@ -50,7 +50,8 @@ pub mod warp_ops;
 pub use api::{multisplit, multisplit_device, multisplit_kv, Method, DEFAULT_WARPS_PER_BLOCK};
 pub use block_level::multisplit_block_level;
 pub use bucket::{
-    is_prime, BucketFn, DeltaBuckets, FnBuckets, IdentityBuckets, LsbBuckets, PrimeComposite, RangeBuckets,
+    is_prime, BucketFn, DeltaBuckets, FnBuckets, IdentityBuckets, LsbBuckets, PrimeComposite,
+    RangeBuckets,
 };
 pub use common::{no_values, DeviceMultisplit};
 pub use cpu_ref::{check_multisplit, multisplit_kv_ref, multisplit_ref};

@@ -29,7 +29,10 @@ pub fn multisplit_warp_level<B: BucketFn + ?Sized, V: Scalar>(
     wpb: usize,
 ) -> DeviceMultisplit<V> {
     let m = bucket.num_buckets();
-    assert!(m <= 32, "warp-level multisplit requires m <= 32 (use the large-m path)");
+    assert!(
+        m <= 32,
+        "warp-level multisplit requires m <= 32 (use the large-m path)"
+    );
     assert!(keys.len() >= n, "key buffer shorter than n");
     if n == 0 {
         return empty_result(m as usize, values.is_some());
@@ -90,7 +93,8 @@ pub fn multisplit_warp_level<B: BucketFn + ?Sized, V: Scalar>(
             let b2 = buckets_s.ld(src_s, mask);
             let my_base2 = w.shfl(scan_h, b2, mask);
             let col = w.global_warp_id;
-            let gbase = w.gather_cached(&g, lanes_from_fn(|lane| b2[lane] as usize * l + col), mask);
+            let gbase =
+                w.gather_cached(&g, lanes_from_fn(|lane| b2[lane] as usize * l + col), mask);
             let dest = lanes_from_fn(|lane| (gbase[lane] + lane as u32 - my_base2[lane]) as usize);
             w.scatter(&out_keys, dest, k2, mask);
             if let (Some(vs), Some(vout)) = (&values_s, &out_values) {
@@ -101,7 +105,11 @@ pub fn multisplit_warp_level<B: BucketFn + ?Sized, V: Scalar>(
     });
 
     let offsets = offsets_from_scanned(&g, m as usize, l, n);
-    DeviceMultisplit { keys: out_keys, values: out_values, offsets }
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +122,9 @@ mod tests {
     use simt::{BlockStats, Device, K40C};
 
     fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed)).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -157,7 +167,11 @@ mod tests {
         let keys = GlobalBuffer::from_slice(&data);
         let a = multisplit_direct(&dev, &keys, no_values(), n, &bucket, 8);
         let b = multisplit_warp_level(&dev, &keys, no_values(), n, &bucket, 8);
-        assert_eq!(a.keys.to_vec(), b.keys.to_vec(), "both are stable: identical output");
+        assert_eq!(
+            a.keys.to_vec(),
+            b.keys.to_vec(),
+            "both are stable: identical output"
+        );
         assert_eq!(a.offsets, b.offsets);
     }
 

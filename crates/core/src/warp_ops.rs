@@ -63,7 +63,13 @@ pub fn warp_histogram(w: &WarpCtx, bucket_id: Lanes<u32>, m: u32, mask: u32) -> 
     // With fewer ballot rounds than 5, lanes whose assigned bucket id >= m
     // alias a lower bucket's bitmap; mask them to zero so callers can scan
     // the full register safely.
-    lanes_from_fn(|lane| if (lane as u32) < m { popc(histo_bmp[lane]) } else { 0 })
+    lanes_from_fn(|lane| {
+        if (lane as u32) < m {
+            popc(histo_bmp[lane])
+        } else {
+            0
+        }
+    })
 }
 
 /// Paper Algorithm 3: warp-level local offsets for any `m`.
@@ -120,7 +126,13 @@ pub fn warp_histogram_and_offsets(
         w.charge(4 * WARP_SIZE as u64);
     }
     (
-        lanes_from_fn(|lane| if (lane as u32) < m { popc(histo_bmp[lane]) } else { 0 }),
+        lanes_from_fn(|lane| {
+            if (lane as u32) < m {
+                popc(histo_bmp[lane])
+            } else {
+                0
+            }
+        }),
         lanes_from_fn(|lane| popc(offset_bmp[lane] & lane_mask_lt(lane))),
     )
 }
@@ -130,7 +142,12 @@ pub fn warp_histogram_and_offsets(
 /// holds the histogram of buckets `c*32 .. c*32+32` across lanes. Ballots
 /// are shared across chunks (one per round), only the register bitmaps are
 /// replicated — the `⌈m/32⌉` linearization the paper describes.
-pub fn warp_histogram_multi(w: &WarpCtx, bucket_id: Lanes<u32>, m: u32, mask: u32) -> Vec<Lanes<u32>> {
+pub fn warp_histogram_multi(
+    w: &WarpCtx,
+    bucket_id: Lanes<u32>,
+    m: u32,
+    mask: u32,
+) -> Vec<Lanes<u32>> {
     let chunks = m.div_ceil(32) as usize;
     let mut bmps = vec![[mask; WARP_SIZE]; chunks];
     let mut b = bucket_id;
@@ -152,13 +169,20 @@ pub fn warp_histogram_multi(w: &WarpCtx, bucket_id: Lanes<u32>, m: u32, mask: u3
     bmps.into_iter()
         .enumerate()
         .map(|(c, bmp)| {
-            lanes_from_fn(|lane| if ((c * WARP_SIZE + lane) as u32) < m { popc(bmp[lane]) } else { 0 })
+            lanes_from_fn(|lane| {
+                if ((c * WARP_SIZE + lane) as u32) < m {
+                    popc(bmp[lane])
+                } else {
+                    0
+                }
+            })
         })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
     use super::*;
     use simt::{splat, StatCells, FULL_MASK};
 
@@ -214,7 +238,11 @@ mod tests {
             for seed in 0..8 {
                 let b = pseudo_buckets(seed, m);
                 let (h, _) = with_warp(|w| warp_histogram(w, b, m, FULL_MASK));
-                assert_eq!(&h[..], &ref_histogram(&b, m, FULL_MASK)[..], "m={m} seed={seed}");
+                assert_eq!(
+                    &h[..],
+                    &ref_histogram(&b, m, FULL_MASK)[..],
+                    "m={m} seed={seed}"
+                );
             }
         }
     }
@@ -225,7 +253,11 @@ mod tests {
             for mask in [0u32, 1, 0xFF, 0xFFFF, 0x0F0F_0F0F, FULL_MASK >> 1] {
                 let b = pseudo_buckets(3, m);
                 let (h, _) = with_warp(|w| warp_histogram(w, b, m, mask));
-                assert_eq!(&h[..], &ref_histogram(&b, m, mask)[..], "m={m} mask={mask:08x}");
+                assert_eq!(
+                    &h[..],
+                    &ref_histogram(&b, m, mask)[..],
+                    "m={m} mask={mask:08x}"
+                );
             }
         }
     }
@@ -312,7 +344,12 @@ mod tests {
             }
             for (c, chunk) in chunks.iter().enumerate() {
                 for lane in 0..32 {
-                    assert_eq!(chunk[lane], ref_h[c * 32 + lane], "m={m} bucket {}", c * 32 + lane);
+                    assert_eq!(
+                        chunk[lane],
+                        ref_h[c * 32 + lane],
+                        "m={m} bucket {}",
+                        c * 32 + lane
+                    );
                 }
             }
         }

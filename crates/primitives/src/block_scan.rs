@@ -40,14 +40,23 @@ pub fn tail_mask(base: usize, n: usize) -> u32 {
 /// with shuffles. Callers pad the pitch to an odd value (`m | 1`) so the
 /// strided gathers are bank-conflict free — the "coalesced shared memory
 /// accesses" of paper §5.1.
-pub fn multi_reduce_across_warps(blk: &BlockCtx, h2: &SharedBuf<u32>, m: usize, pitch: usize, out: &SharedBuf<u32>) {
+pub fn multi_reduce_across_warps(
+    blk: &BlockCtx,
+    h2: &SharedBuf<u32>,
+    m: usize,
+    pitch: usize,
+    out: &SharedBuf<u32>,
+) {
     let nw = blk.warps_per_block;
     debug_assert!(pitch >= m && h2.len() >= nw * pitch && out.len() >= m);
     for w in blk.warps() {
         let mut row = w.warp_id;
         while row < m {
             let mask = low_lanes_mask(nw);
-            let vals = h2.ld(lanes_from_fn(|lane| if lane < nw { lane * pitch + row } else { 0 }), mask);
+            let vals = h2.ld(
+                lanes_from_fn(|lane| if lane < nw { lane * pitch + row } else { 0 }),
+                mask,
+            );
             let total = warp_scan::reduce_add_low(&w, vals, nw);
             out.set(row, total);
             row += nw;
@@ -153,6 +162,7 @@ pub fn block_exclusive_scan_shared(blk: &BlockCtx, data: &SharedBuf<u32>, len: u
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
     use super::*;
     use simt::{Device, K40C};
 
@@ -168,10 +178,7 @@ mod tests {
         assert_eq!(tail_mask(0, 100), FULL_MASK);
     }
 
-    fn run_in_block<R: Send + Sync>(nw: usize, f: impl Fn(&BlockCtx) -> R + Sync) -> R
-    where
-        R: Clone,
-    {
+    fn run_in_block<R: Send + Sync + Clone>(nw: usize, f: impl Fn(&BlockCtx) -> R + Sync) -> R {
         let dev = Device::sequential(K40C);
         let out = std::sync::Mutex::new(None);
         dev.launch("test", 1, nw, |blk| {
@@ -219,14 +226,27 @@ mod tests {
         let pitch = m | 1;
         for w in 0..nw {
             for r in 0..m {
-                assert_eq!(scanned[w * pitch + r], (w * (r + 1)) as u32, "warp {w} row {r}");
+                assert_eq!(
+                    scanned[w * pitch + r],
+                    (w * (r + 1)) as u32,
+                    "warp {w} row {r}"
+                );
             }
         }
     }
 
     #[test]
     fn block_scan_matches_reference_across_lengths() {
-        for (nw, len) in [(1, 1), (2, 31), (4, 32), (8, 255), (8, 256), (8, 257), (4, 1000), (8, 4096)] {
+        for (nw, len) in [
+            (1, 1),
+            (2, 31),
+            (4, 32),
+            (8, 255),
+            (8, 256),
+            (8, 257),
+            (4, 1000),
+            (8, 4096),
+        ] {
             let vals: Vec<u32> = (0..len).map(|i| (i as u32).wrapping_mul(37) % 11).collect();
             let vals2 = vals.clone();
             let (scanned, total) = run_in_block(nw, move |blk| {

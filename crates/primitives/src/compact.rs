@@ -22,8 +22,15 @@ pub struct SplitResult {
 }
 
 /// Kernel 1: write `pred(key) as u32` flags.
-fn write_flags<F>(dev: &Device, label: &str, keys: &GlobalBuffer<u32>, flags: &GlobalBuffer<u32>, n: usize, wpb: usize, pred: &F)
-where
+fn write_flags<F>(
+    dev: &Device,
+    label: &str,
+    keys: &GlobalBuffer<u32>,
+    flags: &GlobalBuffer<u32>,
+    n: usize,
+    wpb: usize,
+    pred: &F,
+) where
     F: Fn(u32) -> bool + Sync,
 {
     let blocks = blocks_for(n, wpb);
@@ -92,7 +99,11 @@ where
             }
         }
     });
-    SplitResult { keys: out_keys, values: out_values, false_count }
+    SplitResult {
+        keys: out_keys,
+        values: out_values,
+        false_count,
+    }
 }
 
 /// Stable compaction: keep only elements where `pred` holds; returns the
@@ -139,7 +150,9 @@ mod tests {
     use simt::{Device, K40C};
 
     fn inputs(n: usize) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761) >> 3).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761) >> 3)
+            .collect()
     }
 
     #[test]
@@ -153,8 +166,16 @@ mod tests {
         let expect_false: Vec<u32> = data.iter().copied().filter(|k| k % 2 == 0).collect();
         let expect_true: Vec<u32> = data.iter().copied().filter(|k| k % 2 == 1).collect();
         assert_eq!(r.false_count as usize, expect_false.len());
-        assert_eq!(&out[..expect_false.len()], &expect_false[..], "stable false side");
-        assert_eq!(&out[expect_false.len()..], &expect_true[..], "stable true side");
+        assert_eq!(
+            &out[..expect_false.len()],
+            &expect_false[..],
+            "stable false side"
+        );
+        assert_eq!(
+            &out[expect_false.len()..],
+            &expect_true[..],
+            "stable true side"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn histogram_shared_atomic<F>(
 where
     F: Fn(u32) -> u32 + Sync,
 {
-    assert!(m * 4 <= simt::SMEM_CAPACITY_BYTES, "bucket count {m} exceeds shared memory");
+    assert!(
+        m * 4 <= simt::SMEM_CAPACITY_BYTES,
+        "bucket count {m} exceeds shared memory"
+    );
     let hist = GlobalBuffer::<u32>::zeroed(m);
     let blocks = blocks_for(n, wpb);
     dev.launch(label, blocks, wpb, |blk| {
@@ -80,7 +83,10 @@ pub fn histogram_per_thread<F>(
 where
     F: Fn(u32) -> u32 + Sync,
 {
-    assert!(m <= 32, "per-thread private bins live in registers: m <= 32");
+    assert!(
+        m <= 32,
+        "per-thread private bins live in registers: m <= 32"
+    );
     let hist = GlobalBuffer::<u32>::zeroed(m);
     let blocks = blocks_for(n, wpb);
     let grid_threads = blocks * wpb * WARP_SIZE;
@@ -130,7 +136,11 @@ where
                 while base < num_warps {
                     let cnt = (num_warps - base).min(WARP_SIZE);
                     let sm = crate::block_scan::low_lanes_mask(cnt);
-                    let v = w.gather(&partials, lanes_from_fn(|l| (base + l.min(cnt - 1)) * m + b), sm);
+                    let v = w.gather(
+                        &partials,
+                        lanes_from_fn(|l| (base + l.min(cnt - 1)) * m + b),
+                        sm,
+                    );
                     acc += crate::warp_scan::reduce_add(
                         &w,
                         lanes_from_fn(|l| if l < cnt { v[l] } else { 0 }),
@@ -251,9 +261,17 @@ mod tests {
         let keys: Vec<u32> = (0..n as u32).collect();
         let buf = GlobalBuffer::from_slice(&keys);
         let _ = histogram_global_atomic(&dev, "gl", &buf, n, 2, 8, |k| k % 2);
-        let gl = dev.take_records().iter().map(|r| r.stats.atomic_conflicts).sum::<u64>();
+        let gl = dev
+            .take_records()
+            .iter()
+            .map(|r| r.stats.atomic_conflicts)
+            .sum::<u64>();
         let _ = histogram_shared_atomic(&dev, "sh", &buf, n, 2, 8, |k| k % 2);
-        let sh = dev.take_records().iter().map(|r| r.stats.atomic_conflicts).sum::<u64>();
+        let sh = dev
+            .take_records()
+            .iter()
+            .map(|r| r.stats.atomic_conflicts)
+            .sum::<u64>();
         assert!(gl > 8 * sh.max(1), "global {gl} vs shared {sh}");
     }
 

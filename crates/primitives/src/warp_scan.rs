@@ -13,7 +13,13 @@ pub fn inclusive_scan_add(w: &WarpCtx, v: Lanes<u32>) -> Lanes<u32> {
     let mut d = 1;
     while d < WARP_SIZE {
         let up = w.shfl_up(acc, d);
-        acc = lanes_from_fn(|lane| if lane >= d { acc[lane] + up[lane] } else { acc[lane] });
+        acc = lanes_from_fn(|lane| {
+            if lane >= d {
+                acc[lane] + up[lane]
+            } else {
+                acc[lane]
+            }
+        });
         w.charge(WARP_SIZE as u64); // the add
         d <<= 1;
     }
@@ -35,7 +41,13 @@ pub fn inclusive_scan_add_low(w: &WarpCtx, v: Lanes<u32>, k: usize) -> Lanes<u32
     let mut d = 1;
     while d < k {
         let up = w.shfl_up(acc, d);
-        acc = lanes_from_fn(|lane| if lane >= d && lane < k { acc[lane] + up[lane] } else { acc[lane] });
+        acc = lanes_from_fn(|lane| {
+            if lane >= d && lane < k {
+                acc[lane] + up[lane]
+            } else {
+                acc[lane]
+            }
+        });
         w.charge(k as u64);
         d <<= 1;
     }
@@ -56,7 +68,13 @@ pub fn reduce_add_low(w: &WarpCtx, v: Lanes<u32>, k: usize) -> u32 {
     let mut d = k.next_power_of_two() / 2;
     while d > 0 {
         let down = w.shfl_down(acc, d);
-        acc = lanes_from_fn(|lane| if lane + d < WARP_SIZE { acc[lane] + down[lane] } else { acc[lane] });
+        acc = lanes_from_fn(|lane| {
+            if lane + d < WARP_SIZE {
+                acc[lane] + down[lane]
+            } else {
+                acc[lane]
+            }
+        });
         w.charge(k as u64);
         d >>= 1;
     }
@@ -69,7 +87,13 @@ pub fn reduce_add(w: &WarpCtx, v: Lanes<u32>) -> u32 {
     let mut d = WARP_SIZE / 2;
     while d > 0 {
         let down = w.shfl_down(acc, d);
-        acc = lanes_from_fn(|lane| if lane + d < WARP_SIZE { acc[lane] + down[lane] } else { acc[lane] });
+        acc = lanes_from_fn(|lane| {
+            if lane + d < WARP_SIZE {
+                acc[lane] + down[lane]
+            } else {
+                acc[lane]
+            }
+        });
         w.charge(WARP_SIZE as u64);
         d >>= 1;
     }
@@ -82,7 +106,13 @@ pub fn reduce_max(w: &WarpCtx, v: Lanes<u32>) -> u32 {
     let mut d = WARP_SIZE / 2;
     while d > 0 {
         let down = w.shfl_down(acc, d);
-        acc = lanes_from_fn(|lane| if lane + d < WARP_SIZE { acc[lane].max(down[lane]) } else { acc[lane] });
+        acc = lanes_from_fn(|lane| {
+            if lane + d < WARP_SIZE {
+                acc[lane].max(down[lane])
+            } else {
+                acc[lane]
+            }
+        });
         w.charge(WARP_SIZE as u64);
         d >>= 1;
     }
@@ -91,6 +121,7 @@ pub fn reduce_max(w: &WarpCtx, v: Lanes<u32>) -> u32 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
     use super::*;
     use simt::{lane_ids, splat, StatCells, WarpCtx};
 

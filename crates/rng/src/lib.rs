@@ -1,0 +1,238 @@
+//! # ms-rng — a minimal, dependency-free seeded PRNG
+//!
+//! The workspace originally pulled in the `rand` crate for workload
+//! generation (bench key distributions, SSSP graph generators, property
+//! tests). This build runs in a network-restricted environment where no
+//! external crate can be fetched, so the few primitives those call sites
+//! need are implemented here: a 64-bit seeded generator with uniform
+//! integer ranges and Bernoulli draws. Quality is xoshiro256** — far more
+//! than workload generation needs — and every stream is reproducible from
+//! its seed, which the benches rely on for run-to-run comparability.
+
+/// A seeded xoshiro256** generator.
+///
+/// The 256-bit state is initialized from a 64-bit seed through SplitMix64,
+/// the standard seeding recipe, so nearby seeds still produce decorrelated
+/// streams.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Deterministically seed the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// Uses Lemire-style rejection over the range width, so the result is
+    /// unbiased. Panics on an empty range, matching `rand`'s contract.
+    #[inline]
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: IntRange<T>,
+    {
+        let (lo, width) = range.bounds();
+        T::from_offset(lo, self.uniform_below(width))
+    }
+
+    /// Unbiased uniform draw from `0..=width_minus_one_encoded`, where the
+    /// encoded width of 0 means the full 2^64 range.
+    #[inline]
+    fn uniform_below(&mut self, width: u64) -> u64 {
+        if width == 0 {
+            return self.next_u64(); // full-range draw
+        }
+        // Rejection sampling on the top bits: take the smallest bit mask
+        // covering `width` and retry until the draw lands inside.
+        let mask = u64::MAX >> (width - 1).leading_zeros().min(63);
+        loop {
+            let v = self.next_u64() & mask;
+            if v < width {
+                return v;
+            }
+        }
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform `f64` in [0, 1).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types drawable by [`SmallRng::gen_range`].
+pub trait UniformInt: Copy {
+    fn to_u64(self) -> u64;
+    fn from_offset(lo: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_offset(lo: Self, offset: u64) -> Self {
+                lo.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Range forms accepted by [`SmallRng::gen_range`].
+pub trait IntRange<T: UniformInt> {
+    /// Returns `(lo, width)`, where a width of 0 encodes the full 2^64
+    /// span (only reachable for `u64::MIN..=u64::MAX`).
+    fn bounds(&self) -> (T, u64);
+}
+
+impl<T: UniformInt> IntRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn bounds(&self) -> (T, u64) {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "gen_range called with an empty range");
+        (self.start, hi - lo)
+    }
+}
+
+impl<T: UniformInt> IntRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn bounds(&self) -> (T, u64) {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "gen_range called with an empty range");
+        (*self.start(), (hi - lo).wrapping_add(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u32 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&w));
+            let x: usize = rng.gen_range(0..3);
+            assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as i64 - 25_000).abs() < 1_500, "{hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn u64_wide_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range((1u64 << 32)..(1u64 << 33));
+            assert!(((1u64 << 32)..(1u64 << 33)).contains(&v));
+        }
+    }
+}

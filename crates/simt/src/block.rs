@@ -35,7 +35,13 @@ pub struct BlockCtx {
 impl BlockCtx {
     pub(crate) fn new(block_id: usize, num_blocks: usize, warps_per_block: usize) -> Self {
         assert!(warps_per_block >= 1, "a block needs at least one warp");
-        Self { block_id, num_blocks, warps_per_block, stats: StatCells::default(), smem_used: Cell::new(0) }
+        Self {
+            block_id,
+            num_blocks,
+            warps_per_block,
+            stats: StatCells::default(),
+            smem_used: Cell::new(0),
+        }
     }
 
     /// Threads per block.

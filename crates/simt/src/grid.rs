@@ -1,21 +1,25 @@
 //! Kernel launches: the device and its grid executor.
 //!
 //! [`Device::launch`] runs a kernel over a grid of blocks. Blocks are
-//! independent (they cannot communicate within a kernel — the CUDA
-//! guarantee the paper's `{local, global, local}` structure is built
-//! around), so the simulator runs them in parallel with rayon. Per-block
-//! event counters are merged with a reduction; no locks sit on the hot
-//! path.
+//! independent in the classic sense (no intra-kernel barrier across
+//! blocks — the CUDA guarantee the paper's `{local, global, local}`
+//! structure is built around), so the simulator runs them in parallel
+//! across host threads. Worker threads claim block ids from a shared
+//! atomic counter (dynamic self-scheduling), which gives the one
+//! forward-progress property single-pass chained scans need: a block
+//! that has claimed a ticket has, by definition, already started, so a
+//! later block spin-waiting on its published state only ever waits on
+//! running (or finished) work. Per-block event counters are merged with
+//! a reduction; no locks sit on the hot path.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-
-use rayon::prelude::*;
 
 use crate::block::BlockCtx;
 use crate::profile::DeviceProfile;
 use crate::stats::{BlockStats, LaunchRecord};
 
-/// Below this grid size the rayon fan-out costs more than it saves.
+/// Below this grid size the thread fan-out costs more than it saves.
 const PARALLEL_GRID_THRESHOLD: usize = 16;
 
 /// A simulated GPU: a profile plus the log of every kernel launched on it.
@@ -26,16 +30,33 @@ pub struct Device {
     parallel: bool,
 }
 
+/// Lock a mutex, recovering the data if a previous holder panicked. The
+/// scope string and launch log are plain data; a panic while appending
+/// never leaves them in an invalid state worth propagating.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl Device {
     /// A device that executes blocks in parallel across host cores.
     pub fn new(profile: DeviceProfile) -> Self {
-        Self { profile, records: Mutex::new(Vec::new()), scope: Mutex::new(String::new()), parallel: true }
+        Self {
+            profile,
+            records: Mutex::new(Vec::new()),
+            scope: Mutex::new(String::new()),
+            parallel: true,
+        }
     }
 
     /// A single-threaded device (bit-identical scheduling; used by tests
     /// that inspect intermediate buffers between phases).
     pub fn sequential(profile: DeviceProfile) -> Self {
-        Self { profile, records: Mutex::new(Vec::new()), scope: Mutex::new(String::new()), parallel: false }
+        Self {
+            profile,
+            records: Mutex::new(Vec::new()),
+            scope: Mutex::new(String::new()),
+            parallel: false,
+        }
     }
 
     pub fn profile(&self) -> &DeviceProfile {
@@ -45,40 +66,96 @@ impl Device {
     /// Run `f` with `scope/` prepended to every launch label — lets a
     /// composite algorithm (e.g. a radix-sort pass built from multisplit
     /// kernels) keep its own stage names in the launch log.
+    ///
+    /// The previous scope is restored by an RAII guard, so a panicking
+    /// closure (caught upstream, e.g. in a test harness) cannot poison
+    /// the labels of every later launch on the device.
     pub fn with_scope<R>(&self, scope: &str, f: impl FnOnce() -> R) -> R {
-        let prev = {
-            let mut s = self.scope.lock().unwrap();
-            let prev = s.clone();
+        struct Restore<'a> {
+            scope: &'a Mutex<String>,
+            prev_len: usize,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                lock_unpoisoned(self.scope).truncate(self.prev_len);
+            }
+        }
+        let prev_len = {
+            let mut s = lock_unpoisoned(&self.scope);
+            let prev_len = s.len();
             s.push_str(scope);
             s.push('/');
-            prev
+            prev_len
         };
-        let r = f();
-        *self.scope.lock().unwrap() = prev;
-        r
+        let _restore = Restore {
+            scope: &self.scope,
+            prev_len,
+        };
+        f()
     }
 
     /// Launch `kernel` over `num_blocks` blocks of `warps_per_block` warps.
     ///
     /// The label names the launch for per-stage reporting; by convention
     /// it is `"algorithm/stage"` (e.g. `"direct/pre-scan"`).
-    pub fn launch<F>(&self, label: &str, num_blocks: usize, warps_per_block: usize, kernel: F) -> LaunchRecord
+    ///
+    /// A zero-block launch is a true no-op: nothing runs and nothing is
+    /// recorded, so empty grids cannot inflate `total_seconds()`.
+    pub fn launch<F>(
+        &self,
+        label: &str,
+        num_blocks: usize,
+        warps_per_block: usize,
+        kernel: F,
+    ) -> LaunchRecord
     where
         F: Fn(&BlockCtx) + Sync,
     {
+        let label = format!("{}{}", lock_unpoisoned(&self.scope), label);
+        if num_blocks == 0 {
+            return LaunchRecord {
+                label,
+                blocks: 0,
+                warps_per_block,
+                stats: BlockStats::default(),
+                seconds: 0.0,
+            };
+        }
         let run_block = |b: usize| -> BlockStats {
             let blk = BlockCtx::new(b, num_blocks, warps_per_block);
             kernel(&blk);
             blk.into_stats()
         };
         let stats = if self.parallel && num_blocks >= PARALLEL_GRID_THRESHOLD {
-            (0..num_blocks)
-                .into_par_iter()
-                .map(run_block)
-                .reduce(BlockStats::default, |mut a, b| {
-                    a += b;
-                    a
-                })
+            let workers = std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(num_blocks);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut acc = BlockStats::default();
+                            loop {
+                                let b = next.fetch_add(1, Ordering::Relaxed);
+                                if b >= num_blocks {
+                                    break;
+                                }
+                                acc += run_block(b);
+                            }
+                            acc
+                        })
+                    })
+                    .collect();
+                let mut acc = BlockStats::default();
+                for h in handles {
+                    match h.join() {
+                        Ok(s) => acc += s,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                acc
+            })
         } else {
             let mut acc = BlockStats::default();
             for b in 0..num_blocks {
@@ -87,41 +164,42 @@ impl Device {
             acc
         };
         let record = LaunchRecord {
-            label: format!("{}{}", self.scope.lock().unwrap(), label),
+            label,
             blocks: num_blocks,
             warps_per_block,
             stats,
             seconds: self.profile.estimate(&stats),
         };
-        self.records.lock().unwrap().push(record.clone());
+        lock_unpoisoned(&self.records).push(record.clone());
         record
     }
 
     /// All launches so far, in order.
     pub fn records(&self) -> Vec<LaunchRecord> {
-        self.records.lock().unwrap().clone()
+        lock_unpoisoned(&self.records).clone()
     }
 
     /// Drain the launch log.
     pub fn take_records(&self) -> Vec<LaunchRecord> {
-        std::mem::take(&mut self.records.lock().unwrap())
+        std::mem::take(&mut lock_unpoisoned(&self.records))
     }
 
     /// Clear the launch log.
     pub fn reset(&self) {
-        self.records.lock().unwrap().clear();
+        lock_unpoisoned(&self.records).clear();
     }
 
     /// Total estimated seconds over all recorded launches.
     pub fn total_seconds(&self) -> f64 {
-        self.records.lock().unwrap().iter().map(|r| r.seconds).sum()
+        lock_unpoisoned(&self.records)
+            .iter()
+            .map(|r| r.seconds)
+            .sum()
     }
 
     /// Total estimated seconds over launches whose label starts with `prefix`.
     pub fn seconds_with_prefix(&self, prefix: &str) -> f64 {
-        self.records
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.records)
             .iter()
             .filter(|r| r.label.starts_with(prefix))
             .map(|r| r.seconds)
@@ -138,7 +216,7 @@ pub fn blocks_for(n: usize, warps_per_block: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lanes::{lanes_from_fn, FULL_MASK, WARP_SIZE};
+    use crate::lanes::{lanes_from_fn, splat, WARP_SIZE};
     use crate::memory::GlobalBuffer;
     use crate::profile::K40C;
 
@@ -152,7 +230,13 @@ mod tests {
     }
 
     /// A copy kernel: every thread moves one element.
-    fn copy_kernel(dev: &Device, src: &GlobalBuffer<u32>, dst: &GlobalBuffer<u32>, n: usize, wpb: usize) {
+    fn copy_kernel(
+        dev: &Device,
+        src: &GlobalBuffer<u32>,
+        dst: &GlobalBuffer<u32>,
+        n: usize,
+        wpb: usize,
+    ) {
         let blocks = blocks_for(n, wpb);
         dev.launch("copy", blocks, wpb, |blk| {
             for w in blk.warps() {
@@ -228,9 +312,45 @@ mod tests {
     }
 
     #[test]
+    fn scope_restored_when_closure_panics() {
+        let dev = Device::sequential(K40C);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.with_scope("doomed", || panic!("kernel bug"));
+        }));
+        assert!(caught.is_err());
+        dev.launch("after", 1, 1, |_| {});
+        assert_eq!(
+            dev.records()[0].label,
+            "after",
+            "scope must unwind with the panic"
+        );
+    }
+
+    #[test]
     fn zero_block_launch_is_a_noop() {
         let dev = Device::new(K40C);
         let rec = dev.launch("empty", 0, 8, |_| panic!("must not run"));
         assert_eq!(rec.stats, BlockStats::default());
+        assert_eq!(rec.seconds, 0.0);
+        assert!(
+            dev.records().is_empty(),
+            "no-op launches must not be recorded"
+        );
+        assert_eq!(dev.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn parallel_grid_uses_dynamic_scheduling() {
+        // Large enough to cross PARALLEL_GRID_THRESHOLD; every block must
+        // run exactly once regardless of how workers interleave.
+        let dev = Device::new(K40C);
+        let n_blocks = 64;
+        let hits = GlobalBuffer::<u32>::zeroed(n_blocks);
+        dev.launch("dyn", n_blocks, 1, |blk| {
+            for w in blk.warps() {
+                w.atomic_add(&hits, splat(blk.block_id), splat(1u32), 1);
+            }
+        });
+        assert_eq!(hits.to_vec(), vec![1u32; n_blocks]);
     }
 }

@@ -42,7 +42,11 @@ pub fn map<T: Copy, U, F: FnMut(T) -> U>(a: Lanes<T>, mut f: F) -> Lanes<U> {
 
 /// Apply `f` lane-wise over two registers.
 #[inline]
-pub fn zip<T: Copy, U: Copy, V, F: FnMut(T, U) -> V>(a: Lanes<T>, b: Lanes<U>, mut f: F) -> Lanes<V> {
+pub fn zip<T: Copy, U: Copy, V, F: FnMut(T, U) -> V>(
+    a: Lanes<T>,
+    b: Lanes<U>,
+    mut f: F,
+) -> Lanes<V> {
     lanes_from_fn(|i| f(a[i], b[i]))
 }
 

@@ -13,8 +13,10 @@
 //! * [`BlockCtx`] — shared memory (48 kB, bank-conflict aware) and
 //!   barrier-separated warp phases.
 //! * [`Device`] — kernel launches over grids of blocks, executed in
-//!   parallel on host cores with rayon (blocks are independent within a
-//!   kernel, exactly as on the GPU).
+//!   parallel on host threads that claim block ids from a shared counter
+//!   (blocks are independent within a kernel, exactly as on the GPU, and
+//!   the claim order gives single-pass chained scans their
+//!   forward-progress guarantee).
 //! * [`GlobalBuffer`] — device global memory that counts the distinct
 //!   32-byte DRAM sectors each warp-wide access touches: the coalescing
 //!   model that drives every performance result in the paper.
@@ -61,8 +63,8 @@ pub mod warp;
 pub use block::{BlockCtx, SMEM_CAPACITY_BYTES};
 pub use grid::{blocks_for, Device};
 pub use lanes::{
-    lane_active, lane_ids, lane_mask_le, lane_mask_lt, lanes_from_fn, map, popc, splat, zip, Lanes, FULL_MASK,
-    WARP_SIZE,
+    lane_active, lane_ids, lane_mask_le, lane_mask_lt, lanes_from_fn, map, popc, splat, zip, Lanes,
+    FULL_MASK, WARP_SIZE,
 };
 pub use memory::{GlobalBuffer, Scalar, SECTOR_BYTES};
 pub use profile::{DeviceProfile, GTX750TI, K40C};

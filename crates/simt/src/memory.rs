@@ -145,7 +145,10 @@ impl<T: Scalar> GlobalBuffer<T> {
 
     /// Download the buffer to the host.
     pub fn to_vec(&self) -> Vec<T> {
-        self.words.iter().map(|w| T::from_bits(w.load(Ordering::Relaxed))).collect()
+        self.words
+            .iter()
+            .map(|w| T::from_bits(w.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Host-side single element read (no transaction accounting).
@@ -307,17 +310,83 @@ impl<T: Scalar> GlobalBuffer<T> {
     }
 }
 
+/// Device-scope single-element operations (sequentially consistent).
+///
+/// These are the communication primitives single-pass chained scans need:
+/// a block publishes its tile state and its successors read it *within the
+/// same kernel*. On hardware they compile to `ld.global.acq`/`st.global.rel`
+/// (or `volatile` + `__threadfence()` on Kepler); here they are `SeqCst`
+/// atomics so cross-block happens-before is real on the host too.
+///
+/// Accounting: one lane touching one element costs one 32 B sector and
+/// `T::BYTES` useful bytes. [`GlobalBuffer::device_peek`] is the exception —
+/// it is the *spin-poll* read, modeled as L2-resident (a poll that misses
+/// re-reads a line the SM already owns), so it is deliberately uncounted;
+/// that also keeps stats schedule-independent, since retry counts depend on
+/// thread interleaving. Charge the one *successful* read via
+/// [`GlobalBuffer::device_get`] after the poll succeeds.
+impl<T: Scalar> GlobalBuffer<T> {
+    /// Single-lane device-scope read (counted: 1 sector + `T::BYTES` useful).
+    pub fn device_get(&self, stats: &StatCells, idx: usize) -> T {
+        let v = T::from_bits(self.words[idx].load(Ordering::SeqCst));
+        Self::account_single(stats);
+        v
+    }
+
+    /// Single-lane device-scope write (counted: 1 sector + `T::BYTES` useful).
+    ///
+    /// Skips the write-race detector: chained-scan state words are written
+    /// twice per epoch *by design* (aggregate, then inclusive prefix), and
+    /// the `SeqCst` ordering is exactly the discipline that makes it safe.
+    pub fn device_set(&self, stats: &StatCells, idx: usize, v: T) {
+        self.words[idx].store(v.to_bits(), Ordering::SeqCst);
+        Self::account_single(stats);
+    }
+
+    /// Single-lane device-scope read with **no accounting** — the spin-poll
+    /// path (see the impl-level docs for why polls are free).
+    pub fn device_peek(&self, idx: usize) -> T {
+        T::from_bits(self.words[idx].load(Ordering::SeqCst))
+    }
+
+    fn account_single(stats: &StatCells) {
+        StatCells::bump(&stats.sectors, 1);
+        StatCells::bump(&stats.useful_bytes, T::BYTES);
+        StatCells::bump(&stats.global_requests, 1);
+        StatCells::bump(&stats.lane_ops, 1);
+    }
+}
+
 impl GlobalBuffer<u32> {
+    /// Single-lane device-scope `fetch_add`; returns the previous value.
+    ///
+    /// The ticket counter of the chained scan: each block claims its tile
+    /// id in task-start order, which is what makes the decoupled lookback
+    /// deadlock-free (a block only ever waits on already-started blocks).
+    pub fn device_fetch_add(&self, stats: &StatCells, idx: usize, val: u32) -> u32 {
+        let prev = self.words[idx].fetch_add(val as u64, Ordering::SeqCst) as u32;
+        Self::account_single(stats);
+        StatCells::bump(&stats.atomic_ops, 1);
+        prev
+    }
+
     /// Warp-wide atomic minimum; returns the previous values. The workhorse
     /// of SSSP edge relaxation.
-    pub fn atomic_min(&self, stats: &StatCells, idx: Lanes<usize>, val: Lanes<u32>, mask: u32) -> Lanes<u32> {
+    pub fn atomic_min(
+        &self,
+        stats: &StatCells,
+        idx: Lanes<usize>,
+        val: Lanes<u32>,
+        mask: u32,
+    ) -> Lanes<u32> {
         let mut out = [0u32; WARP_SIZE];
         let mut conflicts = 0u64;
         let mut seen = [0usize; WARP_SIZE];
         let mut n = 0usize;
         for lane in 0..WARP_SIZE {
             if lane_active(mask, lane) {
-                out[lane] = self.words[idx[lane]].fetch_min(val[lane] as u64, Ordering::Relaxed) as u32;
+                out[lane] =
+                    self.words[idx[lane]].fetch_min(val[lane] as u64, Ordering::Relaxed) as u32;
                 if seen[..n].contains(&idx[lane]) {
                     conflicts += 1;
                 } else {
@@ -336,14 +405,21 @@ impl GlobalBuffer<u32> {
     ///
     /// Same-address conflicts within the warp serialize on real hardware;
     /// we count them so the cost model can penalize contended histograms.
-    pub fn atomic_add(&self, stats: &StatCells, idx: Lanes<usize>, val: Lanes<u32>, mask: u32) -> Lanes<u32> {
+    pub fn atomic_add(
+        &self,
+        stats: &StatCells,
+        idx: Lanes<usize>,
+        val: Lanes<u32>,
+        mask: u32,
+    ) -> Lanes<u32> {
         let mut out = [0u32; WARP_SIZE];
         let mut conflicts = 0u64;
         let mut seen = [0usize; WARP_SIZE];
         let mut n = 0usize;
         for lane in 0..WARP_SIZE {
             if lane_active(mask, lane) {
-                out[lane] = self.words[idx[lane]].fetch_add(val[lane] as u64, Ordering::Relaxed) as u32;
+                out[lane] =
+                    self.words[idx[lane]].fetch_add(val[lane] as u64, Ordering::Relaxed) as u32;
                 if seen[..n].contains(&idx[lane]) {
                     conflicts += 1;
                 } else {
@@ -361,6 +437,7 @@ impl GlobalBuffer<u32> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
     use super::*;
     use crate::lanes::{lanes_from_fn, splat, FULL_MASK};
 
@@ -374,7 +451,10 @@ mod tests {
         assert_eq!(u64::from_bits(u64::MAX.to_bits()), u64::MAX);
         assert_eq!(i32::from_bits((-7i32).to_bits()), -7);
         assert_eq!(f32::from_bits(3.5f32.to_bits()), 3.5);
-        assert_eq!(<(u32, u32)>::from_bits((0xDEAD, 0xBEEF).to_bits()), (0xDEAD, 0xBEEF));
+        assert_eq!(
+            <(u32, u32)>::from_bits((0xDEAD, 0xBEEF).to_bits()),
+            (0xDEAD, 0xBEEF)
+        );
     }
 
     #[test]
@@ -430,7 +510,12 @@ mod tests {
     fn scatter_roundtrip() {
         let buf = GlobalBuffer::<u32>::zeroed(32);
         let st = cells();
-        buf.scatter(&st, lanes_from_fn(|i| 31 - i), lanes_from_fn(|i| i as u32), FULL_MASK);
+        buf.scatter(
+            &st,
+            lanes_from_fn(|i| 31 - i),
+            lanes_from_fn(|i| i as u32),
+            FULL_MASK,
+        );
         let v = buf.to_vec();
         for i in 0..32 {
             assert_eq!(v[i], 31 - i as u32);
@@ -466,10 +551,40 @@ mod tests {
         assert_eq!(buf.get(0), 32);
         let mut seen: Vec<u32> = prev.to_vec();
         seen.sort_unstable();
-        assert_eq!(seen, (0..32).collect::<Vec<_>>(), "each lane saw a distinct previous value");
+        assert_eq!(
+            seen,
+            (0..32).collect::<Vec<_>>(),
+            "each lane saw a distinct previous value"
+        );
         let s = st.snapshot();
         assert_eq!(s.atomic_ops, 32);
         assert_eq!(s.atomic_conflicts, 31);
+    }
+
+    #[test]
+    fn device_ops_account_one_sector_each() {
+        let buf = GlobalBuffer::<u64>::zeroed(4);
+        let st = cells();
+        buf.device_set(&st, 2, 77);
+        assert_eq!(buf.device_get(&st, 2), 77);
+        assert_eq!(buf.device_peek(2), 77, "peek sees the value");
+        let s = st.snapshot();
+        assert_eq!(s.sectors, 2, "set + get; peek is free");
+        assert_eq!(s.useful_bytes, 16);
+        assert_eq!(s.global_requests, 2);
+    }
+
+    #[test]
+    fn device_fetch_add_is_a_ticket_counter() {
+        let buf = GlobalBuffer::<u32>::zeroed(1);
+        let st = cells();
+        let t0 = buf.device_fetch_add(&st, 0, 1);
+        let t1 = buf.device_fetch_add(&st, 0, 1);
+        assert_eq!((t0, t1), (0, 1));
+        assert_eq!(buf.get(0), 2);
+        let s = st.snapshot();
+        assert_eq!(s.atomic_ops, 2);
+        assert_eq!(s.sectors, 2);
     }
 
     #[test]

@@ -145,23 +145,45 @@ mod tests {
 
     #[test]
     fn wasted_bytes_cost_extra() {
-        let coalesced = BlockStats { sectors: 1_000_000, useful_bytes: 32_000_000, ..Default::default() };
-        let scattered = BlockStats { sectors: 8_000_000, useful_bytes: 32_000_000, ..Default::default() };
+        let coalesced = BlockStats {
+            sectors: 1_000_000,
+            useful_bytes: 32_000_000,
+            ..Default::default()
+        };
+        let scattered = BlockStats {
+            sectors: 8_000_000,
+            useful_bytes: 32_000_000,
+            ..Default::default()
+        };
         assert!(K40C.estimate(&scattered) > K40C.estimate(&coalesced) * 2.0);
     }
 
     #[test]
     fn scattered_traffic_hurts_maxwell_more() {
-        let scattered = BlockStats { sectors: 8_000_000, useful_bytes: 32_000_000, ..Default::default() };
-        let coalesced = BlockStats { sectors: 1_000_000, useful_bytes: 32_000_000, ..Default::default() };
+        let scattered = BlockStats {
+            sectors: 8_000_000,
+            useful_bytes: 32_000_000,
+            ..Default::default()
+        };
+        let coalesced = BlockStats {
+            sectors: 1_000_000,
+            useful_bytes: 32_000_000,
+            ..Default::default()
+        };
         let k_ratio = K40C.estimate(&scattered) / K40C.estimate(&coalesced);
         let m_ratio = GTX750TI.estimate(&scattered) / GTX750TI.estimate(&coalesced);
-        assert!(m_ratio > k_ratio, "Maxwell should be hit harder by waste (paper §6.3)");
+        assert!(
+            m_ratio > k_ratio,
+            "Maxwell should be hit harder by waste (paper §6.3)"
+        );
     }
 
     #[test]
     fn compute_bound_launch_uses_compute_time() {
-        let s = BlockStats { intrinsics: 45_000_000_000, ..Default::default() };
+        let s = BlockStats {
+            intrinsics: 45_000_000_000,
+            ..Default::default()
+        };
         let t = K40C.estimate(&s);
         let expect = K40C.launch_overhead_us * 1e-6 + 45e9 / (K40C.intrinsic_gops * 1e9);
         assert!((t - expect).abs() < 1e-9, "{t} vs {expect}");

@@ -24,7 +24,10 @@ pub struct SharedBuf<'a, T: Scalar> {
 
 impl<'a, T: Scalar> SharedBuf<'a, T> {
     pub(crate) fn new(len: usize, stats: &'a StatCells) -> Self {
-        Self { data: RefCell::new(vec![T::default(); len].into_boxed_slice()), stats }
+        Self {
+            data: RefCell::new(vec![T::default(); len].into_boxed_slice()),
+            stats,
+        }
     }
 
     pub fn len(&self) -> usize {

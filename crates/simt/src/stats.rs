@@ -133,8 +133,18 @@ mod tests {
 
     #[test]
     fn add_assign_sums_fields() {
-        let mut a = BlockStats { sectors: 1, useful_bytes: 2, lane_ops: 5, ..Default::default() };
-        let b = BlockStats { sectors: 10, useful_bytes: 20, barriers: 1, ..Default::default() };
+        let mut a = BlockStats {
+            sectors: 1,
+            useful_bytes: 2,
+            lane_ops: 5,
+            ..Default::default()
+        };
+        let b = BlockStats {
+            sectors: 10,
+            useful_bytes: 20,
+            barriers: 1,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.sectors, 11);
         assert_eq!(a.useful_bytes, 22);
@@ -144,10 +154,18 @@ mod tests {
 
     #[test]
     fn dram_and_wasted_bytes() {
-        let s = BlockStats { sectors: 4, useful_bytes: 100, ..Default::default() };
+        let s = BlockStats {
+            sectors: 4,
+            useful_bytes: 100,
+            ..Default::default()
+        };
         assert_eq!(s.dram_bytes(), 128);
         assert_eq!(s.wasted_bytes(), 28);
-        let t = BlockStats { sectors: 1, useful_bytes: 128, ..Default::default() };
+        let t = BlockStats {
+            sectors: 1,
+            useful_bytes: 128,
+            ..Default::default()
+        };
         assert_eq!(t.wasted_bytes(), 0, "waste saturates at zero");
     }
 

@@ -62,7 +62,11 @@ mod tests {
             label: label.into(),
             blocks: 4,
             warps_per_block: 8,
-            stats: BlockStats { sectors: 10, useful_bytes: 320, ..Default::default() },
+            stats: BlockStats {
+                sectors: 10,
+                useful_bytes: 320,
+                ..Default::default()
+            },
             seconds,
         }
     }

@@ -25,7 +25,11 @@ impl<'a> WarpCtx<'a> {
     /// algorithms (e.g. the paper's Algorithms 2–3) can be unit- and
     /// property-tested in isolation against scalar references.
     pub fn new(warp_id: usize, global_warp_id: usize, stats: &'a StatCells) -> Self {
-        Self { warp_id, global_warp_id, stats }
+        Self {
+            warp_id,
+            global_warp_id,
+            stats,
+        }
     }
 
     #[inline]
@@ -64,14 +68,26 @@ impl<'a> WarpCtx<'a> {
     /// lanes `< delta` keep their own value.
     pub fn shfl_up<T: Copy>(&self, v: Lanes<T>, delta: usize) -> Lanes<T> {
         self.count_intrinsic();
-        lanes_from_fn(|lane| if lane >= delta { v[lane - delta] } else { v[lane] })
+        lanes_from_fn(|lane| {
+            if lane >= delta {
+                v[lane - delta]
+            } else {
+                v[lane]
+            }
+        })
     }
 
     /// CUDA `__shfl_down(v, delta)`: lane `i` reads from lane `i + delta`;
     /// lanes `>= 32 - delta` keep their own value.
     pub fn shfl_down<T: Copy>(&self, v: Lanes<T>, delta: usize) -> Lanes<T> {
         self.count_intrinsic();
-        lanes_from_fn(|lane| if lane + delta < WARP_SIZE { v[lane + delta] } else { v[lane] })
+        lanes_from_fn(|lane| {
+            if lane + delta < WARP_SIZE {
+                v[lane + delta]
+            } else {
+                v[lane]
+            }
+        })
     }
 
     /// CUDA `__shfl_xor(v, lanemask)`: lane `i` reads from lane `i ^ lanemask`.
@@ -87,37 +103,94 @@ impl<'a> WarpCtx<'a> {
     }
 
     /// Warp-wide gather from global memory (counts DRAM sectors).
-    pub fn gather<T: Scalar>(&self, buf: &GlobalBuffer<T>, idx: Lanes<usize>, mask: u32) -> Lanes<T> {
+    pub fn gather<T: Scalar>(
+        &self,
+        buf: &GlobalBuffer<T>,
+        idx: Lanes<usize>,
+        mask: u32,
+    ) -> Lanes<T> {
         buf.gather(self.stats, idx, mask)
     }
 
     /// Warp-wide gather through the L2-cached read-only path (for small
     /// reused tables such as the scanned offsets `G`); see
     /// [`GlobalBuffer::gather_cached`].
-    pub fn gather_cached<T: Scalar>(&self, buf: &GlobalBuffer<T>, idx: Lanes<usize>, mask: u32) -> Lanes<T> {
+    pub fn gather_cached<T: Scalar>(
+        &self,
+        buf: &GlobalBuffer<T>,
+        idx: Lanes<usize>,
+        mask: u32,
+    ) -> Lanes<T> {
         buf.gather_cached(self.stats, idx, mask)
     }
 
     /// Warp-wide scatter to global memory (counts DRAM sectors).
-    pub fn scatter<T: Scalar>(&self, buf: &GlobalBuffer<T>, idx: Lanes<usize>, val: Lanes<T>, mask: u32) {
+    pub fn scatter<T: Scalar>(
+        &self,
+        buf: &GlobalBuffer<T>,
+        idx: Lanes<usize>,
+        val: Lanes<T>,
+        mask: u32,
+    ) {
         buf.scatter(self.stats, idx, val, mask)
     }
 
     /// Warp-wide scatter through the L2 write-merging path (for strided
     /// histogram-table stores that neighbouring warps complete); see
     /// [`GlobalBuffer::scatter_merged`].
-    pub fn scatter_merged<T: Scalar>(&self, buf: &GlobalBuffer<T>, idx: Lanes<usize>, val: Lanes<T>, mask: u32) {
+    pub fn scatter_merged<T: Scalar>(
+        &self,
+        buf: &GlobalBuffer<T>,
+        idx: Lanes<usize>,
+        val: Lanes<T>,
+        mask: u32,
+    ) {
         buf.scatter_merged(self.stats, idx, val, mask)
     }
 
     /// Warp-wide global atomic minimum (counts sectors + conflicts).
-    pub fn atomic_min(&self, buf: &GlobalBuffer<u32>, idx: Lanes<usize>, val: Lanes<u32>, mask: u32) -> Lanes<u32> {
+    pub fn atomic_min(
+        &self,
+        buf: &GlobalBuffer<u32>,
+        idx: Lanes<usize>,
+        val: Lanes<u32>,
+        mask: u32,
+    ) -> Lanes<u32> {
         buf.atomic_min(self.stats, idx, val, mask)
     }
 
     /// Warp-wide global atomic add (counts sectors + conflicts).
-    pub fn atomic_add(&self, buf: &GlobalBuffer<u32>, idx: Lanes<usize>, val: Lanes<u32>, mask: u32) -> Lanes<u32> {
+    pub fn atomic_add(
+        &self,
+        buf: &GlobalBuffer<u32>,
+        idx: Lanes<usize>,
+        val: Lanes<u32>,
+        mask: u32,
+    ) -> Lanes<u32> {
         buf.atomic_add(self.stats, idx, val, mask)
+    }
+
+    /// Single-lane device-scope read (lane 0 of the warp; counted). Used by
+    /// the chained scan's lookback to read predecessor tile states.
+    pub fn device_get<T: Scalar>(&self, buf: &GlobalBuffer<T>, idx: usize) -> T {
+        buf.device_get(self.stats, idx)
+    }
+
+    /// Single-lane device-scope write (lane 0 of the warp; counted). Used
+    /// to publish a tile's aggregate / inclusive-prefix state.
+    pub fn device_set<T: Scalar>(&self, buf: &GlobalBuffer<T>, idx: usize, v: T) {
+        buf.device_set(self.stats, idx, v)
+    }
+
+    /// Single-lane device-scope spin-poll read (uncounted; modeled as
+    /// L2-resident — see [`GlobalBuffer::device_peek`]).
+    pub fn device_peek<T: Scalar>(&self, buf: &GlobalBuffer<T>, idx: usize) -> T {
+        buf.device_peek(idx)
+    }
+
+    /// Single-lane device-scope ticket fetch-add (counted).
+    pub fn device_fetch_add(&self, buf: &GlobalBuffer<u32>, idx: usize, val: u32) -> u32 {
+        buf.device_fetch_add(self.stats, idx, val)
     }
 
     /// Charge `n` generic per-lane ALU operations (address arithmetic,
@@ -140,6 +213,7 @@ impl<'a> WarpCtx<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
     use super::*;
     use crate::lanes::{lane_ids, splat, FULL_MASK};
 

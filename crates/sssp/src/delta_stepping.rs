@@ -66,7 +66,11 @@ struct Pool {
 
 impl Pool {
     fn empty() -> Self {
-        Self { dist: GlobalBuffer::zeroed(0), node: GlobalBuffer::zeroed(0), len: 0 }
+        Self {
+            dist: GlobalBuffer::zeroed(0),
+            node: GlobalBuffer::zeroed(0),
+            len: 0,
+        }
     }
 }
 
@@ -116,7 +120,11 @@ fn relax_frontier(
     wpb: usize,
 ) -> Pool {
     let cap = g_col.len().max(1);
-    let cand = Pool { dist: GlobalBuffer::zeroed(cap), node: GlobalBuffer::zeroed(cap), len: 0 };
+    let cand = Pool {
+        dist: GlobalBuffer::zeroed(cap),
+        node: GlobalBuffer::zeroed(cap),
+        len: 0,
+    };
     let cursor = GlobalBuffer::<u32>::zeroed(1);
     dev.launch("sssp/relax", blocks_for(f_len, wpb), wpb, |blk| {
         for w in blk.warps() {
@@ -139,7 +147,11 @@ fn relax_frontier(
             let row_lo = w.gather(g_row, vi, live);
             let row_hi = w.gather(g_row, lanes_from_fn(|l| vi[l] + 1), live);
             let deg = lanes_from_fn(|l| (row_hi[l] - row_lo[l]) as usize);
-            let max_deg = (0..WARP_SIZE).filter(|&l| live >> l & 1 == 1).map(|l| deg[l]).max().unwrap_or(0);
+            let max_deg = (0..WARP_SIZE)
+                .filter(|&l| live >> l & 1 == 1)
+                .map(|l| deg[l])
+                .max()
+                .unwrap_or(0);
             // Lockstep edge loop: lanes with fewer edges idle (divergence).
             for e in 0..max_deg {
                 let emask = (0..WARP_SIZE)
@@ -169,7 +181,10 @@ fn relax_frontier(
             }
         }
     });
-    Pool { len: cursor.get(0) as usize, ..cand }
+    Pool {
+        len: cursor.get(0) as usize,
+        ..cand
+    }
 }
 
 /// Run delta-stepping from `source` with bucket width `delta`.
@@ -182,7 +197,13 @@ fn relax_frontier(
 /// let r = delta_stepping(&dev, &g, 0, 2, Bucketing::Multisplit { m: 4 });
 /// assert_eq!(r.dist, vec![0, 1, 3, 4]);
 /// ```
-pub fn delta_stepping(dev: &Device, g: &CsrGraph, source: u32, delta: u32, strategy: Bucketing) -> SsspResult {
+pub fn delta_stepping(
+    dev: &Device,
+    g: &CsrGraph,
+    source: u32,
+    delta: u32,
+    strategy: Bucketing,
+) -> SsspResult {
     assert!(delta >= 1, "bucket width must be positive");
     let n = g.num_nodes();
     assert!((source as usize) < n);
@@ -207,7 +228,16 @@ pub fn delta_stepping(dev: &Device, g: &CsrGraph, source: u32, delta: u32, strat
         iterations += 1;
         assert!(iterations < 1_000_000, "delta-stepping failed to converge");
         // 1. Relax the frontier.
-        let cand = relax_frontier(dev, &g_row, &g_col, &g_wgt, &dist, &frontier, frontier.len, wpb);
+        let cand = relax_frontier(
+            dev,
+            &g_row,
+            &g_col,
+            &g_wgt,
+            &dist,
+            &frontier,
+            frontier.len,
+            wpb,
+        );
         // 2. Merge surviving pending entries with the new candidates.
         let pool_len = pending.len + cand.len;
         if pool_len == 0 {
@@ -218,22 +248,54 @@ pub fn delta_stepping(dev: &Device, g: &CsrGraph, source: u32, delta: u32, strat
             node: GlobalBuffer::zeroed(pool_len),
             len: pool_len,
         };
-        device_copy(dev, "sssp/merge", (&pending.dist, &pending.node), 0, pending.len, (&pool.dist, &pool.node), 0, wpb);
-        device_copy(dev, "sssp/merge", (&cand.dist, &cand.node), 0, cand.len, (&pool.dist, &pool.node), pending.len, wpb);
+        device_copy(
+            dev,
+            "sssp/merge",
+            (&pending.dist, &pending.node),
+            0,
+            pending.len,
+            (&pool.dist, &pool.node),
+            0,
+            wpb,
+        );
+        device_copy(
+            dev,
+            "sssp/merge",
+            (&cand.dist, &cand.node),
+            0,
+            cand.len,
+            (&pool.dist, &pool.node),
+            pending.len,
+            wpb,
+        );
         // 3. Reorganize the pool into buckets (the multisplit step).
         let (keys, nodes, near) = dev.with_scope("sssp/bucket", || match strategy {
             Bucketing::Multisplit { m } => {
                 let bucket = DeltaBuckets::new(base, delta, m);
                 let method = Method::auto(m, true);
-                let r = multisplit_device(dev, method, &pool.dist, Some(&pool.node), pool_len, &bucket, wpb);
+                let r = multisplit_device(
+                    dev,
+                    method,
+                    &pool.dist,
+                    Some(&pool.node),
+                    pool_len,
+                    &bucket,
+                    wpb,
+                );
                 let near = r.offsets[1] as usize;
                 (r.keys, r.values.unwrap(), near)
             }
             Bucketing::NearFar => {
                 let threshold = base.saturating_add(delta);
-                let r = split_by_pred(dev, "near-far", &pool.dist, Some(&pool.node), pool_len, wpb, move |d| {
-                    d >= threshold
-                });
+                let r = split_by_pred(
+                    dev,
+                    "near-far",
+                    &pool.dist,
+                    Some(&pool.node),
+                    pool_len,
+                    wpb,
+                    move |d| d >= threshold,
+                );
                 (r.keys, r.values.unwrap(), r.false_count as usize)
             }
             Bucketing::SortBased => {
@@ -248,7 +310,11 @@ pub fn delta_stepping(dev: &Device, g: &CsrGraph, source: u32, delta: u32, strat
         if near > 0 {
             // Process the near bucket; keep the rest pending.
             let far = pool_len - near;
-            frontier = Pool { dist: keys, node: nodes, len: near };
+            frontier = Pool {
+                dist: keys,
+                node: nodes,
+                len: near,
+            };
             // Splitting the pool: frontier reads entries 0..near in place;
             // pending gets its own compacted copy.
             let new_pending = Pool {
@@ -276,13 +342,22 @@ pub fn delta_stepping(dev: &Device, g: &CsrGraph, source: u32, delta: u32, strat
             }
             base = min_d; // window restarts at the smallest outstanding distance
             frontier = Pool::empty();
-            pending = Pool { dist: keys, node: nodes, len: pool_len };
+            pending = Pool {
+                dist: keys,
+                node: nodes,
+                len: pool_len,
+            };
         }
     }
 
     let bucketing_seconds = dev.seconds_with_prefix("sssp/bucket/");
     let total_seconds = dev.seconds_with_prefix("sssp/");
-    SsspResult { dist: dist.to_vec(), iterations, bucketing_seconds, total_seconds }
+    SsspResult {
+        dist: dist.to_vec(),
+        iterations,
+        bucketing_seconds,
+        total_seconds,
+    }
 }
 
 #[cfg(test)]
@@ -295,14 +370,24 @@ mod tests {
     fn check_strategy(g: &CsrGraph, strategy: Bucketing, delta: u32) -> SsspResult {
         let dev = Device::new(K40C);
         let r = delta_stepping(&dev, g, 0, delta, strategy);
-        assert_eq!(r.dist, dijkstra(g, 0), "{} must match Dijkstra", strategy.name());
+        assert_eq!(
+            r.dist,
+            dijkstra(g, 0),
+            "{} must match Dijkstra",
+            strategy.name()
+        );
         r
     }
 
     #[test]
     fn all_strategies_match_dijkstra_on_uniform() {
         let g = uniform_random(800, 6, 40, 3);
-        for s in [Bucketing::Multisplit { m: 10 }, Bucketing::Multisplit { m: 2 }, Bucketing::NearFar, Bucketing::SortBased] {
+        for s in [
+            Bucketing::Multisplit { m: 10 },
+            Bucketing::Multisplit { m: 2 },
+            Bucketing::NearFar,
+            Bucketing::SortBased,
+        ] {
             check_strategy(&g, s, 16);
         }
     }

@@ -5,8 +5,7 @@
 //!
 //! All generators are seeded and deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use msrng::SmallRng;
 
 use crate::graph::CsrGraph;
 
@@ -14,7 +13,7 @@ use crate::graph::CsrGraph;
 /// to uniform targets, weights uniform in `1..=max_weight`.
 pub fn uniform_random(num_nodes: usize, avg_degree: usize, max_weight: u32, seed: u64) -> CsrGraph {
     assert!(num_nodes > 0 && max_weight >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(num_nodes * avg_degree);
     for src in 0..num_nodes as u32 {
         for _ in 0..avg_degree {
@@ -31,13 +30,13 @@ pub fn uniform_random(num_nodes: usize, avg_degree: usize, max_weight: u32, seed
 pub fn rmat(scale: u32, edge_factor: usize, max_weight: u32, seed: u64) -> CsrGraph {
     let num_nodes = 1usize << scale;
     let num_edges = num_nodes * edge_factor;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let (a, b, c) = (0.57, 0.19, 0.19);
     let mut edges = Vec::with_capacity(num_edges);
     for _ in 0..num_edges {
         let (mut src, mut dst) = (0u32, 0u32);
         for bit in (0..scale).rev() {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (sbit, dbit) = if r < a {
                 (0, 0)
             } else if r < a + b {
@@ -62,7 +61,7 @@ pub fn rmat(scale: u32, edge_factor: usize, max_weight: u32, seed: u64) -> CsrGr
 /// the regime where delta-stepping's bucket structure is stressed.
 pub fn low_diameter(num_nodes: usize, shortcuts: usize, max_weight: u32, seed: u64) -> CsrGraph {
     assert!(num_nodes >= 4);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let hubs = (num_nodes as f64).sqrt().ceil() as u32;
     let mut edges = Vec::new();
     for src in 0..num_nodes as u32 {
@@ -87,8 +86,14 @@ pub fn footnote1_suite(scale_div: usize, seed: u64) -> Vec<(&'static str, CsrGra
     let d = scale_div.max(1);
     vec![
         ("flickr-like", uniform_random(500_000 / d, 20, 255, seed)),
-        ("yahoo-social-like", uniform_random(400_000 / d, 10, 255, seed + 1)),
-        ("rmat-like", rmat((20.0 - (d as f64).log2()).round() as u32, 20, 255, seed + 2)),
+        (
+            "yahoo-social-like",
+            uniform_random(400_000 / d, 10, 255, seed + 1),
+        ),
+        (
+            "rmat-like",
+            rmat((20.0 - (d as f64).log2()).round() as u32, 20, 255, seed + 2),
+        ),
         ("gbf-like", low_diameter(500_000 / d, 5, 255, seed + 3)),
     ]
 }
@@ -112,7 +117,10 @@ mod tests {
         assert_eq!(g.num_edges(), 4096 * 8);
         // Power-law: the max degree should far exceed the average.
         let max_deg = (0..4096u32).map(|v| g.degree(v)).max().unwrap();
-        assert!(max_deg > 8 * 8, "rmat max degree {max_deg} should be far above the mean");
+        assert!(
+            max_deg > 8 * 8,
+            "rmat max degree {max_deg} should be far above the mean"
+        );
     }
 
     #[test]
@@ -122,7 +130,10 @@ mod tests {
         assert_eq!(a.col_indices, b.col_indices);
         assert_eq!(a.weights, b.weights);
         let c = uniform_random(100, 4, 10, 8);
-        assert_ne!(a.col_indices, c.col_indices, "different seed, different graph");
+        assert_ne!(
+            a.col_indices, c.col_indices,
+            "different seed, different graph"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl CsrGraph {
     pub fn from_edges(num_nodes: usize, edges: &[(u32, u32, u32)]) -> Self {
         let mut row_offsets = vec![0u32; num_nodes + 1];
         for &(src, dst, _) in edges {
-            assert!((src as usize) < num_nodes && (dst as usize) < num_nodes, "edge endpoint out of range");
+            assert!(
+                (src as usize) < num_nodes && (dst as usize) < num_nodes,
+                "edge endpoint out of range"
+            );
             row_offsets[src as usize + 1] += 1;
         }
         for v in 0..num_nodes {
@@ -34,7 +37,11 @@ impl CsrGraph {
             weights[p] = w;
             cursor[src as usize] += 1;
         }
-        Self { row_offsets, col_indices, weights }
+        Self {
+            row_offsets,
+            col_indices,
+            weights,
+        }
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -53,7 +60,10 @@ impl CsrGraph {
     pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
         let lo = self.row_offsets[v as usize] as usize;
         let hi = self.row_offsets[v as usize + 1] as usize;
-        self.col_indices[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        self.col_indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Largest edge weight (0 for an edgeless graph).

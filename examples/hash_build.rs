@@ -20,7 +20,9 @@ fn bucket_hash(key: u32, m: u32) -> u32 {
 fn main() {
     let n = 1 << 18;
     let m = 32u32; // hash buckets, each becoming an independent sub-table
-    let keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E3779B9) ^ 0xDEAD_BEEF).collect();
+    let keys: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(0x9E3779B9) ^ 0xDEAD_BEEF)
+        .collect();
     let payloads: Vec<u32> = (0..n as u32).collect();
 
     let dev = Device::new(K40C);
@@ -66,6 +68,13 @@ fn main() {
     }
     println!("{n} keys distributed into {m} hash buckets; {found} lookups verified");
     let sizes: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
-    println!("bucket sizes: min {} max {}", sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-    println!("estimated device time for the distribution step: {:.3} ms", dev.total_seconds() * 1e3);
+    println!(
+        "bucket sizes: min {} max {}",
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap()
+    );
+    println!(
+        "estimated device time for the distribution step: {:.3} ms",
+        dev.total_seconds() * 1e3
+    );
 }

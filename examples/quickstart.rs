@@ -22,7 +22,15 @@ fn main() {
     assert_eq!(offsets, vec![0, 4, 8]);
 
     // ---- Figure 1, case (2): three range buckets.
-    let ranges = FnBuckets::new(3, |k| if k <= 20 { 0 } else if k <= 48 { 1 } else { 2 });
+    let ranges = FnBuckets::new(3, |k| {
+        if k <= 20 {
+            0
+        } else if k <= 48 {
+            1
+        } else {
+            2
+        }
+    });
     let (split, offsets) = multisplit(&dev, &keys, &ranges);
     println!("ranges:     {split:?}   offsets {offsets:?}");
     assert_eq!(split, vec![6, 3, 17, 46, 31, 25, 59, 82]);
@@ -36,10 +44,19 @@ fn main() {
     println!("\n{n} keys into 8 buckets:");
     for b in 0..8 {
         let (lo, hi) = (offsets[b] as usize, offsets[b + 1] as usize);
-        println!("  bucket {b}: {} keys, first = {:#010x}", hi - lo, split[lo]);
-        assert!(split[lo..hi].iter().all(|&k| bucket.bucket_of(k) == b as u32));
+        println!(
+            "  bucket {b}: {} keys, first = {:#010x}",
+            hi - lo,
+            split[lo]
+        );
+        assert!(split[lo..hi]
+            .iter()
+            .all(|&k| bucket.bucket_of(k) == b as u32));
     }
 
     // The simulator also tells you what this would have cost on a K40c.
-    println!("\nestimated device time: {:.3} ms", dev.total_seconds() * 1e3);
+    println!(
+        "\nestimated device time: {:.3} ms",
+        dev.total_seconds() * 1e3
+    );
 }

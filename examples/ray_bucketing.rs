@@ -41,7 +41,11 @@ fn main() {
     for b in 0..8 {
         let (lo, hi) = (offsets[b] as usize, offsets[b + 1] as usize);
         let sample = &sorted_rays[lo..(lo + 3).min(hi)];
-        println!("  octant {b:03b}: {:6} rays (first ids {:?})", hi - lo, sample);
+        println!(
+            "  octant {b:03b}: {:6} rays (first ids {:?})",
+            hi - lo,
+            sample
+        );
         assert!(sorted_octants[lo..hi].iter().all(|&k| k == b as u32));
     }
 

@@ -33,8 +33,16 @@ fn main() {
     let (lens, rows, offsets) = multisplit_kv(&dev, &row_lengths, &row_ids, &bucket);
 
     println!("{n_rows} rows binned by log2(row length):");
-    let strategies =
-        ["thread/row", "thread/row", "thread/row", "warp/row", "warp/row", "warp/row", "block/row", "block/row"];
+    let strategies = [
+        "thread/row",
+        "thread/row",
+        "thread/row",
+        "warp/row",
+        "warp/row",
+        "warp/row",
+        "block/row",
+        "block/row",
+    ];
     for b in 0..8 {
         let (lo, hi) = (offsets[b] as usize, offsets[b + 1] as usize);
         if lo == hi {
@@ -56,5 +64,8 @@ fn main() {
             assert_eq!(row_lengths[rows[i] as usize], lens[i], "value follows key");
         }
     }
-    println!("\nall rows verified; estimated device time {:.3} ms", dev.total_seconds() * 1e3);
+    println!(
+        "\nall rows verified; estimated device time {:.3} ms",
+        dev.total_seconds() * 1e3
+    );
 }

@@ -16,7 +16,11 @@ use sssp::{delta_stepping, dijkstra, uniform_random, Bucketing};
 
 fn main() {
     let g = uniform_random(20_000, 8, 100, 7);
-    println!("graph: {} nodes, {} edges, weights 1..=100", g.num_nodes(), g.num_edges());
+    println!(
+        "graph: {} nodes, {} edges, weights 1..=100",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     let reference = dijkstra(&g, 0);
     let reached = reference.iter().filter(|&&d| d != sssp::INF).count();
@@ -40,5 +44,7 @@ fn main() {
             r.total_seconds * 1e3,
         );
     }
-    println!("\nAll strategies agree with Dijkstra; multisplit spends the least time reorganizing.");
+    println!(
+        "\nAll strategies agree with Dijkstra; multisplit spends the least time reorganizing."
+    );
 }

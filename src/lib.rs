@@ -21,8 +21,8 @@ pub use sssp;
 /// Convenience re-exports for the examples and quick starts.
 pub mod prelude {
     pub use multisplit::{
-        multisplit, multisplit_kv, BucketFn, DeltaBuckets, FnBuckets, IdentityBuckets, LsbBuckets, Method,
-        PrimeComposite, RangeBuckets,
+        multisplit, multisplit_kv, BucketFn, DeltaBuckets, FnBuckets, IdentityBuckets, LsbBuckets,
+        Method, PrimeComposite, RangeBuckets,
     };
     pub use simt::{Device, GTX750TI, K40C};
 }

@@ -2,13 +2,15 @@
 //! baselines) against the sequential reference, on shared workloads.
 
 use multisplit::{
-    multisplit_device, multisplit_kv_ref, multisplit_ref, no_values, BucketFn, DeltaBuckets, FnBuckets,
+    multisplit_device, multisplit_kv_ref, multisplit_ref, no_values, DeltaBuckets, FnBuckets,
     LsbBuckets, Method, RangeBuckets,
 };
 use simt::{Device, GlobalBuffer, GTX750TI, K40C};
 
 fn keys_for(n: usize, seed: u32) -> Vec<u32> {
-    (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed * 97)).collect()
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed * 97))
+        .collect()
 }
 
 #[test]
@@ -47,13 +49,19 @@ fn baselines_agree_with_reference() {
     assert_eq!(rb.to_vec(), expect, "reduced-bit");
     assert_eq!(rb_offs, expect_offs);
 
-    let (rs, _, rs_offs) = baselines::recursive_scan_multisplit(&dev, &keys, no_values(), n, &bucket, 8);
+    let (rs, _, rs_offs) =
+        baselines::recursive_scan_multisplit(&dev, &keys, no_values(), n, &bucket, 8);
     assert_eq!(rs.to_vec(), expect, "recursive split");
     assert_eq!(rs_offs, expect_offs);
 
     // Randomized is valid but unordered within buckets.
-    let (rand_out, rand_offs) =
-        baselines::randomized_multisplit(&dev, &keys, n, &bucket, baselines::RandomizedConfig::default());
+    let (rand_out, rand_offs) = baselines::randomized_multisplit(
+        &dev,
+        &keys,
+        n,
+        &bucket,
+        baselines::RandomizedConfig::default(),
+    );
     multisplit::check_multisplit(&data, &rand_out.to_vec(), &rand_offs, &bucket).unwrap();
 }
 
@@ -75,9 +83,39 @@ fn key_value_pipelines_agree() {
         assert_eq!(r.offsets, eo, "{method:?}");
     }
     let (pk, pv, po) = baselines::reduced_bit_multisplit_kv(&dev, &keys, &values, n, &bucket, 8);
-    assert_eq!((pk.to_vec(), pv.to_vec(), po), (ek.clone(), ev.clone(), eo.clone()), "packed reduced-bit");
-    let (ik, iv, io) = baselines::reduced_bit_multisplit_kv_by_index(&dev, &keys, &values, n, &bucket, 8);
-    assert_eq!((ik.to_vec(), iv.to_vec(), io), (ek, ev, eo), "index reduced-bit");
+    assert_eq!(
+        (pk.to_vec(), pv.to_vec(), po),
+        (ek.clone(), ev.clone(), eo.clone()),
+        "packed reduced-bit"
+    );
+    let (ik, iv, io) =
+        baselines::reduced_bit_multisplit_kv_by_index(&dev, &keys, &values, n, &bucket, 8);
+    assert_eq!(
+        (ik.to_vec(), iv.to_vec(), io),
+        (ek, ev, eo),
+        "index reduced-bit"
+    );
+}
+
+#[test]
+fn large_m_handles_partial_final_warp() {
+    // The large-m path builds per-warp histograms; exercise sizes where the
+    // last warp (and last scan tile) is only partially filled, with and
+    // without values, on both schedulers.
+    for (n, m) in [(33usize, 40u32), (991, 64), (4_097, 300), (12_289, 1_024)] {
+        let data = keys_for(n, 5);
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let bucket = RangeBuckets::new(m);
+        let (ek, ev, eo) = multisplit_kv_ref(&data, Some(&vals), &bucket);
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let keys = GlobalBuffer::from_slice(&data);
+            let values = GlobalBuffer::from_slice(&vals);
+            let r = multisplit_device(&dev, Method::LargeM, &keys, Some(&values), n, &bucket, 8);
+            assert_eq!(r.keys.to_vec(), ek, "keys n={n} m={m}");
+            assert_eq!(r.values.unwrap().to_vec(), ev, "values n={n} m={m}");
+            assert_eq!(r.offsets, eo, "offsets n={n} m={m}");
+        }
+    }
 }
 
 #[test]
@@ -121,7 +159,10 @@ fn both_device_profiles_give_identical_results() {
     }
     assert_eq!(outs[0].0, outs[1].0);
     assert_eq!(outs[0].1, outs[1].1);
-    assert!(outs[1].2 > outs[0].2, "the 750 Ti should be slower than the K40c");
+    assert!(
+        outs[1].2 > outs[0].2,
+        "the 750 Ti should be slower than the K40c"
+    );
 }
 
 #[test]
@@ -130,19 +171,29 @@ fn outputs_are_deterministic_across_parallel_schedules() {
     let data = keys_for(n, 6);
     let bucket = RangeBuckets::new(24);
     let run = |parallel: bool| {
-        let dev = if parallel { Device::new(K40C) } else { Device::sequential(K40C) };
+        let dev = if parallel {
+            Device::new(K40C)
+        } else {
+            Device::sequential(K40C)
+        };
         let keys = GlobalBuffer::from_slice(&data);
         let r = multisplit_device(&dev, Method::BlockLevel, &keys, no_values(), n, &bucket, 8);
-        let stats = dev.records().iter().fold(simt::BlockStats::default(), |mut a, rec| {
-            a += rec.stats;
-            a
-        });
+        let stats = dev
+            .records()
+            .iter()
+            .fold(simt::BlockStats::default(), |mut a, rec| {
+                a += rec.stats;
+                a
+            });
         (r.keys.to_vec(), stats)
     };
     let (out_p, stats_p) = run(true);
     let (out_s, stats_s) = run(false);
     assert_eq!(out_p, out_s, "data must not depend on host scheduling");
-    assert_eq!(stats_p, stats_s, "counted events must not depend on host scheduling");
+    assert_eq!(
+        stats_p, stats_s,
+        "counted events must not depend on host scheduling"
+    );
 }
 
 #[test]
@@ -163,6 +214,9 @@ fn race_detector_passes_on_all_final_scatters() {
         let mut b = data.clone();
         a.sort_unstable();
         b.sort_unstable();
-        assert_eq!(a, b, "{method:?}: output is a permutation (no slot written twice or missed)");
+        assert_eq!(
+            a, b,
+            "{method:?}: output is a permutation (no slot written twice or missed)"
+        );
     }
 }

@@ -1,45 +1,58 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Randomized property tests on the core invariants:
 //!
 //! * every multisplit method produces the stable reference permutation for
 //!   arbitrary keys, bucket counts, sizes and payload presence;
 //! * the ballot-based warp algorithms match their scalar definitions for
 //!   arbitrary bucket assignments and activity masks;
 //! * the device scan/split/radix primitives match `std` folds/sorts.
+//!
+//! Originally written against `proptest`; this offline build drives the
+//! same properties with seeded `msrng` loops instead (fixed seeds, so
+//! failures reproduce deterministically).
 
-use proptest::prelude::*;
-
-use multisplit::{
-    multisplit_device, multisplit_kv_ref, no_values, warp_ops, Method, RangeBuckets,
-};
+use msrng::SmallRng;
+use multisplit::{multisplit_device, multisplit_kv_ref, no_values, warp_ops, Method, RangeBuckets};
 use simt::{lanes_from_fn, Device, GlobalBuffer, StatCells, WarpCtx, K40C};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    #[test]
-    fn multisplit_methods_match_reference(
-        keys in prop::collection::vec(any::<u32>(), 1..3000),
-        m in 1u32..=32,
-        method_ix in 0usize..3,
-        wpb in prop::sample::select(vec![2usize, 4, 8]),
-    ) {
-        let method = [Method::Direct, Method::WarpLevel, Method::BlockLevel][method_ix];
+fn rand_keys(rng: &mut SmallRng, max_len: usize) -> Vec<u32> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| rng.next_u32()).collect()
+}
+
+#[test]
+fn multisplit_methods_match_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0001);
+    for _ in 0..CASES {
+        let keys = rand_keys(&mut rng, 3000);
+        let m = rng.gen_range(1u32..=32);
+        let method =
+            [Method::Direct, Method::WarpLevel, Method::BlockLevel][rng.gen_range(0usize..3)];
+        let wpb = [2usize, 4, 8][rng.gen_range(0usize..3)];
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
         let r = multisplit_device(&dev, method, &buf, no_values(), keys.len(), &bucket, wpb);
         let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
-        prop_assert_eq!(r.keys.to_vec(), ek);
-        prop_assert_eq!(r.offsets, eo);
+        assert_eq!(
+            r.keys.to_vec(),
+            ek,
+            "method {method:?} m={m} wpb={wpb} n={}",
+            keys.len()
+        );
+        assert_eq!(r.offsets, eo);
     }
+}
 
-    #[test]
-    fn multisplit_kv_matches_reference(
-        keys in prop::collection::vec(any::<u32>(), 1..2000),
-        m in 1u32..=32,
-        method_ix in 0usize..3,
-    ) {
-        let method = [Method::Direct, Method::WarpLevel, Method::BlockLevel][method_ix];
+#[test]
+fn multisplit_kv_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0002);
+    for _ in 0..CASES {
+        let keys = rand_keys(&mut rng, 2000);
+        let m = rng.gen_range(1u32..=32);
+        let method =
+            [Method::Direct, Method::WarpLevel, Method::BlockLevel][rng.gen_range(0usize..3)];
         let values: Vec<u32> = (0..keys.len() as u32).collect();
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
@@ -47,144 +60,190 @@ proptest! {
         let vbuf = GlobalBuffer::from_slice(&values);
         let r = multisplit_device(&dev, method, &kbuf, Some(&vbuf), keys.len(), &bucket, 8);
         let (ek, ev, _) = multisplit_kv_ref(&keys, Some(&values), &bucket);
-        prop_assert_eq!(r.keys.to_vec(), ek);
-        prop_assert_eq!(r.values.unwrap().to_vec(), ev);
+        assert_eq!(
+            r.keys.to_vec(),
+            ek,
+            "method {method:?} m={m} n={}",
+            keys.len()
+        );
+        assert_eq!(r.values.unwrap().to_vec(), ev);
     }
+}
 
-    #[test]
-    fn large_m_matches_reference(
-        keys in prop::collection::vec(any::<u32>(), 1..2000),
-        m in 33u32..=512,
-    ) {
+#[test]
+fn large_m_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0003);
+    for _ in 0..CASES {
+        let keys = rand_keys(&mut rng, 2000);
+        let m = rng.gen_range(33u32..=512);
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
-        let r = multisplit_device(&dev, Method::LargeM, &buf, no_values(), keys.len(), &bucket, 8);
+        let r = multisplit_device(
+            &dev,
+            Method::LargeM,
+            &buf,
+            no_values(),
+            keys.len(),
+            &bucket,
+            8,
+        );
         let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
-        prop_assert_eq!(r.keys.to_vec(), ek);
-        prop_assert_eq!(r.offsets, eo);
+        assert_eq!(r.keys.to_vec(), ek, "m={m} n={}", keys.len());
+        assert_eq!(r.offsets, eo);
     }
+}
 
-    #[test]
-    fn warp_histogram_and_offsets_match_scalar_definitions(
-        bucket_vals in prop::array::uniform32(any::<u32>()),
-        m in 1u32..=32,
-        mask in any::<u32>(),
-    ) {
+#[test]
+fn warp_histogram_and_offsets_match_scalar_definitions() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0004);
+    for _ in 0..CASES * 4 {
+        let m = rng.gen_range(1u32..=32);
+        let mask = rng.next_u32();
+        let bucket_vals: Vec<u32> = (0..32).map(|_| rng.next_u32()).collect();
         let b = lanes_from_fn(|l| bucket_vals[l] % m);
         let st = StatCells::default();
         let w = WarpCtx::new(0, 0, &st);
         let h = warp_ops::warp_histogram(&w, b, m, mask);
         let o = warp_ops::warp_offsets(&w, b, m, mask);
         let (fh, fo) = warp_ops::warp_histogram_and_offsets(&w, b, m, mask);
-        prop_assert_eq!(h, fh);
-        prop_assert_eq!(o, fo);
+        assert_eq!(h, fh);
+        assert_eq!(o, fo);
         for lane in 0..32usize {
             if lane < m as usize {
                 let expect = (0..32)
                     .filter(|&p| mask >> p & 1 == 1 && b[p] == lane as u32)
                     .count() as u32;
-                prop_assert_eq!(h[lane], expect, "histogram lane {}", lane);
+                assert_eq!(h[lane], expect, "histogram lane {lane}");
             } else {
-                prop_assert_eq!(h[lane], 0u32, "aliased lane {} must read zero", lane);
+                assert_eq!(h[lane], 0u32, "aliased lane {lane} must read zero");
             }
             if mask >> lane & 1 == 1 {
                 let expect = (0..lane)
                     .filter(|&p| mask >> p & 1 == 1 && b[p] == b[lane])
                     .count() as u32;
-                prop_assert_eq!(o[lane], expect, "offset lane {}", lane);
+                assert_eq!(o[lane], expect, "offset lane {lane}");
             }
         }
     }
+}
 
-    #[test]
-    fn alternative_implementations_match_reference(
-        keys in prop::collection::vec(any::<u32>(), 1..1500),
-        m in 1u32..=32,
-        which in 0usize..2,
-    ) {
+#[test]
+fn alternative_implementations_match_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0005);
+    for case in 0..CASES {
         // The related-work contenders must also be exactly stable.
+        let keys = rand_keys(&mut rng, 1500);
+        let m = rng.gen_range(1u32..=32);
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
         let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
-        let r = if which == 0 {
+        let r = if case % 2 == 0 {
             baselines::multisplit_thread_level(&dev, &buf, no_values(), keys.len(), &bucket, 8)
         } else {
             baselines::multisplit_block_atomic(&dev, &buf, no_values(), keys.len(), &bucket, 8)
         };
-        prop_assert_eq!(r.keys.to_vec(), ek);
-        prop_assert_eq!(r.offsets, eo);
+        assert_eq!(
+            r.keys.to_vec(),
+            ek,
+            "which={} m={m} n={}",
+            case % 2,
+            keys.len()
+        );
+        assert_eq!(r.offsets, eo);
     }
+}
 
-    #[test]
-    fn reduced_bit_matches_reference(
-        keys in prop::collection::vec(any::<u32>(), 1..1500),
-        m in 1u32..=256,
-    ) {
+#[test]
+fn reduced_bit_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0006);
+    for _ in 0..CASES {
+        let keys = rand_keys(&mut rng, 1500);
+        let m = rng.gen_range(1u32..=256);
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
         let (out, offs) = baselines::reduced_bit_multisplit(&dev, &buf, keys.len(), &bucket, 8);
         let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
-        prop_assert_eq!(out.to_vec(), ek);
-        prop_assert_eq!(offs, eo);
+        assert_eq!(out.to_vec(), ek, "m={m} n={}", keys.len());
+        assert_eq!(offs, eo);
     }
+}
 
-    #[test]
-    fn device_scan_matches_fold(
-        vals in prop::collection::vec(0u32..1000, 0..5000),
-        wpb in prop::sample::select(vec![2usize, 8]),
-    ) {
+#[test]
+fn device_scan_matches_fold() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0007);
+    for case in 0..CASES {
+        let len = rng.gen_range(0usize..5000);
+        let vals: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..1000)).collect();
+        let wpb = [2usize, 8][case % 2];
         let dev = Device::new(K40C);
         let input = GlobalBuffer::from_slice(&vals);
         let output = GlobalBuffer::<u32>::zeroed(vals.len());
         let total = primitives::exclusive_scan_u32(&dev, "p", &input, &output, vals.len(), wpb);
         let mut run = 0u32;
-        let expect: Vec<u32> = vals.iter().map(|&v| { let r = run; run += v; r }).collect();
-        prop_assert_eq!(output.to_vec(), expect);
-        prop_assert_eq!(total, run);
+        let expect: Vec<u32> = vals
+            .iter()
+            .map(|&v| {
+                let r = run;
+                run += v;
+                r
+            })
+            .collect();
+        assert_eq!(output.to_vec(), expect, "wpb={wpb} n={len}");
+        assert_eq!(total, run);
     }
+}
 
-    #[test]
-    fn radix_sort_matches_std_sort(
-        keys in prop::collection::vec(any::<u32>(), 1..3000),
-    ) {
+#[test]
+fn radix_sort_matches_std_sort() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0008);
+    for _ in 0..CASES {
+        let keys = rand_keys(&mut rng, 3000);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
         let (sorted, _) = baselines::radix_sort(&dev, "p", &buf, no_values(), keys.len(), 8);
         let mut expect = keys;
         expect.sort_unstable();
-        prop_assert_eq!(sorted.to_vec(), expect);
+        assert_eq!(sorted.to_vec(), expect);
     }
+}
 
-    #[test]
-    fn split_partitions_stably(
-        keys in prop::collection::vec(any::<u32>(), 1..3000),
-        pivot in any::<u32>(),
-    ) {
+#[test]
+fn split_partitions_stably() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_0009);
+    for _ in 0..CASES {
+        let keys = rand_keys(&mut rng, 3000);
+        let pivot = rng.next_u32();
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
-        let r = primitives::split_by_pred(&dev, "p", &buf, None, keys.len(), 8, move |k| k >= pivot);
+        let r =
+            primitives::split_by_pred(&dev, "p", &buf, None, keys.len(), 8, move |k| k >= pivot);
         let out = r.keys.to_vec();
         let lo: Vec<u32> = keys.iter().copied().filter(|&k| k < pivot).collect();
         let hi: Vec<u32> = keys.iter().copied().filter(|&k| k >= pivot).collect();
-        prop_assert_eq!(r.false_count as usize, lo.len());
-        prop_assert_eq!(&out[..lo.len()], &lo[..]);
-        prop_assert_eq!(&out[lo.len()..], &hi[..]);
+        assert_eq!(r.false_count as usize, lo.len());
+        assert_eq!(&out[..lo.len()], &lo[..]);
+        assert_eq!(&out[lo.len()..], &hi[..]);
     }
+}
 
-    #[test]
-    fn randomized_multisplit_is_always_valid(
-        keys in prop::collection::vec(any::<u32>(), 1..1500),
-        m in 1u32..=64,
-        x_tenths in 12u32..40,
-    ) {
+#[test]
+fn randomized_multisplit_is_always_valid() {
+    let mut rng = SmallRng::seed_from_u64(0x51ca_000a);
+    for _ in 0..CASES {
+        let keys = rand_keys(&mut rng, 1500);
+        let m = rng.gen_range(1u32..=64);
+        let x_tenths = rng.gen_range(12u32..40);
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
-        let cfg = baselines::RandomizedConfig { relaxation: x_tenths as f64 / 10.0, ..Default::default() };
+        let cfg = baselines::RandomizedConfig {
+            relaxation: x_tenths as f64 / 10.0,
+            ..Default::default()
+        };
         let (out, offs) = baselines::randomized_multisplit(&dev, &buf, keys.len(), &bucket, cfg);
-        prop_assert!(multisplit::check_multisplit(&keys, &out.to_vec(), &offs, &bucket).is_ok());
+        assert!(multisplit::check_multisplit(&keys, &out.to_vec(), &offs, &bucket).is_ok());
     }
 }

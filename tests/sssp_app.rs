@@ -3,7 +3,9 @@
 //! against serial Dijkstra.
 
 use simt::{Device, K40C};
-use sssp::{bellman_ford, delta_stepping, dijkstra, low_diameter, rmat, uniform_random, Bucketing, INF};
+use sssp::{
+    bellman_ford, delta_stepping, dijkstra, low_diameter, rmat, uniform_random, Bucketing, INF,
+};
 
 #[test]
 fn all_strategies_agree_on_all_generator_families() {
@@ -14,7 +16,11 @@ fn all_strategies_agree_on_all_generator_families() {
     ];
     for (name, g) in &graphs {
         let reference = dijkstra(g, 0);
-        for s in [Bucketing::Multisplit { m: 10 }, Bucketing::NearFar, Bucketing::SortBased] {
+        for s in [
+            Bucketing::Multisplit { m: 10 },
+            Bucketing::NearFar,
+            Bucketing::SortBased,
+        ] {
             let dev = Device::new(K40C);
             let r = delta_stepping(&dev, g, 0, 16, s);
             assert_eq!(r.dist, reference, "{name}/{}", s.name());
@@ -57,9 +63,18 @@ fn multisplit_bucketing_reduces_reorganization_cost() {
     let ms = run(Bucketing::Multisplit { m: 2 });
     let nf = run(Bucketing::NearFar);
     let sort = run(Bucketing::SortBased);
-    assert!(ms.bucketing_seconds < sort.bucketing_seconds, "multisplit must beat sort bucketing");
-    assert!(ms.bucketing_seconds <= nf.bucketing_seconds * 1.05, "multisplit should not lose to near-far");
-    assert!(ms.total_seconds < sort.total_seconds, "app-level speedup over sort bucketing");
+    assert!(
+        ms.bucketing_seconds < sort.bucketing_seconds,
+        "multisplit must beat sort bucketing"
+    );
+    assert!(
+        ms.bucketing_seconds <= nf.bucketing_seconds * 1.05,
+        "multisplit should not lose to near-far"
+    );
+    assert!(
+        ms.total_seconds < sort.total_seconds,
+        "app-level speedup over sort bucketing"
+    );
 }
 
 #[test]
