@@ -4,8 +4,8 @@
 use msbench::microbench::time;
 use msbench::{gen_keys, gen_values, Distribution};
 use multisplit::{
-    multisplit_block_level, multisplit_direct, multisplit_large_m, multisplit_warp_level,
-    no_values, RangeBuckets,
+    multisplit_block_level, multisplit_direct, multisplit_fused, multisplit_large_m,
+    multisplit_warp_level, no_values, RangeBuckets,
 };
 use simt::{Device, GlobalBuffer, K40C};
 
@@ -28,6 +28,10 @@ fn main() {
             dev.reset();
             multisplit_block_level(&dev, &keys, no_values(), n, &bucket, 8)
         });
+        time(&format!("multisplit/fused/m{m}"), || {
+            dev.reset();
+            multisplit_fused(&dev, &keys, no_values(), n, &bucket, 8)
+        });
     }
     // Key-value and large-m variants.
     {
@@ -41,6 +45,10 @@ fn main() {
         time("multisplit/block_level_kv_m8", || {
             dev.reset();
             multisplit_block_level(&dev, &keys, Some(&values), n, &bucket, 8)
+        });
+        time("multisplit/fused_kv_m8", || {
+            dev.reset();
+            multisplit_fused(&dev, &keys, Some(&values), n, &bucket, 8)
         });
     }
     {

@@ -86,6 +86,10 @@ pub fn stage_of(label: &str) -> &'static str {
         "pre-scan"
     } else if label.contains("post-scan") {
         "post-scan"
+    } else if kernel.starts_with("sweep") {
+        // The fused pipeline's single kernel: local scan + look-back +
+        // reorder + scatter in one (its histogram pass is a pre-scan).
+        "sweep"
     } else if kernel.starts_with("scan") {
         "scan"
     } else if kernel.contains("label") {
@@ -128,14 +132,7 @@ pub fn stage_sector_counts(dev: &Device) -> Vec<(&'static str, u64)> {
     acc
 }
 
-/// Run `f` with [`primitives::set_scan_strategy`] pinned to `s`, restoring
-/// the previous strategy afterwards.
-pub fn with_scan_strategy<R>(s: primitives::ScanStrategy, f: impl FnOnce() -> R) -> R {
-    let prev = primitives::set_scan_strategy(s);
-    let r = f();
-    primitives::set_scan_strategy(prev);
-    r
-}
+pub use primitives::with_scan_strategy;
 
 /// Every method the evaluation compares.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,6 +140,8 @@ pub enum Contender {
     Direct,
     WarpLevel,
     BlockLevel,
+    /// Single-pass fused pipeline (per-bucket decoupled look-back).
+    Fused,
     /// Block-level for m > 32.
     LargeM,
     ReducedBit,
@@ -161,6 +160,7 @@ impl Contender {
             Contender::Direct => "Direct MS".into(),
             Contender::WarpLevel => "Warp-level MS".into(),
             Contender::BlockLevel => "Block-level MS".into(),
+            Contender::Fused => "Fused MS".into(),
             Contender::LargeM => "Block-level MS".into(),
             Contender::ReducedBit => "Reduced-bit sort".into(),
             Contender::RecursiveSplit => "Recursive scan split".into(),
@@ -234,11 +234,16 @@ pub fn run_contender(
     // produces a multisplit (plain sorts are checked for sortedness).
     type HostOutput = Option<(Vec<u32>, Option<Vec<u32>>, Vec<u32>)>;
     let output: HostOutput = match contender {
-        Contender::Direct | Contender::WarpLevel | Contender::BlockLevel | Contender::LargeM => {
+        Contender::Direct
+        | Contender::WarpLevel
+        | Contender::BlockLevel
+        | Contender::Fused
+        | Contender::LargeM => {
             let method = match contender {
                 Contender::Direct => Method::Direct,
                 Contender::WarpLevel => Method::WarpLevel,
                 Contender::BlockLevel => Method::BlockLevel,
+                Contender::Fused => Method::Fused,
                 _ => Method::LargeM,
             };
             let r = multisplit_device(&dev, method, &keys, values.as_ref(), n, &bucket, wpb);
@@ -459,6 +464,8 @@ mod tests {
         assert_eq!(stage_of("reduced/sort/pass0/scan/scan-reduce"), "scan");
         assert_eq!(stage_of("recursive-split/round0/scan/scan-single"), "scan");
         assert_eq!(stage_of("direct/post-scan"), "post-scan");
+        assert_eq!(stage_of("fused/pre-scan"), "pre-scan");
+        assert_eq!(stage_of("fused/sweep"), "sweep");
         assert_eq!(stage_of("reduced/label"), "labeling");
         assert_eq!(stage_of("reduced/sort/pass0/block/pre-scan"), "pre-scan");
         assert_eq!(stage_of("reduced/pack"), "packing");
@@ -471,6 +478,7 @@ mod tests {
             Contender::Direct,
             Contender::WarpLevel,
             Contender::BlockLevel,
+            Contender::Fused,
             Contender::ReducedBit,
         ] {
             let o = run_contender(

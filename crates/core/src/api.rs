@@ -5,7 +5,15 @@
 //! (`m <= 6` key-only, `m <= 5` key-value), Block-level MS wins for large
 //! ones (`m >= 22` / `m >= 16`), anything in between is a wash. Above the
 //! warp width only the block-granularity large-`m` path applies.
-//! [`Method::auto`] encodes those crossovers.
+//! [`Method::auto`] encodes those crossovers — for the three-kernel
+//! pipeline. Under the default [`Pipeline::Fused`], the single-pass
+//! [`Method::Fused`] path (per-bucket decoupled look-back, `fused.rs`)
+//! supersedes all of them for `m <= 32`: it moves strictly fewer DRAM
+//! sectors than any three-kernel variant at every measured `m`
+//! (`paper fused`). Pin [`Pipeline::ThreeKernel`] with [`with_pipeline`]
+//! to recover the paper's original crossovers.
+
+use std::cell::Cell;
 
 use simt::{Device, GlobalBuffer, Scalar};
 
@@ -13,6 +21,7 @@ use crate::block_level::multisplit_block_level;
 use crate::bucket::BucketFn;
 use crate::common::DeviceMultisplit;
 use crate::direct::multisplit_direct;
+use crate::fused::multisplit_fused;
 use crate::large_m::multisplit_large_m;
 use crate::warp_level::multisplit_warp_level;
 
@@ -31,23 +40,70 @@ pub enum Method {
     BlockLevel,
     /// Block-granularity path for more than 32 buckets (§5.3).
     LargeM,
+    /// Single-pass fused pipeline via per-bucket decoupled look-back
+    /// (`fused.rs`; Onesweep structure, `m <= 32`).
+    Fused,
+}
+
+/// Which pipeline family [`Method::auto`] selects from for `m <= 32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pipeline {
+    /// Single-pass fused multisplit (default: fewest DRAM sectors).
+    #[default]
+    Fused,
+    /// The paper's three-kernel `{pre-scan, scan, post-scan}` variants,
+    /// with the §6.2 warp/block crossovers. Kept selectable as the
+    /// baseline the bench harness compares against.
+    ThreeKernel,
+}
+
+thread_local! {
+    static PIPELINE: Cell<Pipeline> = const { Cell::new(Pipeline::Fused) };
+}
+
+/// The pipeline family [`Method::auto`] currently selects from (per host
+/// thread, so concurrent tests cannot race on it).
+pub fn pipeline() -> Pipeline {
+    PIPELINE.with(Cell::get)
+}
+
+/// Run `f` with [`Method::auto`] pinned to pipeline `p` for this host
+/// thread, restoring the previous value on the way out — **including on
+/// panic** (an RAII drop guard, like `primitives::with_scan_strategy`).
+pub fn with_pipeline<R>(p: Pipeline, f: impl FnOnce() -> R) -> R {
+    struct Restore(Pipeline);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PIPELINE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(PIPELINE.with(|c| c.replace(p)));
+    f()
 }
 
 impl Method {
-    /// The paper's empirically-best method for `m` buckets.
+    /// The empirically-best method for `m` buckets: [`Method::Fused`] for
+    /// any `m <= 32` under the default pipeline, or the paper's §6.2
+    /// warp/block crossovers under [`Pipeline::ThreeKernel`].
     pub fn auto(m: u32, key_value: bool) -> Method {
-        let warp_limit = if key_value { 5 } else { 6 };
-        let block_limit = if key_value { 16 } else { 22 };
         if m > 32 {
-            Method::LargeM
-        } else if m <= warp_limit {
-            Method::WarpLevel
-        } else if m >= block_limit {
-            Method::BlockLevel
-        } else {
-            // The middle ground is a wash (§6.2.1); warp-level has the
-            // simplest local work, so prefer it.
-            Method::WarpLevel
+            return Method::LargeM;
+        }
+        match pipeline() {
+            Pipeline::Fused => Method::Fused,
+            Pipeline::ThreeKernel => {
+                let warp_limit = if key_value { 5 } else { 6 };
+                let block_limit = if key_value { 16 } else { 22 };
+                if m <= warp_limit {
+                    Method::WarpLevel
+                } else if m >= block_limit {
+                    Method::BlockLevel
+                } else {
+                    // The middle ground is a wash (§6.2.1); warp-level has
+                    // the simplest local work, so prefer it.
+                    Method::WarpLevel
+                }
+            }
         }
     }
 
@@ -58,6 +114,7 @@ impl Method {
             Method::WarpLevel => "Warp-level MS",
             Method::BlockLevel => "Block-level MS",
             Method::LargeM => "Block-level MS (m > 32)",
+            Method::Fused => "Fused MS",
         }
     }
 }
@@ -77,6 +134,7 @@ pub fn multisplit_device<B: BucketFn + ?Sized, V: Scalar>(
         Method::WarpLevel => multisplit_warp_level(dev, keys, values, n, bucket, wpb),
         Method::BlockLevel => multisplit_block_level(dev, keys, values, n, bucket, wpb),
         Method::LargeM => multisplit_large_m(dev, keys, values, n, bucket, wpb),
+        Method::Fused => multisplit_fused(dev, keys, values, n, bucket, wpb),
     }
 }
 
@@ -149,15 +207,35 @@ mod tests {
     use simt::K40C;
 
     #[test]
-    fn auto_matches_paper_crossovers() {
-        assert_eq!(Method::auto(2, false), Method::WarpLevel);
-        assert_eq!(Method::auto(6, false), Method::WarpLevel);
-        assert_eq!(Method::auto(22, false), Method::BlockLevel);
-        assert_eq!(Method::auto(32, false), Method::BlockLevel);
-        assert_eq!(Method::auto(5, true), Method::WarpLevel);
-        assert_eq!(Method::auto(16, true), Method::BlockLevel);
+    fn auto_prefers_fused_up_to_warp_width() {
+        assert_eq!(pipeline(), Pipeline::Fused, "fused is the default");
+        for m in [1, 2, 6, 16, 32] {
+            assert_eq!(Method::auto(m, false), Method::Fused);
+            assert_eq!(Method::auto(m, true), Method::Fused);
+        }
         assert_eq!(Method::auto(33, false), Method::LargeM);
-        assert_eq!(Method::auto(1024, true), Method::LargeM);
+    }
+
+    #[test]
+    fn auto_matches_paper_crossovers_under_three_kernel() {
+        with_pipeline(Pipeline::ThreeKernel, || {
+            assert_eq!(Method::auto(2, false), Method::WarpLevel);
+            assert_eq!(Method::auto(6, false), Method::WarpLevel);
+            assert_eq!(Method::auto(22, false), Method::BlockLevel);
+            assert_eq!(Method::auto(32, false), Method::BlockLevel);
+            assert_eq!(Method::auto(5, true), Method::WarpLevel);
+            assert_eq!(Method::auto(16, true), Method::BlockLevel);
+            assert_eq!(Method::auto(33, false), Method::LargeM);
+            assert_eq!(Method::auto(1024, true), Method::LargeM);
+        });
+    }
+
+    #[test]
+    fn pipeline_knob_restores_on_panic() {
+        let caught =
+            std::panic::catch_unwind(|| with_pipeline(Pipeline::ThreeKernel, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(pipeline(), Pipeline::Fused);
     }
 
     #[test]
@@ -165,6 +243,7 @@ mod tests {
         assert_eq!(Method::Direct.name(), "Direct MS");
         assert_eq!(Method::WarpLevel.name(), "Warp-level MS");
         assert_eq!(Method::BlockLevel.name(), "Block-level MS");
+        assert_eq!(Method::Fused.name(), "Fused MS");
     }
 
     #[test]
@@ -201,7 +280,12 @@ mod tests {
         let bucket = RangeBuckets::new(24);
         let buf = GlobalBuffer::from_slice(&keys);
         let (expect, _) = multisplit_ref(&keys, &bucket);
-        for method in [Method::Direct, Method::WarpLevel, Method::BlockLevel] {
+        for method in [
+            Method::Direct,
+            Method::WarpLevel,
+            Method::BlockLevel,
+            Method::Fused,
+        ] {
             let r = multisplit_device(
                 &dev,
                 method,

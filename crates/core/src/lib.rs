@@ -15,12 +15,19 @@
 //! | [`multisplit_warp_level`] | warp (32) | intra-warp | small `m` |
 //! | [`multisplit_block_level`] | block (256) | intra-block | large `m` (≤ 32) |
 //! | [`multisplit_large_m`] | block (256) | intra-block | `32 < m ≲ 1.5k` |
+//! | [`multisplit_fused`] | coarsened tile | intra-block | any `m ≤ 32` (default) |
 //!
-//! All follow the paper's `{pre-scan, scan, post-scan}` skeleton: ballot-
-//! based local histograms ([Algorithm 2](warp_ops::warp_histogram)), one
-//! device-wide exclusive scan over the `m x L` histogram matrix, then
-//! local offsets ([Algorithm 3](warp_ops::warp_offsets)) and a locality-
-//! optimized scatter.
+//! The three paper methods follow the `{pre-scan, scan, post-scan}`
+//! skeleton: ballot-based local histograms
+//! ([Algorithm 2](warp_ops::warp_histogram)), one device-wide exclusive
+//! scan over the `m x L` histogram matrix, then local offsets
+//! ([Algorithm 3](warp_ops::warp_offsets)) and a locality-optimized
+//! scatter. [`multisplit_fused`] collapses that skeleton into a
+//! lightweight global-histogram pass plus **one** sweep kernel that
+//! resolves per-bucket tile prefixes with the decoupled look-back of
+//! `primitives::lookback` (the Onesweep structure) — it is what
+//! [`Method::auto`] picks for `m <= 32` unless the three-kernel pipeline
+//! is pinned via [`with_pipeline`].
 //!
 //! ## Quickstart
 //!
@@ -43,11 +50,15 @@ pub mod bucket;
 pub mod common;
 pub mod cpu_ref;
 pub mod direct;
+pub mod fused;
 pub mod large_m;
 pub mod warp_level;
 pub mod warp_ops;
 
-pub use api::{multisplit, multisplit_device, multisplit_kv, Method, DEFAULT_WARPS_PER_BLOCK};
+pub use api::{
+    multisplit, multisplit_device, multisplit_kv, pipeline, with_pipeline, Method, Pipeline,
+    DEFAULT_WARPS_PER_BLOCK,
+};
 pub use block_level::multisplit_block_level;
 pub use bucket::{
     is_prime, BucketFn, DeltaBuckets, FnBuckets, IdentityBuckets, LsbBuckets, PrimeComposite,
@@ -56,5 +67,6 @@ pub use bucket::{
 pub use common::{no_values, DeviceMultisplit};
 pub use cpu_ref::{check_multisplit, multisplit_kv_ref, multisplit_ref};
 pub use direct::multisplit_direct;
+pub use fused::{fused_items_per_thread, multisplit_fused};
 pub use large_m::{max_buckets, multisplit_large_m};
 pub use warp_level::multisplit_warp_level;

@@ -11,22 +11,27 @@
 //!   with decoupled look-back by default, recursive reduce / scan-partials
 //!   / downsweep behind the [`ScanStrategy`] knob) and sum reduction: the
 //!   **global** stage of every multisplit variant.
+//! * [`lookback`] — the decoupled look-back tile-state machinery itself,
+//!   parameterized over the aggregate shape (scalar rows for [`scan`],
+//!   m-vector histogram rows for `ms-core`'s fused multisplit).
 //! * [`histogram`] — atomic-based device histograms (related-work §2).
 //! * [`compact`] — scan-based two-bucket split and compaction (§3.2).
 
 pub mod block_scan;
 pub mod compact;
 pub mod histogram;
+pub mod lookback;
 pub mod scan;
 pub mod warp_scan;
 
 pub use block_scan::{
-    block_exclusive_scan_shared, low_lanes_mask, multi_exclusive_scan_across_warps,
-    multi_reduce_across_warps, tail_mask,
+    block_exclusive_scan_shared, low_lanes_mask, multi_exclusive_scan_across_cols,
+    multi_exclusive_scan_across_warps, multi_reduce_across_warps, tail_mask,
 };
 pub use compact::{compact_by_pred, split_by_pred, SplitResult};
 pub use histogram::{histogram_global_atomic, histogram_per_thread, histogram_shared_atomic};
+pub use lookback::TileStates;
 pub use scan::{
     chained_scan_u32, exclusive_scan_u32, exclusive_scan_u32_with, recursive_scan_u32,
-    reduce_add_u32, scan_strategy, scan_tile, set_scan_strategy, ScanStrategy, ITEMS_PER_THREAD,
+    reduce_add_u32, scan_strategy, scan_tile, with_scan_strategy, ScanStrategy, ITEMS_PER_THREAD,
 };

@@ -1,0 +1,265 @@
+//! Decoupled look-back tile states, reusable across aggregate shapes.
+//!
+//! The chained scan (PR 1) resolved **scalar** tile prefixes by publishing
+//! one packed `(value << 2 | flag)` word per tile and walking predecessor
+//! tiles' words. The fused multisplit needs the same protocol over
+//! **m-row vectors** — one flag word per bucket per tile — so the
+//! machinery lives here, parameterized by the number of rows:
+//! [`TileStates::new(tiles, 1)`](TileStates::new) is the scalar scan's
+//! state, `TileStates::new(tiles, m)` carries a bucket histogram per tile.
+//!
+//! Protocol (Merrill & Garland, *Single-pass Parallel Prefix Scan with
+//! Decoupled Look-back*): a tile publishes `aggregate | AGGREGATE`, walks
+//! back over predecessors summing aggregates until it meets an
+//! `INCLUSIVE` word (per row, independently), then publishes
+//! `prefix + aggregate | INCLUSIVE`. Tile 0 publishes `INCLUSIVE`
+//! directly.
+//!
+//! ### Deadlock freedom
+//!
+//! Tickets must be claimed with a device-scope `fetch_add` at block start,
+//! so ticket order is *task-start* order: tile `t` only ever waits on
+//! tiles `< t`, all of which have already started. The executor in
+//! `simt::Device` runs blocks on OS threads that claim block ids from a
+//! shared counter, so a started block always makes progress (the spin
+//! wait yields); on `Device::sequential` predecessors have finished
+//! before tile `t` even starts and every look-back resolves in one hop.
+//!
+//! ### Schedule-independent accounting
+//!
+//! Spin-polls go through the uncounted `device_peek` path (on hardware
+//! they hit the hottest, L2-resident lines on the device, and counting
+//! retries would make stats depend on thread interleaving). Each tile is
+//! charged a fixed, deterministic cost instead: its two record publishes
+//! plus one counted record-sized look-back read — so parallel and
+//! sequential devices report identical [`simt::BlockStats`].
+
+use simt::{lanes_from_fn, GlobalBuffer, Lanes, WarpCtx, WARP_SIZE};
+
+use crate::block_scan::low_lanes_mask;
+
+/// Flag values of a tile-state word (low 2 bits).
+pub const FLAG_EMPTY: u64 = 0;
+pub const FLAG_AGGREGATE: u64 = 1;
+pub const FLAG_INCLUSIVE: u64 = 2;
+
+/// Pack a value and a flag into one state word, so a single device-scope
+/// load observes both atomically together.
+#[inline]
+pub fn pack(value: u32, flag: u64) -> u64 {
+    (value as u64) << 2 | flag
+}
+
+/// Inverse of [`pack`].
+#[inline]
+pub fn unpack(word: u64) -> (u32, u64) {
+    ((word >> 2) as u32, word & 3)
+}
+
+/// Spin until the state word at `idx` is published (flag != EMPTY).
+///
+/// Polls through the uncounted `device_peek` path; the deterministic
+/// charge happens once per tile in [`TileStates::resolve`].
+fn spin_wait_published(state: &GlobalBuffer<u64>, idx: usize) -> u64 {
+    let mut spins = 0u64;
+    loop {
+        let word = state.device_peek(idx);
+        if word & 3 != FLAG_EMPTY {
+            return word;
+        }
+        spins += 1;
+        if spins.is_multiple_of(64) {
+            std::thread::yield_now();
+        }
+        assert!(
+            spins < 100_000_000,
+            "look-back stalled: state word {idx} never published (executor bug?)"
+        );
+        std::hint::spin_loop();
+    }
+}
+
+/// Per-tile `(aggregate | inclusive-prefix)` flag records for a chained
+/// single-pass kernel: `rows` packed words per tile (`rows = 1` for the
+/// scalar scan, `rows = m` for the fused multisplit's bucket histograms).
+pub struct TileStates {
+    state: GlobalBuffer<u64>,
+    rows: usize,
+}
+
+impl TileStates {
+    /// Allocate EMPTY state records for `tiles` tiles of `rows` rows each.
+    pub fn new(tiles: usize, rows: usize) -> Self {
+        assert!(
+            (1..=WARP_SIZE).contains(&rows),
+            "tile-state records hold 1..=32 rows (one lane per row)"
+        );
+        Self {
+            state: GlobalBuffer::zeroed(tiles * rows),
+            rows,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn tiles(&self) -> usize {
+        self.state.len() / self.rows
+    }
+
+    /// Lane-indexed word addresses of tile `t`'s record (lane `r` = row `r`).
+    #[inline]
+    fn record(&self, t: usize) -> Lanes<usize> {
+        let rows = self.rows;
+        lanes_from_fn(|lane| t * rows + lane.min(rows - 1))
+    }
+
+    /// Publish tile `t`'s per-row `aggregate` and resolve its exclusive
+    /// prefix (per row: the sum of that row's aggregates over tiles
+    /// `0..t`) by decoupled look-back; publishes the inclusive record
+    /// before returning. Rows beyond `self.rows` return 0.
+    ///
+    /// Warp-synchronous: call from a single warp (conventionally warp 0);
+    /// `t` must have been claimed via a device-scope ticket `fetch_add`
+    /// (see the module docs on deadlock freedom).
+    pub fn resolve(&self, w: &WarpCtx, t: usize, aggregate: Lanes<u32>) -> Lanes<u32> {
+        let rows = self.rows;
+        let mask = low_lanes_mask(rows);
+        if t == 0 {
+            w.device_scatter(
+                &self.state,
+                self.record(0),
+                lanes_from_fn(|l| pack(aggregate[l], FLAG_INCLUSIVE)),
+                mask,
+            );
+            return [0; WARP_SIZE];
+        }
+        w.device_scatter(
+            &self.state,
+            self.record(t),
+            lanes_from_fn(|l| pack(aggregate[l], FLAG_AGGREGATE)),
+            mask,
+        );
+        // Walk back until every row has met an INCLUSIVE word. Rows resolve
+        // independently: a predecessor may have published its aggregate but
+        // not yet its inclusive record, and different rows may stop at
+        // different depths. Pure register work + uncounted polls.
+        let mut prefix = [0u32; WARP_SIZE];
+        let mut done = [false; WARP_SIZE];
+        let mut remaining = rows;
+        let mut p = t;
+        while remaining > 0 {
+            debug_assert!(p > 0, "tile 0 always publishes INCLUSIVE");
+            p -= 1;
+            for row in 0..rows {
+                if done[row] {
+                    continue;
+                }
+                let (value, flag) = unpack(spin_wait_published(&self.state, p * rows + row));
+                prefix[row] = prefix[row].wrapping_add(value);
+                if flag == FLAG_INCLUSIVE {
+                    done[row] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        // Charge the look-back deterministically: one counted record-sized
+        // read per tile. How many extra hops the walk took depends on
+        // scheduling — charging them would break schedule independence.
+        w.device_gather(&self.state, self.record(t - 1), mask);
+        w.device_scatter(
+            &self.state,
+            self.record(t),
+            lanes_from_fn(|l| pack(prefix[l].wrapping_add(aggregate[l]), FLAG_INCLUSIVE)),
+            mask,
+        );
+        prefix
+    }
+
+    /// Host-side read of one row's grand total (the last tile's inclusive
+    /// value). Only valid after the kernel has completed.
+    pub fn total(&self, row: usize) -> u32 {
+        assert!(row < self.rows);
+        let (value, flag) = unpack(self.state.get((self.tiles() - 1) * self.rows + row));
+        debug_assert_eq!(
+            flag, FLAG_INCLUSIVE,
+            "last tile must have resolved its inclusive prefix"
+        );
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::{Device, K40C};
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        assert_eq!(unpack(pack(0, FLAG_EMPTY)), (0, FLAG_EMPTY));
+        assert_eq!(unpack(pack(12345, FLAG_AGGREGATE)), (12345, FLAG_AGGREGATE));
+        assert_eq!(
+            unpack(pack(u32::MAX, FLAG_INCLUSIVE)),
+            (u32::MAX, FLAG_INCLUSIVE)
+        );
+    }
+
+    /// Drive the protocol with a real ticketed kernel over vector rows and
+    /// check prefixes against a host reference, on both executors.
+    #[test]
+    fn vector_lookback_matches_reference() {
+        let (tiles, rows) = (67usize, 5usize);
+        // aggregate of tile t, row r
+        let agg = |t: usize, r: usize| ((t * 31 + r * 7) % 13) as u32;
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let states = TileStates::new(tiles, rows);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            let out = simt::GlobalBuffer::<u32>::zeroed(tiles * rows);
+            dev.launch("lookback-test", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                let a = lanes_from_fn(|l| agg(t, l.min(rows - 1)));
+                let prefix = states.resolve(&w, t, a);
+                w.scatter_merged(
+                    &out,
+                    lanes_from_fn(|l| t * rows + l.min(rows - 1)),
+                    prefix,
+                    low_lanes_mask(rows),
+                );
+            });
+            let got = out.to_vec();
+            for t in 0..tiles {
+                for r in 0..rows {
+                    let expect: u32 = (0..t).map(|p| agg(p, r)).sum();
+                    assert_eq!(got[t * rows + r], expect, "tile {t} row {r}");
+                }
+                // inclusive records are fully published
+            }
+            for r in 0..rows {
+                let expect: u32 = (0..tiles).map(|p| agg(p, r)).sum();
+                assert_eq!(states.total(r), expect, "grand total row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_schedule_independent() {
+        let (tiles, rows) = (200usize, 32usize);
+        let mut all = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let states = TileStates::new(tiles, rows);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            dev.launch("lookback-stats", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                states.resolve(&w, t, lanes_from_fn(|l| l as u32));
+            });
+            all.push(dev.records()[0].stats);
+        }
+        assert_eq!(
+            all[0], all[1],
+            "counted look-back cost must not depend on scheduling"
+        );
+    }
+}

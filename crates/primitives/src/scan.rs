@@ -35,6 +35,7 @@ use std::cell::Cell;
 use simt::{lanes_from_fn, BlockCtx, Device, GlobalBuffer, SharedBuf, WARP_SIZE};
 
 use crate::block_scan::{low_lanes_mask, tail_mask};
+use crate::lookback::TileStates;
 use crate::warp_scan;
 
 /// Thread coarsening factor for scan kernels.
@@ -66,16 +67,25 @@ pub fn scan_strategy() -> ScanStrategy {
     SCAN_STRATEGY.with(Cell::get)
 }
 
-/// Set the dispatch strategy for this host thread; returns the previous
-/// value so callers can restore it.
-pub fn set_scan_strategy(s: ScanStrategy) -> ScanStrategy {
-    SCAN_STRATEGY.with(|c| c.replace(s))
+/// Run `f` with the dispatch strategy set to `s` for this host thread,
+/// restoring the previous value on the way out — **including on panic**
+/// (an RAII drop guard, like `Device::with_scope`), so a failing test can
+/// no longer leak a strategy into later tests on the same thread.
+pub fn with_scan_strategy<R>(s: ScanStrategy, f: impl FnOnce() -> R) -> R {
+    struct Restore(ScanStrategy);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCAN_STRATEGY.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SCAN_STRATEGY.with(|c| c.replace(s)));
+    f()
 }
 
 /// Exclusive prefix-sum of `input[0..n]` into `output[0..n]`; returns the
 /// total. `label` prefixes all launches (e.g. `"direct/scan"`).
 ///
-/// Dispatches to the strategy selected by [`set_scan_strategy`]
+/// Dispatches to the strategy selected by [`with_scan_strategy`]
 /// ([`ScanStrategy::Chained`] by default).
 ///
 /// ```
@@ -125,48 +135,6 @@ pub fn exclusive_scan_u32_with(
     }
 }
 
-// Tile state words for the decoupled look-back, one `u64` per tile packed
-// as `value << 2 | flag` so a single device-scope load observes value and
-// flag atomically together.
-const FLAG_EMPTY: u64 = 0;
-const FLAG_AGGREGATE: u64 = 1;
-const FLAG_INCLUSIVE: u64 = 2;
-
-#[inline]
-fn pack(value: u32, flag: u64) -> u64 {
-    (value as u64) << 2 | flag
-}
-
-#[inline]
-fn unpack(word: u64) -> (u32, u64) {
-    ((word >> 2) as u32, word & 3)
-}
-
-/// Spin until tile `p`'s state is published (flag != EMPTY).
-///
-/// Polls through the uncounted `device_peek` path: on hardware the poll
-/// hits an L2-resident line, and counting retries would make stats depend
-/// on thread interleaving (see `device_peek`'s docs). The one *successful*
-/// read each tile performs is charged by the caller.
-fn spin_wait_published(state: &GlobalBuffer<u64>, p: usize) -> u64 {
-    let mut spins = 0u64;
-    loop {
-        let word = state.device_peek(p);
-        if word & 3 != FLAG_EMPTY {
-            return word;
-        }
-        spins += 1;
-        if spins.is_multiple_of(64) {
-            std::thread::yield_now();
-        }
-        assert!(
-            spins < 100_000_000,
-            "chained-scan look-back stalled: tile {p} never published (executor bug?)"
-        );
-        std::hint::spin_loop();
-    }
-}
-
 /// Single-pass chained scan with decoupled look-back.
 ///
 /// One kernel, launched as `"{label}/scan-chained"`. Per block:
@@ -199,7 +167,8 @@ pub fn chained_scan_u32(
     let tile = scan_tile(warps_per_block);
     let blocks = n.div_ceil(tile);
     let ticket = GlobalBuffer::<u32>::zeroed(1);
-    let state = GlobalBuffer::<u64>::zeroed(blocks);
+    // Scalar prefixes: one-row tile-state records (see `lookback`).
+    let states = TileStates::new(blocks, 1);
     dev.launch(
         &format!("{label}/scan-chained"),
         blocks,
@@ -226,33 +195,7 @@ pub fn chained_scan_u32(
             // traffic, negligible next to the tile's 2·tile elements).
             let block_base = {
                 let w = blk.warp(0);
-                if t == 0 {
-                    w.device_set(&state, 0, pack(aggregate, FLAG_INCLUSIVE));
-                    0
-                } else {
-                    w.device_set(&state, t, pack(aggregate, FLAG_AGGREGATE));
-                    let mut prefix = 0u32;
-                    let mut p = t - 1;
-                    loop {
-                        let (value, flag) = unpack(spin_wait_published(&state, p));
-                        prefix += value;
-                        if flag == FLAG_INCLUSIVE {
-                            break;
-                        }
-                        p -= 1; // AGGREGATE: keep walking back
-                    }
-                    // Charge the look-back deterministically: one counted read
-                    // per tile. The walk above polls uncounted (L2-resident),
-                    // and how many extra hops it takes depends on scheduling —
-                    // charging them would break stats schedule-independence.
-                    w.device_get(&state, t - 1);
-                    w.device_set(
-                        &state,
-                        t,
-                        pack(prefix.wrapping_add(aggregate), FLAG_INCLUSIVE),
-                    );
-                    prefix
-                }
+                states.resolve(&w, t, simt::splat(aggregate))[0]
             };
             blk.sync();
             // 4. Add the resolved prefix and write the tile's output.
@@ -274,12 +217,7 @@ pub fn chained_scan_u32(
             }
         },
     );
-    let (total, flag) = unpack(state.get(blocks - 1));
-    debug_assert_eq!(
-        flag, FLAG_INCLUSIVE,
-        "last tile must have resolved its inclusive prefix"
-    );
-    total
+    states.total(0)
 }
 
 /// Recursive reduce / scan-partials / downsweep scan (the pre-chained
@@ -622,10 +560,25 @@ mod tests {
 
     #[test]
     fn strategy_knob_restores() {
-        let prev = set_scan_strategy(ScanStrategy::Recursive);
-        assert_eq!(prev, ScanStrategy::Chained);
-        assert_eq!(scan_strategy(), ScanStrategy::Recursive);
-        set_scan_strategy(prev);
+        assert_eq!(scan_strategy(), ScanStrategy::Chained);
+        let r = with_scan_strategy(ScanStrategy::Recursive, || {
+            assert_eq!(scan_strategy(), ScanStrategy::Recursive);
+            // nesting restores the *inner* previous value
+            with_scan_strategy(ScanStrategy::Chained, scan_strategy)
+        });
+        assert_eq!(r, ScanStrategy::Chained);
+        assert_eq!(scan_strategy(), ScanStrategy::Chained);
+    }
+
+    #[test]
+    fn strategy_knob_restores_on_panic() {
+        // The bug class this guard fixes: a panicking closure (e.g. a failed
+        // assertion inside a test) must not leak its strategy into later
+        // tests on the same thread.
+        let caught = std::panic::catch_unwind(|| {
+            with_scan_strategy(ScanStrategy::Recursive, || panic!("boom"))
+        });
+        assert!(caught.is_err());
         assert_eq!(scan_strategy(), ScanStrategy::Chained);
     }
 

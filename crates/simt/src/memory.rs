@@ -349,6 +349,53 @@ impl<T: Scalar> GlobalBuffer<T> {
         T::from_bits(self.words[idx].load(Ordering::SeqCst))
     }
 
+    /// Warp-wide device-scope gather (SeqCst): the vector counterpart of
+    /// [`GlobalBuffer::device_get`], for reading an m-row tile-state record
+    /// in one request. Bills sector-rounded useful bytes (the flag words
+    /// are the hottest lines on the device and stay L2-resident, like
+    /// [`GlobalBuffer::gather_cached`] tables).
+    pub fn device_gather(&self, stats: &StatCells, idx: Lanes<usize>, mask: u32) -> Lanes<T> {
+        let mut out = [T::default(); WARP_SIZE];
+        let mut active = 0u64;
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                out[lane] = T::from_bits(self.words[idx[lane]].load(Ordering::SeqCst));
+                active += 1;
+            }
+        }
+        if active > 0 {
+            let bytes = active * T::BYTES;
+            StatCells::bump(&stats.sectors, bytes.div_ceil(SECTOR_BYTES));
+            StatCells::bump(&stats.useful_bytes, bytes);
+            StatCells::bump(&stats.global_requests, 1);
+            StatCells::bump(&stats.lane_ops, active);
+        }
+        out
+    }
+
+    /// Warp-wide device-scope scatter (SeqCst): the vector counterpart of
+    /// [`GlobalBuffer::device_set`], publishing an m-row tile-state record
+    /// in one request. Skips the write-race detector (state words are
+    /// written twice per epoch by design: aggregate, then inclusive
+    /// prefix) and bills sector-rounded useful bytes like
+    /// [`GlobalBuffer::device_gather`].
+    pub fn device_scatter(&self, stats: &StatCells, idx: Lanes<usize>, val: Lanes<T>, mask: u32) {
+        let mut active = 0u64;
+        for lane in 0..WARP_SIZE {
+            if lane_active(mask, lane) {
+                self.words[idx[lane]].store(val[lane].to_bits(), Ordering::SeqCst);
+                active += 1;
+            }
+        }
+        if active > 0 {
+            let bytes = active * T::BYTES;
+            StatCells::bump(&stats.sectors, bytes.div_ceil(SECTOR_BYTES));
+            StatCells::bump(&stats.useful_bytes, bytes);
+            StatCells::bump(&stats.global_requests, 1);
+            StatCells::bump(&stats.lane_ops, active);
+        }
+    }
+
     fn account_single(stats: &StatCells) {
         StatCells::bump(&stats.sectors, 1);
         StatCells::bump(&stats.useful_bytes, T::BYTES);
@@ -572,6 +619,32 @@ mod tests {
         assert_eq!(s.sectors, 2, "set + get; peek is free");
         assert_eq!(s.useful_bytes, 16);
         assert_eq!(s.global_requests, 2);
+    }
+
+    #[test]
+    fn device_vector_ops_bill_rounded_bytes() {
+        // A 32-row u64 state record is 256 bytes = 8 sectors each way, and
+        // the scatter must not trip the race detector even when the same
+        // words are re-published within one epoch (aggregate → inclusive).
+        let buf = GlobalBuffer::<u64>::zeroed(32).tracked();
+        let st = cells();
+        let idx = lanes_from_fn(|i| i);
+        buf.device_scatter(&st, idx, lanes_from_fn(|i| i as u64), FULL_MASK);
+        buf.device_scatter(&st, idx, lanes_from_fn(|i| 100 + i as u64), FULL_MASK);
+        let got = buf.device_gather(&st, idx, FULL_MASK);
+        assert_eq!(got[31], 131);
+        let s = st.snapshot();
+        assert_eq!(s.sectors, 24, "3 requests x 8 sectors");
+        assert_eq!(s.useful_bytes, 3 * 256);
+        assert_eq!(s.global_requests, 3);
+        // A single-lane record costs one sector, same as device_set/get.
+        let st = cells();
+        buf.device_scatter(&st, idx, splat(7), 1);
+        buf.device_gather(&st, idx, 1);
+        assert_eq!(st.snapshot().sectors, 2);
+        // An empty mask is free.
+        buf.device_gather(&st, idx, 0);
+        assert_eq!(st.snapshot().global_requests, 2);
     }
 
     #[test]

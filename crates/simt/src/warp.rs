@@ -193,6 +193,30 @@ impl<'a> WarpCtx<'a> {
         buf.device_fetch_add(self.stats, idx, val)
     }
 
+    /// Warp-wide device-scope gather (counted, sector-rounded bytes). Used
+    /// by the fused multisplit's look-back to read an m-row predecessor
+    /// state record in one request.
+    pub fn device_gather<T: Scalar>(
+        &self,
+        buf: &GlobalBuffer<T>,
+        idx: Lanes<usize>,
+        mask: u32,
+    ) -> Lanes<T> {
+        buf.device_gather(self.stats, idx, mask)
+    }
+
+    /// Warp-wide device-scope scatter (counted, sector-rounded bytes). Used
+    /// to publish an m-row tile-state record in one request.
+    pub fn device_scatter<T: Scalar>(
+        &self,
+        buf: &GlobalBuffer<T>,
+        idx: Lanes<usize>,
+        val: Lanes<T>,
+        mask: u32,
+    ) {
+        buf.device_scatter(self.stats, idx, val, mask)
+    }
+
     /// Charge `n` generic per-lane ALU operations (address arithmetic,
     /// bucket evaluation, comparisons...). Kernels call this at the few
     /// spots where meaningful local work happens so the compute side of the

@@ -27,8 +27,12 @@ fn multisplit_methods_match_reference() {
     for _ in 0..CASES {
         let keys = rand_keys(&mut rng, 3000);
         let m = rng.gen_range(1u32..=32);
-        let method =
-            [Method::Direct, Method::WarpLevel, Method::BlockLevel][rng.gen_range(0usize..3)];
+        let method = [
+            Method::Direct,
+            Method::WarpLevel,
+            Method::BlockLevel,
+            Method::Fused,
+        ][rng.gen_range(0usize..4)];
         let wpb = [2usize, 4, 8][rng.gen_range(0usize..3)];
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
@@ -51,8 +55,12 @@ fn multisplit_kv_matches_reference() {
     for _ in 0..CASES {
         let keys = rand_keys(&mut rng, 2000);
         let m = rng.gen_range(1u32..=32);
-        let method =
-            [Method::Direct, Method::WarpLevel, Method::BlockLevel][rng.gen_range(0usize..3)];
+        let method = [
+            Method::Direct,
+            Method::WarpLevel,
+            Method::BlockLevel,
+            Method::Fused,
+        ][rng.gen_range(0usize..4)];
         let values: Vec<u32> = (0..keys.len() as u32).collect();
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
@@ -68,6 +76,56 @@ fn multisplit_kv_matches_reference() {
         );
         assert_eq!(r.values.unwrap().to_vec(), ev);
     }
+}
+
+#[test]
+fn fused_matches_reference_and_three_kernel_for_every_m() {
+    // The fused path's correctness sweep (ISSUE 2): bit-identical to the
+    // CPU reference AND the three-kernel pipeline for every m in 1..=32,
+    // key-only and key-value, including a partial final tile (the fused
+    // tile is wpb*32*ipt = 2048 elements at wpb=8, so n = 5000 ends on a
+    // ragged tile). The fused output buffers carry the simulator's
+    // write-race detector (`tracked()`): any double-write panics here.
+    let mut rng = SmallRng::seed_from_u64(0x51ca_000b);
+    for m in 1u32..=32 {
+        let keys = rand_keys(&mut rng, 5000);
+        let values: Vec<u32> = (0..keys.len() as u32).collect();
+        let bucket = RangeBuckets::new(m);
+        let dev = Device::new(K40C);
+        let kbuf = GlobalBuffer::from_slice(&keys);
+        let vbuf = GlobalBuffer::from_slice(&values);
+        let n = keys.len();
+        let f = multisplit_device(&dev, Method::Fused, &kbuf, no_values(), n, &bucket, 8);
+        let b = multisplit_device(&dev, Method::BlockLevel, &kbuf, no_values(), n, &bucket, 8);
+        let (ek, ev, eo) = multisplit_kv_ref(&keys, Some(&values), &bucket);
+        assert_eq!(f.keys.to_vec(), ek, "m={m} n={n} vs reference");
+        assert_eq!(f.offsets, eo, "m={m} n={n}");
+        assert_eq!(f.keys.to_vec(), b.keys.to_vec(), "m={m} vs three-kernel");
+        assert_eq!(f.offsets, b.offsets, "m={m} vs three-kernel");
+        let fkv = multisplit_device(&dev, Method::Fused, &kbuf, Some(&vbuf), n, &bucket, 8);
+        assert_eq!(fkv.keys.to_vec(), ek, "kv m={m}");
+        assert_eq!(fkv.values.unwrap().to_vec(), ev, "kv m={m}");
+    }
+}
+
+#[test]
+fn fused_edge_cases() {
+    let dev = Device::new(K40C);
+    let bucket = RangeBuckets::new(8);
+    // Zero-length input: no launches, all-zero offsets.
+    let empty = GlobalBuffer::<u32>::zeroed(0);
+    let r = multisplit_device(&dev, Method::Fused, &empty, no_values(), 0, &bucket, 8);
+    assert_eq!(r.offsets, vec![0; 9]);
+    assert!(dev.records().is_empty());
+    // Single-bucket input is the identity permutation (stability).
+    let keys: Vec<u32> = (0..3000u32)
+        .map(|i| i.wrapping_mul(2654435761) % 512)
+        .collect();
+    let one = multisplit::FnBuckets::new(4, |_| 2);
+    let buf = GlobalBuffer::from_slice(&keys);
+    let r = multisplit_device(&dev, Method::Fused, &buf, no_values(), keys.len(), &one, 8);
+    assert_eq!(r.keys.to_vec(), keys);
+    assert_eq!(r.offsets, vec![0, 0, 0, 3000, 3000]);
 }
 
 #[test]
