@@ -20,23 +20,33 @@
 //!   ablate      design-choice ablations (N_W sweep, packed-vs-index, reorder)
 //!   scan        chained (decoupled lookback) vs recursive scan traffic
 //!   fused       single-pass fused MS vs three-kernel warp/block MS
-//!   all         everything above
+//!   profile     hierarchical scope-tree roll-up with per-block telemetry
+//!               and look-back introspection; writes bench_results/profile.json
+//!   check       compare per-stage sector counts (n=2^16, m=32) against
+//!               bench_results/baseline_sectors.json; exits 1 on regression
+//!   all         everything above (except profile/check)
 //!
 //! options:
 //!   --n <log2>     input size exponent (default 22; the paper uses 25)
 //!   --full         shorthand for the paper's sizes (n=2^25, fig4 n=2^24)
 //!   --no-verify    skip CPU-reference verification of every run
 //!   --trials <k>   average over k seeded trials (default 1)
+//!   --json <path>  additionally write every run + report to <path> as JSON
+//!   --snapshot <s> (profile) also write a BENCH_<s>.json snapshot at the root
+//!   --update       (check) rewrite the committed baseline from current counts
 //! ```
 
 use msbench::*;
-use simt::{DeviceProfile, GTX750TI, K40C};
+use simt::{DeviceProfile, Json, GTX750TI, K40C};
 
 struct Opts {
     n: usize,
     fig4_n: usize,
     verify: bool,
     trials: u64,
+    json: Option<String>,
+    snapshot: Option<String>,
+    update: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -44,6 +54,9 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut fig4_log = 20u32;
     let mut verify = true;
     let mut trials = 1u64;
+    let mut json = None;
+    let mut snapshot = None;
+    let mut update = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -66,6 +79,9 @@ fn parse_opts(args: &[String]) -> Opts {
                     .parse()
                     .expect("bad --trials")
             }
+            "--json" => json = Some(it.next().expect("--json needs a path").clone()),
+            "--snapshot" => snapshot = Some(it.next().expect("--snapshot needs a name").clone()),
+            "--update" => update = true,
             other => panic!("unknown option {other}"),
         }
     }
@@ -74,16 +90,24 @@ fn parse_opts(args: &[String]) -> Opts {
         fig4_n: 1 << fig4_log,
         verify,
         trials,
+        json,
+        snapshot,
+        update,
     }
 }
 
-/// Average a contender over the configured trials.
+/// Average a contender over the configured trials. The launch log of the
+/// first trial rides along (timings/sectors are averaged; the log is not).
 fn avg(opts: &Opts, f: impl Fn(u64) -> Outcome) -> Outcome {
     let mut total = 0.0;
     let mut stages: Vec<(&'static str, f64)> = Vec::new();
     let mut sectors: Vec<(&'static str, u64)> = Vec::new();
+    let mut records = Vec::new();
     for t in 0..opts.trials {
-        let o = f(t);
+        let mut o = f(t);
+        if t == 0 {
+            records = std::mem::take(&mut o.records);
+        }
         total += o.total;
         for (k, v) in o.stages {
             match stages.iter_mut().find(|(s, _)| *s == k) {
@@ -106,6 +130,7 @@ fn avg(opts: &Opts, f: impl Fn(u64) -> Outcome) -> Outcome {
             .into_iter()
             .map(|(s, v)| (s, v / opts.trials.max(1)))
             .collect(),
+        records,
     }
 }
 
@@ -127,6 +152,9 @@ fn run(opts: &Opts, c: Contender, kv: bool, m: u32, profile: DeviceProfile) -> O
 
 fn emit(name: &str, body: String) {
     println!("{body}");
+    if metrics::sink_active() {
+        metrics::sink_push(&format!("report:{name}"), Json::Str(body.clone()));
+    }
     match save_report(name, &body) {
         Ok(p) => println!("[saved {}]\n", p.display()),
         Err(e) => println!("[warn: could not save report: {e}]\n"),
@@ -1167,10 +1195,136 @@ fn fused_compare(opts: &Opts) {
     emit("fused", out);
 }
 
+// ====================== Profile (observability) ======================
+
+/// Hierarchical scope-tree roll-up with per-block telemetry and look-back
+/// introspection for the four `m <= 32` contenders. Per-stage sector
+/// totals match the `fused` / `scan` text reports exactly (same seed,
+/// same sequential-equivalent counts). Writes `bench_results/profile.json`.
+fn profile_cmd(opts: &Opts) {
+    let n = opts.n.min(1 << 20);
+    let m = 32u32;
+    let data = metrics::profile_data(n, m, opts.verify);
+    let mut out = format!(
+        "Profile: hierarchical scope-tree roll-up, n = 2^{}, m = {m}, seed {}\n\
+         (per-block telemetry on; direct/warp/block/fused on the K40c; per-stage\n\
+          sector totals line up with the `fused` report's first trial)\n",
+        n.ilog2(),
+        metrics::PROFILE_SEED
+    );
+    for p in &data {
+        out.push_str(&format!("\n== {} ==\n", p.name));
+        out.push_str(&p.tree().render_text());
+        let mut t = Table::new(&["launch", "blocks", "imbalance", "crit-path ms", "sum ms"]);
+        for r in p.launch_reports(&K40C) {
+            t.row(vec![
+                r.label.clone(),
+                r.blocks.to_string(),
+                format!("{:.2}", r.imbalance),
+                format!("{:.3}", r.critical_path_seconds * 1e3),
+                format!("{:.3}", r.sum_seconds * 1e3),
+            ]);
+        }
+        out.push_str(&t.render());
+        for rec in p.lookback_records() {
+            out.push_str(&format!(
+                "look-back {}: {} resolves, mean depth {:.2}, spin polls {}\n  depth hist {:?}\n",
+                rec.label,
+                rec.obs.lookback_resolves,
+                rec.obs.mean_depth(),
+                rec.obs.spin_polls,
+                rec.obs.lookback_depth_hist,
+            ));
+        }
+    }
+    emit("profile", out);
+    let doc = Json::Obj(vec![
+        ("n".into(), Json::int(n as u64)),
+        ("m".into(), Json::int(m as u64)),
+        ("seed".into(), Json::int(metrics::PROFILE_SEED)),
+        ("device".into(), Json::Str(K40C.name.into())),
+        (
+            "contenders".into(),
+            Json::Arr(data.iter().map(|p| p.to_json(&K40C)).collect()),
+        ),
+    ]);
+    let path = std::path::Path::new("bench_results/profile.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(path, doc.pretty() + "\n") {
+        Ok(()) => println!("[saved {}]\n", path.display()),
+        Err(e) => println!("[warn: could not save profile.json: {e}]\n"),
+    }
+    if let Some(name) = &opts.snapshot {
+        let snap = format!("BENCH_{name}.json");
+        match std::fs::write(&snap, doc.pretty() + "\n") {
+            Ok(()) => println!("[saved {snap}]\n"),
+            Err(e) => println!("[warn: could not save {snap}: {e}]\n"),
+        }
+    }
+    metrics::sink_push("profile", doc);
+}
+
+// ====================== Check (sector regression gate) ======================
+
+/// Compare the four contenders' per-stage sector counts at n = 2^16,
+/// m = 32 against the committed `bench_results/baseline_sectors.json`
+/// with a ±2% tolerance; exit 1 on regression. Sectors are
+/// schedule-independent, so this is a meaningful Rust-only CI gate.
+/// `--update` rewrites the baseline from the current counts instead.
+fn check_cmd(opts: &Opts) {
+    let n = 1usize << 16;
+    let m = 32u32;
+    let path = std::path::Path::new("bench_results/baseline_sectors.json");
+    println!(
+        "check: per-stage sector counts, n = 2^16, m = {m}, seed {}, tolerance ±2%",
+        metrics::PROFILE_SEED
+    );
+    let current = metrics::sector_baseline_current(n, m);
+    if opts.update {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, current.pretty() + "\n").expect("cannot write baseline");
+        println!("[wrote {}]", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!(
+            "check: cannot read {} ({e}); create it with `paper check --update`",
+            path.display()
+        );
+        std::process::exit(1);
+    });
+    let baseline = simt::Json::parse(&text).expect("committed baseline is not valid JSON");
+    match metrics::sector_baseline_compare(&current, &baseline, 0.02) {
+        Ok(notes) => {
+            for note in &notes {
+                println!("note: {note}");
+            }
+            println!("check: OK — all sector counts within tolerance of the baseline");
+        }
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            eprintln!(
+                "check: sector counts regressed; investigate, or refresh an intended\n\
+                 change with `paper check --update` and commit the new baseline"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
     let opts = parse_opts(&args[1.min(args.len())..]);
+    if opts.json.is_some() {
+        metrics::sink_begin();
+    }
     match cmd {
         "table1" => table1(&opts),
         "table3" => table3(&opts),
@@ -1187,6 +1341,8 @@ fn main() {
         "ablate" => ablate(&opts),
         "scan" => scan_compare(&opts),
         "fused" => fused_compare(&opts),
+        "profile" => profile_cmd(&opts),
+        "check" => check_cmd(&opts),
         "all" => {
             table1(&opts);
             table3(&opts);
@@ -1205,8 +1361,19 @@ fn main() {
             fused_compare(&opts);
         }
         _ => {
-            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|all> [--n LOG2] [--full] [--no-verify] [--trials K]");
+            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|profile|check|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
             std::process::exit(2);
+        }
+    }
+    if let Some(path) = &opts.json {
+        if let Some(sink) = metrics::sink_take() {
+            match sink.write(std::path::Path::new(path)) {
+                Ok(()) => println!("[json written to {path}]"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 //! the CPU reference, and per-stage time grouping for the Table 4
 //! breakdown.
 
+pub mod metrics;
 pub mod microbench;
 
 use msrng::SmallRng;
@@ -171,12 +172,14 @@ impl Contender {
     }
 }
 
-/// One measured run: total estimated seconds plus the per-stage split
-/// (time and DRAM sectors).
+/// One measured run: total estimated seconds, the per-stage split (time
+/// and DRAM sectors), and the full launch log it was derived from (for
+/// scope-tree roll-ups, per-block reports and the `--json` sink).
 pub struct Outcome {
     pub total: f64,
     pub stages: Vec<(&'static str, f64)>,
     pub sectors: Vec<(&'static str, u64)>,
+    pub records: Vec<simt::LaunchRecord>,
 }
 
 impl Outcome {
@@ -315,11 +318,29 @@ pub fn run_contender(
         }
     }
 
-    Outcome {
+    let outcome = Outcome {
         total: dev.total_seconds(),
         stages: stage_seconds(&dev),
         sectors: stage_sector_counts(&dev),
+        records: dev.take_records(),
+    };
+    if metrics::sink_active() {
+        metrics::sink_push(
+            "run",
+            metrics::run_entry(
+                &contender.name(),
+                key_value,
+                n,
+                m,
+                dist,
+                profile.name,
+                wpb,
+                seed,
+                &outcome,
+            ),
+        );
     }
+    outcome
 }
 
 /// Two-bucket scan-based split runner (Table 3's second baseline).
@@ -341,11 +362,29 @@ pub fn run_scan_split(
             bucket.bucket_of(k) == 1
         });
     check_multisplit(&keys_host, &out.to_vec(), &offs, &bucket).expect("scan split invalid");
-    Outcome {
+    let outcome = Outcome {
         total: dev.total_seconds(),
         stages: stage_seconds(&dev),
         sectors: stage_sector_counts(&dev),
+        records: dev.take_records(),
+    };
+    if metrics::sink_active() {
+        metrics::sink_push(
+            "run",
+            metrics::run_entry(
+                "Scan-based split",
+                key_value,
+                n,
+                2,
+                Distribution::Uniform,
+                profile.name,
+                wpb,
+                seed,
+                &outcome,
+            ),
+        );
     }
+    outcome
 }
 
 /// Format milliseconds with two decimals.

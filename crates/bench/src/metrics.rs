@@ -1,0 +1,494 @@
+//! Structured metrics export for the bench harness.
+//!
+//! Three pieces:
+//!
+//! * a **thread-local run sink** — when armed (the `paper` binary's
+//!   `--json <path>` flag), every [`crate::run_contender`] /
+//!   [`crate::run_scan_split`] call appends a JSON entry describing the
+//!   run (parameters, per-stage split, full launch log) to the active
+//!   [`simt::MetricsSink`], which the binary writes at exit;
+//! * **profile data** — the testable core of `paper profile`: run the
+//!   four `m <= 32` contenders under [`simt::Telemetry::PerBlock`] and
+//!   derive scope trees, launch reports and look-back histograms;
+//! * **sector baselines** — the `paper check` regression gate: current
+//!   per-stage sector counts as JSON, compared against a committed
+//!   baseline with a tolerance (sectors are schedule-independent, so an
+//!   exact-ish comparison is meaningful).
+
+use std::cell::RefCell;
+
+use simt::{launch_report, scope_tree, with_telemetry, Json, LaunchRecord, MetricsSink, Telemetry};
+
+use crate::{run_contender, Contender, Distribution, Outcome};
+
+thread_local! {
+    static SINK: RefCell<Option<MetricsSink>> = const { RefCell::new(None) };
+}
+
+/// Arm the thread-local sink (subsequent runs on this thread are logged).
+pub fn sink_begin() {
+    SINK.with(|s| *s.borrow_mut() = Some(MetricsSink::new()));
+}
+
+/// Whether a sink is currently armed on this thread.
+pub fn sink_active() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Append a section to the armed sink (no-op when disarmed).
+pub fn sink_push(name: &str, value: Json) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.push(name, value);
+        }
+    });
+}
+
+/// Disarm and take the sink (if one was armed).
+pub fn sink_take() -> Option<MetricsSink> {
+    SINK.with(|s| s.borrow_mut().take())
+}
+
+/// Stage splits as JSON: `[{"stage": ..., "seconds"/"sectors": ...}]`.
+fn stages_json(outcome: &Outcome) -> (Json, Json) {
+    let seconds = Json::Arr(
+        outcome
+            .stages
+            .iter()
+            .map(|(k, v)| {
+                Json::Obj(vec![
+                    ("stage".into(), Json::Str((*k).into())),
+                    ("seconds".into(), Json::Num(*v)),
+                ])
+            })
+            .collect(),
+    );
+    let sectors = Json::Arr(
+        outcome
+            .sectors
+            .iter()
+            .map(|(k, v)| {
+                Json::Obj(vec![
+                    ("stage".into(), Json::Str((*k).into())),
+                    ("sectors".into(), Json::int(*v)),
+                ])
+            })
+            .collect(),
+    );
+    (seconds, sectors)
+}
+
+/// The sink entry [`crate::run_contender`] logs for one verified run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_entry(
+    name: &str,
+    key_value: bool,
+    n: usize,
+    m: u32,
+    dist: Distribution,
+    device: &str,
+    wpb: usize,
+    seed: u64,
+    outcome: &Outcome,
+) -> Json {
+    let (stage_seconds, stage_sectors) = stages_json(outcome);
+    Json::Obj(vec![
+        ("contender".into(), Json::Str(name.into())),
+        ("key_value".into(), Json::Bool(key_value)),
+        ("n".into(), Json::int(n as u64)),
+        ("m".into(), Json::int(m as u64)),
+        ("distribution".into(), Json::Str(dist.name().into())),
+        ("device".into(), Json::Str(device.into())),
+        ("warps_per_block".into(), Json::int(wpb as u64)),
+        ("seed".into(), Json::int(seed)),
+        ("total_seconds".into(), Json::Num(outcome.total)),
+        ("stage_seconds".into(), stage_seconds),
+        ("stage_sectors".into(), stage_sectors),
+        ("launches".into(), simt::obs::records_json(&outcome.records)),
+    ])
+}
+
+/// The contenders `paper profile` / `paper check` cover, with the short
+/// names committed in baselines.
+pub const PROFILE_CONTENDERS: [(Contender, &str); 4] = [
+    (Contender::Direct, "direct"),
+    (Contender::WarpLevel, "warp"),
+    (Contender::BlockLevel, "block"),
+    (Contender::Fused, "fused"),
+];
+
+/// One contender's profile: the outcome plus everything derived from its
+/// per-block launch log.
+pub struct ContenderProfile {
+    pub name: &'static str,
+    pub outcome: Outcome,
+}
+
+impl ContenderProfile {
+    /// Scope-tree roll-up of the contender's launch log.
+    pub fn tree(&self) -> simt::ScopeNode {
+        scope_tree(&self.outcome.records)
+    }
+
+    /// Per-launch reports (imbalance, sector histograms) — one per
+    /// launch, since every profile run retains per-block stats.
+    pub fn launch_reports(&self, profile: &simt::DeviceProfile) -> Vec<simt::LaunchReport> {
+        self.outcome
+            .records
+            .iter()
+            .filter_map(|r| launch_report(r, profile))
+            .collect()
+    }
+
+    /// Launches that resolved look-backs (chained scans, fused sweeps).
+    pub fn lookback_records(&self) -> Vec<&LaunchRecord> {
+        self.outcome
+            .records
+            .iter()
+            .filter(|r| r.obs.lookback_resolves > 0)
+            .collect()
+    }
+
+    pub fn to_json(&self, profile: &simt::DeviceProfile) -> Json {
+        let (stage_seconds, stage_sectors) = stages_json(&self.outcome);
+        Json::Obj(vec![
+            ("contender".into(), Json::Str(self.name.into())),
+            ("total_seconds".into(), Json::Num(self.outcome.total)),
+            ("stage_seconds".into(), stage_seconds),
+            ("stage_sectors".into(), stage_sectors),
+            ("scope_tree".into(), self.tree().to_json()),
+            (
+                "launch_reports".into(),
+                Json::Arr(
+                    self.launch_reports(profile)
+                        .iter()
+                        .map(|r| r.to_json())
+                        .collect(),
+                ),
+            ),
+            (
+                "lookback".into(),
+                Json::Arr(
+                    self.lookback_records()
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::Str(r.label.clone())),
+                                ("obs".into(), simt::obs::obs_json(&r.obs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The seed `paper fused` uses for its first trial; profile runs share it
+/// so per-stage sector totals line up exactly with that report.
+pub const PROFILE_SEED: u64 = 3000;
+
+/// Run the four `m <= 32` contenders under per-block telemetry. The
+/// testable core of `paper profile` (and of `paper check`, which only
+/// keeps the sector splits).
+pub fn profile_data(n: usize, m: u32, verify: bool) -> Vec<ContenderProfile> {
+    PROFILE_CONTENDERS
+        .iter()
+        .map(|&(c, name)| ContenderProfile {
+            name,
+            outcome: with_telemetry(Telemetry::PerBlock, || {
+                run_contender(
+                    c,
+                    false,
+                    n,
+                    m,
+                    Distribution::Uniform,
+                    simt::K40C,
+                    8,
+                    PROFILE_SEED,
+                    verify,
+                )
+            }),
+        })
+        .collect()
+}
+
+/// Current per-stage sector counts in the committed-baseline shape:
+/// `{"n", "m", "seed", "contenders": [{"contender", "total_sectors",
+/// "stages": [{"stage", "sectors"}]}]}`.
+pub fn sector_baseline_current(n: usize, m: u32) -> Json {
+    let contenders = profile_data(n, m, false)
+        .iter()
+        .map(|p| {
+            let total: u64 = p.outcome.sectors.iter().map(|(_, s)| s).sum();
+            Json::Obj(vec![
+                ("contender".into(), Json::Str(p.name.into())),
+                ("total_sectors".into(), Json::int(total)),
+                (
+                    "stages".into(),
+                    Json::Arr(
+                        p.outcome
+                            .sectors
+                            .iter()
+                            .map(|(k, v)| {
+                                Json::Obj(vec![
+                                    ("stage".into(), Json::Str((*k).into())),
+                                    ("sectors".into(), Json::int(*v)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("n".into(), Json::int(n as u64)),
+        ("m".into(), Json::int(m as u64)),
+        ("seed".into(), Json::int(PROFILE_SEED)),
+        ("contenders".into(), Json::Arr(contenders)),
+    ])
+}
+
+/// Compare current sector counts against a committed baseline.
+///
+/// Returns `Ok(notes)` when nothing regressed (notes flag improvements
+/// beyond the tolerance, i.e. a stale baseline worth refreshing) or
+/// `Err(failures)` listing every count that **grew** more than
+/// `tolerance` (e.g. `0.02` for ±2%).
+pub fn sector_baseline_compare(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut notes = Vec::new();
+    let mut failures = Vec::new();
+    for key in ["n", "m", "seed"] {
+        let (c, b) = (
+            current.get(key).and_then(Json::as_f64),
+            baseline.get(key).and_then(Json::as_f64),
+        );
+        if c != b {
+            failures.push(format!(
+                "config mismatch on `{key}`: current {c:?} vs baseline {b:?}"
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+    let empty: [Json; 0] = [];
+    let baseline_contenders = baseline
+        .get("contenders")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for cur in current
+        .get("contenders")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty)
+    {
+        let name = cur.get("contender").and_then(Json::as_str).unwrap_or("?");
+        let Some(base) = baseline_contenders
+            .iter()
+            .find(|b| b.get("contender").and_then(Json::as_str) == Some(name))
+        else {
+            failures.push(format!("baseline has no entry for contender `{name}`"));
+            continue;
+        };
+        fn check_one(
+            notes: &mut Vec<String>,
+            failures: &mut Vec<String>,
+            tolerance: f64,
+            what: String,
+            cur_v: f64,
+            base_v: f64,
+        ) {
+            if base_v == 0.0 {
+                if cur_v != 0.0 {
+                    failures.push(format!("{what}: {cur_v} sectors where baseline has 0"));
+                }
+                return;
+            }
+            let ratio = cur_v / base_v;
+            if ratio > 1.0 + tolerance {
+                failures.push(format!(
+                    "{what}: {cur_v} sectors vs baseline {base_v} (+{:.1}% > {:.0}% tolerance)",
+                    (ratio - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else if ratio < 1.0 - tolerance {
+                notes.push(format!(
+                    "{what}: improved to {cur_v} sectors vs baseline {base_v} ({:.1}%) — \
+                     consider `paper check --update`",
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+        let totals = (
+            cur.get("total_sectors").and_then(Json::as_f64),
+            base.get("total_sectors").and_then(Json::as_f64),
+        );
+        if let (Some(c), Some(b)) = totals {
+            check_one(
+                &mut notes,
+                &mut failures,
+                tolerance,
+                format!("{name}/total"),
+                c,
+                b,
+            );
+        }
+        for stage in cur.get("stages").and_then(Json::as_arr).unwrap_or(&empty) {
+            let sname = stage.get("stage").and_then(Json::as_str).unwrap_or("?");
+            let cur_v = stage.get("sectors").and_then(Json::as_f64).unwrap_or(0.0);
+            let base_v = base
+                .get("stages")
+                .and_then(Json::as_arr)
+                .unwrap_or(&empty)
+                .iter()
+                .find(|s| s.get("stage").and_then(Json::as_str) == Some(sname))
+                .and_then(|s| s.get("sectors").and_then(Json::as_f64));
+            match base_v {
+                Some(b) => check_one(
+                    &mut notes,
+                    &mut failures,
+                    tolerance,
+                    format!("{name}/{sname}"),
+                    cur_v,
+                    b,
+                ),
+                None => failures.push(format!("baseline missing stage `{name}/{sname}`")),
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(notes)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_arms_pushes_and_takes() {
+        assert!(!sink_active());
+        sink_push("ignored", Json::Null); // disarmed: no-op
+        sink_begin();
+        assert!(sink_active());
+        sink_push("a", Json::int(1));
+        sink_push("b", Json::int(2));
+        let sink = sink_take().expect("sink was armed");
+        assert!(!sink_active());
+        let sections = sink.to_json();
+        assert_eq!(sections.get("sections").unwrap().as_arr().unwrap().len(), 2);
+        assert!(sink_take().is_none());
+    }
+
+    #[test]
+    fn run_contender_logs_into_armed_sink() {
+        sink_begin();
+        let o = run_contender(
+            Contender::Fused,
+            false,
+            4096,
+            8,
+            Distribution::Uniform,
+            simt::K40C,
+            8,
+            1,
+            true,
+        );
+        assert!(!o.records.is_empty(), "outcome must carry the launch log");
+        let sink = sink_take().unwrap();
+        let text = sink.to_json().pretty();
+        let parsed = Json::parse(&text).expect("sink must serialize valid JSON");
+        let sections = parsed.get("sections").unwrap().as_arr().unwrap();
+        assert_eq!(sections.len(), 1);
+        let data = sections[0].get("data").unwrap();
+        assert_eq!(
+            data.get("contender").and_then(Json::as_str),
+            Some("Fused MS")
+        );
+        assert_eq!(data.get("n").and_then(Json::as_f64), Some(4096.0));
+        assert!(data.get("launches").unwrap().as_arr().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn profile_data_retains_per_block_and_lookback() {
+        let profiles = profile_data(1 << 14, 8, true);
+        assert_eq!(profiles.len(), 4);
+        for p in &profiles {
+            assert!(p.outcome.total > 0.0, "{}", p.name);
+            for rec in &p.outcome.records {
+                assert!(
+                    rec.per_block.is_some(),
+                    "{}/{}: profile runs must retain per-block stats",
+                    p.name,
+                    rec.label
+                );
+            }
+            assert!(
+                !p.launch_reports(&simt::K40C).is_empty(),
+                "{}: at least one derived launch report",
+                p.name
+            );
+        }
+        // Three-kernel contenders resolve look-backs in their chained scan;
+        // the fused contender in its sweep.
+        let fused = profiles.iter().find(|p| p.name == "fused").unwrap();
+        assert!(
+            !fused.lookback_records().is_empty(),
+            "fused sweep must report look-back introspection"
+        );
+        let json = fused.to_json(&simt::K40C).pretty();
+        assert!(Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn sector_baseline_roundtrips_and_compares() {
+        let n = 1 << 13;
+        let current = sector_baseline_current(n, 8);
+        let text = current.pretty();
+        let reparsed = Json::parse(&text).expect("baseline must be valid JSON");
+        // Identical runs pass with zero tolerance (sectors deterministic).
+        assert_eq!(
+            sector_baseline_compare(&current, &reparsed, 0.0),
+            Ok(vec![])
+        );
+        // A 5% inflation of every sector count fails a 2% gate.
+        fn inflate(v: &Json, factor: f64) -> Json {
+            match v {
+                Json::Obj(fields) => Json::Obj(
+                    fields
+                        .iter()
+                        .map(|(k, val)| {
+                            if k == "sectors" || k == "total_sectors" {
+                                (
+                                    k.clone(),
+                                    Json::Num((val.as_f64().unwrap() * factor).round()),
+                                )
+                            } else {
+                                (k.clone(), inflate(val, factor))
+                            }
+                        })
+                        .collect(),
+                ),
+                Json::Arr(items) => Json::Arr(items.iter().map(|i| inflate(i, factor)).collect()),
+                other => other.clone(),
+            }
+        }
+        let worse = inflate(&current, 1.05);
+        let res = sector_baseline_compare(&worse, &current, 0.02);
+        assert!(res.is_err(), "5% growth must fail a 2% gate");
+        // The inverse direction (shrinkage) is a note, not a failure.
+        let res = sector_baseline_compare(&current, &worse, 0.02);
+        let notes = res.expect("improvement must pass");
+        assert!(!notes.is_empty(), "improvement beyond tolerance is noted");
+        // Config mismatch is an immediate failure.
+        let other = sector_baseline_current(n / 2, 8);
+        assert!(sector_baseline_compare(&current, &other, 0.02).is_err());
+    }
+}

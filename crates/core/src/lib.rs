@@ -70,3 +70,6 @@ pub use direct::multisplit_direct;
 pub use fused::{fused_items_per_thread, multisplit_fused};
 pub use large_m::{max_buckets, multisplit_large_m};
 pub use warp_level::multisplit_warp_level;
+// Observability knob: callers profile multisplit runs by wrapping them in
+// `with_telemetry(Telemetry::PerBlock, ..)`, like `with_pipeline` above.
+pub use simt::{telemetry, with_telemetry, Telemetry};

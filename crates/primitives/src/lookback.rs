@@ -34,7 +34,7 @@
 //! plus one counted record-sized look-back read — so parallel and
 //! sequential devices report identical [`simt::BlockStats`].
 
-use simt::{lanes_from_fn, GlobalBuffer, Lanes, WarpCtx, WARP_SIZE};
+use simt::{lanes_from_fn, GlobalBuffer, Lanes, ObsCells, WarpCtx, WARP_SIZE};
 
 use crate::block_scan::low_lanes_mask;
 
@@ -59,12 +59,16 @@ pub fn unpack(word: u64) -> (u32, u64) {
 /// Spin until the state word at `idx` is published (flag != EMPTY).
 ///
 /// Polls through the uncounted `device_peek` path; the deterministic
-/// charge happens once per tile in [`TileStates::resolve`].
-fn spin_wait_published(state: &GlobalBuffer<u64>, idx: usize) -> u64 {
+/// charge happens once per tile in [`TileStates::resolve`]. Poll
+/// iterations go to the uncounted `obs` side-channel — they depend on
+/// thread interleaving, so they are exported for inspection but never
+/// priced or compared for equality.
+fn spin_wait_published(state: &GlobalBuffer<u64>, idx: usize, obs: &ObsCells) -> u64 {
     let mut spins = 0u64;
     loop {
         let word = state.device_peek(idx);
         if word & 3 != FLAG_EMPTY {
+            obs.record_spins(spins);
             return word;
         }
         spins += 1;
@@ -133,6 +137,9 @@ impl TileStates {
                 lanes_from_fn(|l| pack(aggregate[l], FLAG_INCLUSIVE)),
                 mask,
             );
+            // Tile 0 resolves at depth 0 (no walk). Counting it keeps
+            // `lookback_resolves` == tiles, a schedule-independent total.
+            w.obs().record_lookback(0);
             return [0; WARP_SIZE];
         }
         w.device_scatter(
@@ -156,7 +163,8 @@ impl TileStates {
                 if done[row] {
                     continue;
                 }
-                let (value, flag) = unpack(spin_wait_published(&self.state, p * rows + row));
+                let (value, flag) =
+                    unpack(spin_wait_published(&self.state, p * rows + row, w.obs()));
                 prefix[row] = prefix[row].wrapping_add(value);
                 if flag == FLAG_INCLUSIVE {
                     done[row] = true;
@@ -164,6 +172,11 @@ impl TileStates {
                 }
             }
         }
+        // Introspection: the walk reached back `t - p` tiles (the deepest
+        // row wins). One resolve per tile — that count is schedule-
+        // independent; the depth itself is not (sequential execution
+        // always stops after one hop, parallel depends on timing).
+        w.obs().record_lookback((t - p) as u64);
         // Charge the look-back deterministically: one counted record-sized
         // read per tile. How many extra hops the walk took depends on
         // scheduling — charging them would break schedule independence.
@@ -261,5 +274,43 @@ mod tests {
             all[0], all[1],
             "counted look-back cost must not depend on scheduling"
         );
+    }
+
+    /// The uncounted obs channel: one resolve per tile (deterministic,
+    /// schedule-independent) with the depth histogram summing to exactly
+    /// that; depths themselves collapse to one hop under sequential
+    /// execution.
+    #[test]
+    fn lookback_obs_totals_are_schedule_independent() {
+        let (tiles, rows) = (200usize, 8usize);
+        let mut resolves = Vec::new();
+        for (i, dev) in [Device::new(K40C), Device::sequential(K40C)]
+            .into_iter()
+            .enumerate()
+        {
+            let states = TileStates::new(tiles, rows);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            dev.launch("lookback-obs", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                states.resolve(&w, t, lanes_from_fn(|l| l as u32));
+            });
+            let obs = dev.records()[0].obs;
+            assert_eq!(obs.lookback_resolves, tiles as u64, "one resolve per tile");
+            assert_eq!(
+                obs.depth_hist_total(),
+                obs.lookback_resolves,
+                "histogram buckets must sum to the resolve count"
+            );
+            if i == 1 {
+                // Sequential: every predecessor has finished, so every
+                // walk (tiles 1..) stops after exactly one hop.
+                assert_eq!(obs.lookback_depth_total, (tiles - 1) as u64);
+                assert_eq!(obs.lookback_depth_hist[1], (tiles - 1) as u64);
+                assert_eq!(obs.spin_polls, 0, "nothing to wait for sequentially");
+            }
+            resolves.push(obs.lookback_resolves);
+        }
+        assert_eq!(resolves[0], resolves[1]);
     }
 }

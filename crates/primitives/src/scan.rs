@@ -611,6 +611,28 @@ mod tests {
     }
 
     #[test]
+    fn chained_scan_lookback_obs_totals_are_schedule_independent() {
+        // Introspection invariant at the scan level: exactly one look-back
+        // resolve per tile (so the total is schedule-independent) and the
+        // depth histogram sums to it, on both executors. Depths and spin
+        // polls may differ between runs — they are exported, not asserted.
+        let n: usize = 100 * 2048 + 321; // 101 tiles
+        let tiles = n.div_ceil(scan_tile(8)) as u64;
+        let data: Vec<u32> = (0..n).map(|i| i as u32 % 11).collect();
+        let mut resolves = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let input = GlobalBuffer::from_slice(&data);
+            let output = GlobalBuffer::<u32>::zeroed(n);
+            chained_scan_u32(&dev, "t", &input, &output, n, 8);
+            let obs = dev.records()[0].obs;
+            assert_eq!(obs.lookback_resolves, tiles, "one resolve per tile");
+            assert_eq!(obs.depth_hist_total(), obs.lookback_resolves);
+            resolves.push(obs.lookback_resolves);
+        }
+        assert_eq!(resolves[0], resolves[1]);
+    }
+
+    #[test]
     fn chained_moves_at_least_30_percent_fewer_sectors() {
         // The tentpole claim at the scan level: at n = 2^20 the chained
         // stage must report >= 30% fewer global-memory sectors (and lower

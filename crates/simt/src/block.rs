@@ -89,8 +89,10 @@ impl BlockCtx {
         &self.stats
     }
 
-    pub(crate) fn into_stats(self) -> BlockStats {
-        self.stats.snapshot()
+    /// Retire the block: counted stats plus the uncounted introspection
+    /// snapshot (kept separate so obs can never leak into the cost model).
+    pub(crate) fn into_parts(self) -> (BlockStats, crate::obs::ObsStats) {
+        (self.stats.snapshot(), self.stats.obs.snapshot())
     }
 }
 
@@ -112,7 +114,7 @@ mod tests {
         let blk = BlockCtx::new(0, 1, 1);
         blk.sync();
         blk.sync();
-        assert_eq!(blk.into_stats().barriers, 2);
+        assert_eq!(blk.into_parts().0.barriers, 2);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::block::BlockCtx;
+use crate::obs::{telemetry, ObsStats, Telemetry};
 use crate::profile::DeviceProfile;
 use crate::stats::{BlockStats, LaunchRecord};
 
@@ -99,8 +100,19 @@ impl Device {
     /// The label names the launch for per-stage reporting; by convention
     /// it is `"algorithm/stage"` (e.g. `"direct/pre-scan"`).
     ///
-    /// A zero-block launch is a true no-op: nothing runs and nothing is
-    /// recorded, so empty grids cannot inflate `total_seconds()`.
+    /// Under [`crate::obs::Telemetry::PerBlock`] (see
+    /// [`crate::obs::with_telemetry`], read from the **calling** host
+    /// thread) the record additionally retains every block's own stats,
+    /// indexed by block id. Summed stats are bit-identical whichever
+    /// telemetry level or executor is active: per-block counts are
+    /// schedule-independent and u64 addition commutes.
+    ///
+    /// **Zero-block contract**: a zero-block launch is a true no-op —
+    /// nothing runs and nothing is appended to the launch log, so empty
+    /// grids cannot inflate `total_seconds()` or stage roll-ups. The
+    /// *returned* `LaunchRecord` is still fully formed (label carries the
+    /// active scope prefix, stats/seconds are zero) so callers can treat
+    /// every launch uniformly, but it exists only in the return value.
     pub fn launch<F>(
         &self,
         label: &str,
@@ -112,21 +124,28 @@ impl Device {
         F: Fn(&BlockCtx) + Sync,
     {
         let label = format!("{}{}", lock_unpoisoned(&self.scope), label);
+        let per_block_wanted = telemetry() == Telemetry::PerBlock;
         if num_blocks == 0 {
             return LaunchRecord {
                 label,
                 blocks: 0,
                 warps_per_block,
                 stats: BlockStats::default(),
+                obs: ObsStats::default(),
+                per_block: per_block_wanted.then(Vec::new),
                 seconds: 0.0,
             };
         }
-        let run_block = |b: usize| -> BlockStats {
+        let run_block = |b: usize| -> (BlockStats, ObsStats) {
             let blk = BlockCtx::new(b, num_blocks, warps_per_block);
             kernel(&blk);
-            blk.into_stats()
+            blk.into_parts()
         };
-        let stats = if self.parallel && num_blocks >= PARALLEL_GRID_THRESHOLD {
+        // Each worker accumulates locally (no locks on the hot path) and
+        // keeps `(block_id, stats)` pairs when per-block telemetry is on;
+        // the pairs are scattered into an id-indexed Vec after the join,
+        // so the retained order is deterministic whatever the claim order.
+        let (stats, obs, per_block) = if self.parallel && num_blocks >= PARALLEL_GRID_THRESHOLD {
             let workers = std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
                 .min(num_blocks);
@@ -136,38 +155,65 @@ impl Device {
                     .map(|_| {
                         s.spawn(|| {
                             let mut acc = BlockStats::default();
+                            let mut obs = ObsStats::default();
+                            let mut kept: Vec<(usize, BlockStats)> = Vec::new();
                             loop {
                                 let b = next.fetch_add(1, Ordering::Relaxed);
                                 if b >= num_blocks {
                                     break;
                                 }
-                                acc += run_block(b);
+                                let (bs, bo) = run_block(b);
+                                acc += bs;
+                                obs += bo;
+                                if per_block_wanted {
+                                    kept.push((b, bs));
+                                }
                             }
-                            acc
+                            (acc, obs, kept)
                         })
                     })
                     .collect();
                 let mut acc = BlockStats::default();
+                let mut obs = ObsStats::default();
+                let mut per_block =
+                    per_block_wanted.then(|| vec![BlockStats::default(); num_blocks]);
                 for h in handles {
                     match h.join() {
-                        Ok(s) => acc += s,
+                        Ok((s, o, kept)) => {
+                            acc += s;
+                            obs += o;
+                            if let Some(pb) = per_block.as_mut() {
+                                for (b, bs) in kept {
+                                    pb[b] = bs;
+                                }
+                            }
+                        }
                         Err(payload) => std::panic::resume_unwind(payload),
                     }
                 }
-                acc
+                (acc, obs, per_block)
             })
         } else {
             let mut acc = BlockStats::default();
+            let mut obs = ObsStats::default();
+            let mut per_block = per_block_wanted.then(|| Vec::with_capacity(num_blocks));
             for b in 0..num_blocks {
-                acc += run_block(b);
+                let (bs, bo) = run_block(b);
+                acc += bs;
+                obs += bo;
+                if let Some(pb) = per_block.as_mut() {
+                    pb.push(bs);
+                }
             }
-            acc
+            (acc, obs, per_block)
         };
         let record = LaunchRecord {
             label,
             blocks: num_blocks,
             warps_per_block,
             stats,
+            obs,
+            per_block,
             seconds: self.profile.estimate(&stats),
         };
         lock_unpoisoned(&self.records).push(record.clone());
@@ -337,6 +383,65 @@ mod tests {
             "no-op launches must not be recorded"
         );
         assert_eq!(dev.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn scoped_zero_block_launch_is_a_noop_with_prefixed_label() {
+        // The zero-block contract: the returned record carries the active
+        // scope prefix, but the launch log stays untouched.
+        let dev = Device::new(K40C);
+        let rec = dev.with_scope("outer", || {
+            dev.with_scope("inner", || {
+                dev.launch("empty", 0, 8, |_| panic!("must not run"))
+            })
+        });
+        assert_eq!(rec.label, "outer/inner/empty");
+        assert_eq!(rec.stats, BlockStats::default());
+        assert_eq!(rec.seconds, 0.0);
+        assert!(
+            dev.records().is_empty(),
+            "zero-block launch must not record"
+        );
+        assert_eq!(dev.seconds_with_prefix("outer/"), 0.0);
+    }
+
+    #[test]
+    fn per_block_telemetry_retains_indexed_stats() {
+        use crate::obs::{with_telemetry, Telemetry};
+        let n = 10_000;
+        let data: Vec<u32> = (0..n as u32).collect();
+        // Summary (default): no per-block vector.
+        let dev = Device::new(K40C);
+        let src = GlobalBuffer::from_slice(&data);
+        let dst = GlobalBuffer::<u32>::zeroed(n);
+        copy_kernel(&dev, &src, &dst, n, 8);
+        let summary = dev.records()[0].clone();
+        assert!(summary.per_block.is_none());
+        // PerBlock on both executors: same summed stats as Summary, same
+        // id-indexed per-block vectors, and the vector sums to the total.
+        let mut per_block_runs = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let src = GlobalBuffer::from_slice(&data);
+            let dst = GlobalBuffer::<u32>::zeroed(n);
+            with_telemetry(Telemetry::PerBlock, || {
+                copy_kernel(&dev, &src, &dst, n, 8);
+            });
+            per_block_runs.push(dev.records()[0].clone());
+        }
+        for rec in &per_block_runs {
+            assert_eq!(rec.stats, summary.stats, "telemetry must not change sums");
+            let pb = rec.per_block.as_ref().expect("per-block retained");
+            assert_eq!(pb.len(), rec.blocks);
+            let mut sum = BlockStats::default();
+            for b in pb {
+                sum += *b;
+            }
+            assert_eq!(sum, rec.stats, "per-block stats must sum to the total");
+        }
+        assert_eq!(
+            per_block_runs[0].per_block, per_block_runs[1].per_block,
+            "block-id-indexed stats must be schedule-independent"
+        );
     }
 
     #[test]

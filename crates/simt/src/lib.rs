@@ -52,8 +52,10 @@
 
 pub mod block;
 pub mod grid;
+pub mod json;
 pub mod lanes;
 pub mod memory;
+pub mod obs;
 pub mod profile;
 pub mod shared;
 pub mod stats;
@@ -62,11 +64,16 @@ pub mod warp;
 
 pub use block::{BlockCtx, SMEM_CAPACITY_BYTES};
 pub use grid::{blocks_for, Device};
+pub use json::Json;
 pub use lanes::{
     lane_active, lane_ids, lane_mask_le, lane_mask_lt, lanes_from_fn, map, popc, splat, zip, Lanes,
     FULL_MASK, WARP_SIZE,
 };
 pub use memory::{GlobalBuffer, Scalar, SECTOR_BYTES};
+pub use obs::{
+    launch_report, scope_tree, telemetry, with_telemetry, LaunchReport, MetricsSink, ObsCells,
+    ObsStats, ScopeNode, Telemetry,
+};
 pub use profile::{DeviceProfile, GTX750TI, K40C};
 pub use shared::{SharedBuf, SMEM_BANKS};
 pub use stats::{BlockStats, LaunchRecord, StatCells};

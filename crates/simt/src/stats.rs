@@ -10,6 +10,8 @@
 use std::cell::Cell;
 use std::ops::AddAssign;
 
+use crate::obs::{ObsCells, ObsStats};
+
 /// Aggregated event counts for one block (or, summed, for one launch).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BlockStats {
@@ -74,6 +76,11 @@ impl BlockStats {
 /// cells are folded into a plain [`BlockStats`] when the block retires.
 #[derive(Debug, Default)]
 pub struct StatCells {
+    /// Uncounted introspection side-channel (see [`crate::obs`]): rides in
+    /// the same bundle so warp-level primitives reach it without any new
+    /// plumbing, but is **never** folded into [`BlockStats`] or priced by
+    /// the cost model.
+    pub obs: ObsCells,
     pub sectors: Cell<u64>,
     pub useful_bytes: Cell<u64>,
     pub global_requests: Cell<u64>,
@@ -123,6 +130,12 @@ pub struct LaunchRecord {
     pub warps_per_block: usize,
     /// Event counts summed over all blocks.
     pub stats: BlockStats,
+    /// Introspection counters summed over all blocks (uncounted channel;
+    /// see [`crate::obs::ObsStats`] for which fields are deterministic).
+    pub obs: ObsStats,
+    /// Every block's own event counts, indexed by block id — retained only
+    /// under [`crate::obs::Telemetry::PerBlock`], `None` otherwise.
+    pub per_block: Option<Vec<BlockStats>>,
     /// Estimated execution time in seconds (model, not wall clock).
     pub seconds: f64,
 }

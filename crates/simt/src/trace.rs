@@ -4,45 +4,112 @@
 //! JSON this module writes, giving a timeline of every kernel with its
 //! counted events attached — handy when figuring out where a multisplit
 //! variant's modeled time goes.
+//!
+//! Layout: one track (`tid`) per top-level scope segment of the launch
+//! labels (named via `"M"`-phase `thread_name` metadata), one `"X"`
+//! complete event per kernel carrying **every** [`crate::BlockStats`]
+//! counter in its `args`, and two `"C"`-phase counter tracks — modeled
+//! DRAM bandwidth (GB/s) and coalescing waste (bytes) — so Perfetto plots
+//! bandwidth over (modeled) time.
 
 use std::io::Write;
 
+use crate::json::escape;
 use crate::stats::LaunchRecord;
 
-/// Serialize launch records as a Chrome trace (JSON array format), one
-/// complete event per kernel, laid end to end on a single track.
+/// The top-level scope of a label: everything before the first `/`
+/// (the whole label when it has no stage suffix).
+fn top_scope(label: &str) -> &str {
+    label.split('/').next().unwrap_or(label)
+}
+
+/// Serialize launch records as a Chrome trace (JSON array format).
 pub fn chrome_trace_json(records: &[LaunchRecord]) -> String {
     let mut out = String::from("[\n");
+    if records.is_empty() {
+        out.push(']');
+        return out;
+    }
+    let mut events: Vec<String> = Vec::new();
+    // One track per top-level scope, in first-appearance order; tid 1..=N.
+    let mut scopes: Vec<&str> = Vec::new();
+    for r in records {
+        let s = top_scope(&r.label);
+        if !scopes.contains(&s) {
+            scopes.push(s);
+        }
+    }
+    for (i, s) in scopes.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            i + 1,
+            escape(s),
+        ));
+    }
     let mut t_us = 0.0f64;
-    for (i, r) in records.iter().enumerate() {
+    for r in records {
         let dur = r.seconds * 1e6;
+        let tid = scopes
+            .iter()
+            .position(|s| *s == top_scope(&r.label))
+            .unwrap()
+            + 1;
         let s = &r.stats;
-        out.push_str(&format!(
+        let mut args = format!(
             concat!(
-                "{{\"name\":{:?},\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{:.3},\"dur\":{:.3},",
-                "\"args\":{{\"blocks\":{},\"warps_per_block\":{},\"sectors\":{},\"useful_bytes\":{},",
-                "\"replays\":{},\"smem_ops\":{},\"intrinsics\":{},\"lane_ops\":{},\"barriers\":{}}}}}"
+                "\"blocks\":{},\"warps_per_block\":{},\"sectors\":{},\"useful_bytes\":{},",
+                "\"global_requests\":{},\"replays\":{},\"atomic_ops\":{},\"atomic_conflicts\":{},",
+                "\"smem_ops\":{},\"intrinsics\":{},\"lane_ops\":{},\"barriers\":{},",
+                "\"divergent_iters\":{}"
             ),
-            r.label,
-            t_us,
-            dur,
             r.blocks,
             r.warps_per_block,
             s.sectors,
             s.useful_bytes,
+            s.global_requests,
             s.replays,
+            s.atomic_ops,
+            s.atomic_conflicts,
             s.smem_ops,
             s.intrinsics,
             s.lane_ops,
             s.barriers,
+            s.divergent_iters,
+        );
+        if r.obs.lookback_resolves > 0 {
+            args.push_str(&format!(
+                ",\"lookback_resolves\":{},\"lookback_depth_total\":{},\"spin_polls\":{}",
+                r.obs.lookback_resolves, r.obs.lookback_depth_total, r.obs.spin_polls,
+            ));
+        }
+        events.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{t_us:.3},\"dur\":{dur:.3},\"args\":{{{args}}}}}",
+            escape(&r.label),
+        ));
+        // Counter samples at the kernel's start; Perfetto holds each value
+        // until the next sample, so the step function tracks the timeline.
+        let gbps = if r.seconds > 0.0 {
+            s.dram_bytes() as f64 / r.seconds / 1e9
+        } else {
+            0.0
+        };
+        events.push(format!(
+            "{{\"name\":\"DRAM GB/s\",\"ph\":\"C\",\"pid\":1,\"ts\":{t_us:.3},\"args\":{{\"value\":{gbps:.3}}}}}"
+        ));
+        events.push(format!(
+            "{{\"name\":\"waste bytes\",\"ph\":\"C\",\"pid\":1,\"ts\":{t_us:.3},\"args\":{{\"value\":{}}}}}",
+            s.wasted_bytes(),
         ));
         t_us += dur;
-        if i + 1 < records.len() {
-            out.push(',');
-        }
-        out.push('\n');
     }
-    out.push(']');
+    // Close both counter tracks at the end of the timeline.
+    for name in ["DRAM GB/s", "waste bytes"] {
+        events.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":1,\"ts\":{t_us:.3},\"args\":{{\"value\":0}}}}"
+        ));
+    }
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]");
     out
 }
 
@@ -55,6 +122,8 @@ pub fn write_chrome_trace(records: &[LaunchRecord], path: &std::path::Path) -> s
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::Json;
+    use crate::obs::ObsStats;
     use crate::stats::BlockStats;
 
     fn record(label: &str, seconds: f64) -> LaunchRecord {
@@ -67,6 +136,8 @@ mod tests {
                 useful_bytes: 320,
                 ..Default::default()
             },
+            obs: ObsStats::default(),
+            per_block: None,
             seconds,
         }
     }
@@ -86,6 +157,80 @@ mod tests {
     #[test]
     fn empty_log_is_an_empty_array() {
         assert_eq!(chrome_trace_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn all_stats_fields_are_emitted() {
+        let mut r = record("k", 1e-6);
+        r.stats = BlockStats {
+            sectors: 1,
+            useful_bytes: 2,
+            global_requests: 3,
+            replays: 4,
+            atomic_ops: 5,
+            atomic_conflicts: 6,
+            smem_ops: 7,
+            intrinsics: 8,
+            lane_ops: 9,
+            barriers: 10,
+            divergent_iters: 11,
+        };
+        let json = chrome_trace_json(&[r]);
+        for field in [
+            "\"sectors\":1",
+            "\"useful_bytes\":2",
+            "\"global_requests\":3",
+            "\"replays\":4",
+            "\"atomic_ops\":5",
+            "\"atomic_conflicts\":6",
+            "\"smem_ops\":7",
+            "\"intrinsics\":8",
+            "\"lane_ops\":9",
+            "\"barriers\":10",
+            "\"divergent_iters\":11",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn scopes_get_their_own_named_tracks() {
+        let recs = vec![
+            record("fused/pre-scan", 1e-6),
+            record("scan/scan-chained", 1e-6),
+            record("fused/sweep", 1e-6),
+        ];
+        let json = chrome_trace_json(&recs);
+        assert_eq!(json.matches("\"thread_name\"").count(), 2, "one per scope");
+        assert!(json.contains("\"args\":{\"name\":\"fused\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"scan\"}"));
+        // Both fused kernels share tid 1 with their metadata event; the
+        // scan kernel gets tid 2.
+        assert_eq!(json.matches("\"tid\":1,").count(), 3);
+        assert_eq!(json.matches("\"tid\":2,").count(), 2);
+    }
+
+    #[test]
+    fn counter_tracks_cover_the_timeline() {
+        let json = chrome_trace_json(&[record("k", 1e-6)]);
+        // One sample at the kernel start plus the closing zero, per track.
+        assert_eq!(json.matches("\"DRAM GB/s\"").count(), 2);
+        assert_eq!(json.matches("\"waste bytes\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 4);
+    }
+
+    #[test]
+    fn trace_is_real_json_even_with_hostile_labels() {
+        let recs = vec![record("quote\"in/label", 1e-6), record("back\\slash", 2e-6)];
+        let json = chrome_trace_json(&recs);
+        let parsed = Json::parse(&json).expect("trace must be valid JSON");
+        let events = parsed.as_arr().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"quote\"in/label"));
+        assert!(names.contains(&"back\\slash"));
     }
 
     #[test]

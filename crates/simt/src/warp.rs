@@ -32,6 +32,13 @@ impl<'a> WarpCtx<'a> {
         }
     }
 
+    /// The uncounted introspection side-channel (see [`crate::obs`]):
+    /// counters recorded here are exported with the launch record but are
+    /// never priced by the cost model or folded into [`crate::BlockStats`].
+    pub fn obs(&self) -> &crate::obs::ObsCells {
+        &self.stats.obs
+    }
+
     #[inline]
     fn count_intrinsic(&self) {
         StatCells::bump(&self.stats.intrinsics, 1);

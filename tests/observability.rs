@@ -1,0 +1,209 @@
+//! Cross-crate observability integration: per-block telemetry, look-back
+//! introspection and structured JSON export, exercised end to end through
+//! the public `multisplit` API and the bench harness.
+
+use msbench::metrics::{profile_data, PROFILE_CONTENDERS, PROFILE_SEED};
+use msbench::{run_contender, Distribution};
+use multisplit::{multisplit_device, no_values, with_telemetry, Method, RangeBuckets, Telemetry};
+use simt::{
+    chrome_trace_json, launch_report, BlockStats, Device, GlobalBuffer, Json, LaunchRecord,
+    ObsStats, K40C,
+};
+
+fn keys_for(n: usize, seed: u32) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed * 97))
+        .collect()
+}
+
+/// Run one multisplit method and hand back the device's launch log.
+fn run_with(dev: &Device, method: Method, keys_host: &[u32], m: u32) -> Vec<LaunchRecord> {
+    let keys = GlobalBuffer::from_slice(keys_host);
+    let bucket = RangeBuckets::new(m);
+    multisplit_device(dev, method, &keys, no_values(), keys_host.len(), &bucket, 8);
+    dev.records()
+}
+
+fn summed_stats(records: &[LaunchRecord]) -> BlockStats {
+    records.iter().fold(BlockStats::default(), |mut a, r| {
+        a += r.stats;
+        a
+    })
+}
+
+fn summed_obs(records: &[LaunchRecord]) -> ObsStats {
+    records.iter().fold(ObsStats::default(), |mut a, r| {
+        a += r.obs;
+        a
+    })
+}
+
+/// A total order over every counted field, for schedule-independent
+/// comparison of per-block vectors.
+fn stats_key(b: &BlockStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        b.sectors,
+        b.useful_bytes,
+        b.global_requests,
+        b.replays,
+        b.atomic_ops,
+        b.atomic_conflicts,
+        b.smem_ops,
+        b.intrinsics,
+        b.lane_ops,
+        b.barriers,
+        b.divergent_iters,
+    )
+}
+
+#[test]
+fn per_block_stats_are_schedule_independent() {
+    let n = 100_000;
+    let keys_host = keys_for(n, 3);
+    for method in [Method::BlockLevel, Method::Fused] {
+        let mut per_dev: Vec<(BlockStats, Vec<Vec<BlockStats>>)> = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let records = with_telemetry(Telemetry::PerBlock, || {
+                run_with(&dev, method, &keys_host, 32)
+            });
+            let mut per_block: Vec<Vec<BlockStats>> = Vec::new();
+            for rec in &records {
+                let blocks = rec
+                    .per_block
+                    .clone()
+                    .expect("PerBlock telemetry retains per-block stats");
+                // The retained vector is indexed by block id, so the sum
+                // must reproduce the launch's counted stats exactly.
+                assert_eq!(rec.stats, {
+                    blocks.iter().fold(BlockStats::default(), |mut a, b| {
+                        a += *b;
+                        a
+                    })
+                });
+                let mut sorted = blocks;
+                sorted.sort_by_key(stats_key);
+                per_block.push(sorted);
+            }
+            per_dev.push((summed_stats(&records), per_block));
+        }
+        assert_eq!(
+            per_dev[0], per_dev[1],
+            "{method:?}: parallel and sequential schedulers must agree on summed \
+             stats and on the (sorted) per-block vectors"
+        );
+    }
+}
+
+#[test]
+fn telemetry_knob_does_not_change_counted_stats() {
+    let n = 65_536;
+    let keys_host = keys_for(n, 5);
+    let plain = {
+        let dev = Device::sequential(K40C);
+        run_with(&dev, Method::BlockLevel, &keys_host, 8)
+    };
+    let observed = with_telemetry(Telemetry::PerBlock, || {
+        let dev = Device::sequential(K40C);
+        run_with(&dev, Method::BlockLevel, &keys_host, 8)
+    });
+    assert_eq!(plain.len(), observed.len());
+    for (a, b) in plain.iter().zip(&observed) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(
+            a.stats, b.stats,
+            "{}: telemetry must not change counting",
+            a.label
+        );
+        assert_eq!(a.obs, b.obs);
+        assert_eq!(a.seconds, b.seconds);
+        assert!(a.per_block.is_none(), "Summary retains no per-block stats");
+        assert!(b.per_block.is_some());
+    }
+}
+
+#[test]
+fn lookback_totals_are_schedule_independent_end_to_end() {
+    let n = 1 << 18;
+    let keys_host = keys_for(n, 9);
+    // Block-level resolves look-backs in its chained scan; fused in its
+    // sweep. Depth *distribution* varies with scheduling, but one resolve
+    // fires per tile, so totals must match across schedulers.
+    for method in [Method::BlockLevel, Method::Fused] {
+        let mut resolves = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let records = run_with(&dev, method, &keys_host, 32);
+            let obs = summed_obs(&records);
+            assert!(obs.lookback_resolves > 0, "{method:?}: look-backs expected");
+            assert_eq!(
+                obs.depth_hist_total(),
+                obs.lookback_resolves,
+                "{method:?}: every resolve lands in exactly one histogram bucket"
+            );
+            resolves.push(obs.lookback_resolves);
+        }
+        assert_eq!(resolves[0], resolves[1], "{method:?}: resolve totals");
+    }
+}
+
+#[test]
+fn exported_json_round_trips_with_hostile_labels() {
+    let n = 8_192;
+    let keys_host = keys_for(n, 11);
+    let dev = Device::new(K40C);
+    let records = with_telemetry(Telemetry::PerBlock, || {
+        dev.with_scope("we\"ird\\scope\t", || {
+            run_with(&dev, Method::Fused, &keys_host, 8)
+        })
+    });
+    assert!(records
+        .iter()
+        .all(|r| r.label.starts_with("we\"ird\\scope\t")));
+    // Chrome trace: must parse as real JSON despite quotes, backslashes
+    // and control characters in every label.
+    let trace = chrome_trace_json(&records);
+    Json::parse(&trace).expect("chrome trace must be valid JSON");
+    // Metrics export: records, scope tree and derived launch reports all
+    // round-trip, and no derived number is NaN or infinite.
+    for doc in [
+        simt::obs::records_json(&records),
+        simt::scope_tree(&records).to_json(),
+    ] {
+        let text = doc.pretty();
+        let reparsed = Json::parse(&text).expect("export must be valid JSON");
+        assert_eq!(reparsed.render(), doc.render());
+    }
+    for rec in &records {
+        let report = launch_report(rec, &K40C).expect("per-block stats retained");
+        assert!(report.imbalance.is_finite() && report.imbalance >= 1.0);
+        let text = report.to_json().pretty();
+        Json::parse(&text).expect("launch report must be valid JSON");
+    }
+}
+
+#[test]
+fn profile_sector_totals_match_the_plain_reports() {
+    let n = 1 << 14;
+    let m = 32;
+    // `paper profile` runs under PerBlock telemetry; the text reports run
+    // without it. Totals and per-stage sector splits must agree exactly.
+    let profiles = profile_data(n, m, true);
+    for p in &profiles {
+        let (c, _) = *PROFILE_CONTENDERS
+            .iter()
+            .find(|(_, name)| *name == p.name)
+            .unwrap();
+        let plain = run_contender(
+            c,
+            false,
+            n,
+            m,
+            Distribution::Uniform,
+            K40C,
+            8,
+            PROFILE_SEED,
+            false,
+        );
+        assert_eq!(plain.sectors, p.outcome.sectors, "{}", p.name);
+        assert_eq!(plain.total, p.outcome.total, "{}", p.name);
+    }
+}
