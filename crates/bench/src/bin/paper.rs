@@ -20,9 +20,12 @@
 //!   ablate      design-choice ablations (N_W sweep, packed-vs-index, reorder)
 //!   scan        chained (decoupled lookback) vs recursive scan traffic
 //!   fused       single-pass fused MS vs three-kernel warp/block MS
+//!   largem      fused large-m MS (m > 32, multi-row look-back) vs the
+//!               three-kernel large-m pipeline, m in {64, 128, 256}
 //!   profile     hierarchical scope-tree roll-up with per-block telemetry
 //!               and look-back introspection; writes bench_results/profile.json
-//!   check       compare per-stage sector counts (n=2^16, m=32) against
+//!   check       compare per-stage sector counts (n=2^16, m=32, plus a
+//!               large-m section at m=64) against
 //!               bench_results/baseline_sectors.json; exits 1 on regression
 //!   all         everything above (except profile/check)
 //!
@@ -32,7 +35,8 @@
 //!   --no-verify    skip CPU-reference verification of every run
 //!   --trials <k>   average over k seeded trials (default 1)
 //!   --json <path>  additionally write every run + report to <path> as JSON
-//!   --snapshot <s> (profile) also write a BENCH_<s>.json snapshot at the root
+//!   --snapshot <s> (profile, largem) also write a BENCH_<s>.json snapshot
+//!                  at the root
 //!   --update       (check) rewrite the committed baseline from current counts
 //! ```
 
@@ -1195,6 +1199,157 @@ fn fused_compare(opts: &Opts) {
     emit("fused", out);
 }
 
+// ====================== Large-m fused pipeline ======================
+
+/// The PR-4 tentpole claim under test: the fused large-m multisplit
+/// (`fused_large_m/pre-scan` plus **one** sweep kernel resolving its
+/// m-vector tile prefixes with multi-row decoupled look-back) moves at
+/// least 20% fewer total counted DRAM sectors than the three-kernel large-m
+/// pipeline at n = 2^20 for both m = 64 and m = 256 on the K40c — with
+/// outputs bit-identical to the three-kernel path (both are verified
+/// against the CPU reference) and across parallel/sequential schedulers.
+fn largem_compare(opts: &Opts) {
+    use multisplit::{multisplit_device, no_values, Method, RangeBuckets};
+    use simt::{BlockStats, Device, GlobalBuffer};
+    let n = opts.n.min(1 << 20);
+    let mut out = format!(
+        "Fused large-m multisplit vs three-kernel large-m pipeline\n\
+         n = 2^{}, m in {{64, 128, 256}}, uniform keys; total counted DRAM\n\
+         sectors per stage and estimated ms. `confl` = shared-memory bank\n\
+         conflicts over the whole run (the fused sweep's reorder staging is\n\
+         padded, so its conflicts come only from same-bucket histogram\n\
+         atomics, never from the staging permutation).\n\n",
+        n.ilog2()
+    );
+    let mut t = Table::new(&[
+        "kv", "m", "method", "pre", "scan", "post", "sweep", "total", "saved", "confl", "ms",
+    ]);
+    let mut rows: Vec<Json> = Vec::new();
+    for kv in [false, true] {
+        for m in [64u32, 128, 256] {
+            let mut three_total = 0u64;
+            for c in [Contender::LargeM, Contender::FusedLargeM] {
+                let o = avg(opts, |tr| {
+                    run_contender(
+                        c,
+                        kv,
+                        n,
+                        m,
+                        Distribution::Uniform,
+                        K40C,
+                        8,
+                        8000 + tr,
+                        opts.verify,
+                    )
+                });
+                let total: u64 = o.sectors.iter().map(|(_, s)| s).sum();
+                let confl: u64 = o.records.iter().map(|r| r.stats.smem_bank_conflicts).sum();
+                if c == Contender::LargeM {
+                    three_total = total;
+                }
+                let fused = c == Contender::FusedLargeM;
+                let saved_frac =
+                    (fused && three_total > 0).then(|| 1.0 - total as f64 / three_total as f64);
+                if fused && !kv && (m == 64 || m == 256) {
+                    assert!(
+                        (total as f64) <= 0.80 * three_total as f64,
+                        "fused large-m {total} vs three-kernel {three_total} sectors at \
+                         n={n}, m={m}: need >= 20% reduction"
+                    );
+                }
+                t.row(vec![
+                    if kv { "kv" } else { "key" }.into(),
+                    m.to_string(),
+                    c.name(),
+                    o.stage_sectors("pre-scan").to_string(),
+                    o.stage_sectors("scan").to_string(),
+                    o.stage_sectors("post-scan").to_string(),
+                    o.stage_sectors("sweep").to_string(),
+                    total.to_string(),
+                    saved_frac
+                        .map(|s| format!("{:.1}%", 100.0 * s))
+                        .unwrap_or_default(),
+                    confl.to_string(),
+                    ms(o.total),
+                ]);
+                rows.push(Json::Obj(vec![
+                    ("key_value".into(), Json::Bool(kv)),
+                    ("m".into(), Json::int(m as u64)),
+                    ("contender".into(), Json::Str(c.name())),
+                    ("total_sectors".into(), Json::int(total)),
+                    (
+                        "saved".into(),
+                        saved_frac.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    ("smem_bank_conflicts".into(), Json::int(confl)),
+                    ("total_seconds".into(), Json::Num(o.total)),
+                ]));
+            }
+        }
+    }
+    out.push_str(&t.render());
+    // Scheduler independence: multi-row look-backs may walk different
+    // paths under the parallel executor, but outputs and counted stats
+    // must be identical to the sequential device's.
+    if opts.verify {
+        let sn = n.min(1 << 16);
+        let m = 100u32;
+        let keys_host = gen_keys(sn, m, Distribution::Uniform, 9);
+        let bucket = RangeBuckets::new(m);
+        let mut runs = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let keys = GlobalBuffer::from_slice(&keys_host);
+            let r = multisplit_device(
+                &dev,
+                Method::FusedLargeM,
+                &keys,
+                no_values(),
+                sn,
+                &bucket,
+                8,
+            );
+            let stats = dev
+                .records()
+                .iter()
+                .fold(BlockStats::default(), |mut a, rec| {
+                    a += rec.stats;
+                    a
+                });
+            runs.push((r.keys.to_vec(), r.offsets, stats));
+        }
+        assert_eq!(
+            runs[0], runs[1],
+            "fused large-m: parallel and sequential devices diverge"
+        );
+        out.push_str(
+            "\nfused large-m outputs and counted stats verified bit-identical across\n\
+             parallel/sequential schedulers and against the three-kernel path.\n",
+        );
+    }
+    out.push_str(
+        "\nboth pipelines read every key twice and write it once; the three-kernel\n\
+         pipeline additionally round-trips its m x L histogram matrix through\n\
+         DRAM (plus the matrix's own scan traffic and per-warp base gathers),\n\
+         which grows linearly with m — the fused sweep replaces all of that\n\
+         with m global totals and 3 look-back state words per tile per 32-row\n\
+         group, so the saving widens from m = 64 to m = 256.\n",
+    );
+    emit("largem", out);
+    let doc = Json::Obj(vec![
+        ("n".into(), Json::int(n as u64)),
+        ("device".into(), Json::Str(K40C.name.into())),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    if let Some(name) = &opts.snapshot {
+        let snap = format!("BENCH_{name}.json");
+        match std::fs::write(&snap, doc.pretty() + "\n") {
+            Ok(()) => println!("[saved {snap}]\n"),
+            Err(e) => println!("[warn: could not save {snap}: {e}]\n"),
+        }
+    }
+    metrics::sink_push("largem", doc);
+}
+
 // ====================== Profile (observability) ======================
 
 /// Hierarchical scope-tree roll-up with per-block telemetry and look-back
@@ -1268,20 +1423,28 @@ fn profile_cmd(opts: &Opts) {
 
 // ====================== Check (sector regression gate) ======================
 
-/// Compare the four contenders' per-stage sector counts at n = 2^16,
-/// m = 32 against the committed `bench_results/baseline_sectors.json`
-/// with a ±2% tolerance; exit 1 on regression. Sectors are
-/// schedule-independent, so this is a meaningful Rust-only CI gate.
-/// `--update` rewrites the baseline from the current counts instead.
+/// Compare the four `m <= 32` contenders' per-stage sector counts at
+/// n = 2^16, m = 32 — plus the `largem` section's three-kernel vs fused
+/// large-m pair at n = 2^16, m = 64 — against the committed
+/// `bench_results/baseline_sectors.json` with a ±2% tolerance; exit 1 on
+/// regression. Sectors are schedule-independent, so this is a meaningful
+/// Rust-only CI gate. `--update` rewrites the baseline from the current
+/// counts instead.
 fn check_cmd(opts: &Opts) {
     let n = 1usize << 16;
     let m = 32u32;
+    let largem_m = 64u32;
     let path = std::path::Path::new("bench_results/baseline_sectors.json");
     println!(
-        "check: per-stage sector counts, n = 2^16, m = {m}, seed {}, tolerance ±2%",
+        "check: per-stage sector counts, n = 2^16, m = {m} (largem section: m = {largem_m}), \
+         seed {}, tolerance ±2%",
         metrics::PROFILE_SEED
     );
-    let current = metrics::sector_baseline_current(n, m);
+    let mut current = metrics::sector_baseline_current(n, m);
+    let largem_current = metrics::largem_sector_baseline_current(n, largem_m);
+    if let Json::Obj(fields) = &mut current {
+        fields.push(("largem".into(), largem_current.clone()));
+    }
     if opts.update {
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -1298,23 +1461,36 @@ fn check_cmd(opts: &Opts) {
         std::process::exit(1);
     });
     let baseline = simt::Json::parse(&text).expect("committed baseline is not valid JSON");
+    let mut notes = Vec::new();
+    let mut failures = Vec::new();
     match metrics::sector_baseline_compare(&current, &baseline, 0.02) {
-        Ok(notes) => {
-            for note in &notes {
-                println!("note: {note}");
+        Ok(ns) => notes.extend(ns),
+        Err(fs) => failures.extend(fs),
+    }
+    match baseline.get("largem") {
+        Some(largem_base) => {
+            match metrics::sector_baseline_compare(&largem_current, largem_base, 0.02) {
+                Ok(ns) => notes.extend(ns.into_iter().map(|s| format!("largem: {s}"))),
+                Err(fs) => failures.extend(fs.into_iter().map(|s| format!("largem: {s}"))),
             }
-            println!("check: OK — all sector counts within tolerance of the baseline");
         }
-        Err(failures) => {
-            for f in &failures {
-                eprintln!("FAIL: {f}");
-            }
-            eprintln!(
-                "check: sector counts regressed; investigate, or refresh an intended\n\
-                 change with `paper check --update` and commit the new baseline"
-            );
-            std::process::exit(1);
+        None => failures
+            .push("baseline has no `largem` section; refresh with `paper check --update`".into()),
+    }
+    if failures.is_empty() {
+        for note in &notes {
+            println!("note: {note}");
         }
+        println!("check: OK — all sector counts within tolerance of the baseline");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        eprintln!(
+            "check: sector counts regressed; investigate, or refresh an intended\n\
+             change with `paper check --update` and commit the new baseline"
+        );
+        std::process::exit(1);
     }
 }
 
@@ -1341,6 +1517,7 @@ fn main() {
         "ablate" => ablate(&opts),
         "scan" => scan_compare(&opts),
         "fused" => fused_compare(&opts),
+        "largem" => largem_compare(&opts),
         "profile" => profile_cmd(&opts),
         "check" => check_cmd(&opts),
         "all" => {
@@ -1359,9 +1536,10 @@ fn main() {
             ablate(&opts);
             scan_compare(&opts);
             fused_compare(&opts);
+            largem_compare(&opts);
         }
         _ => {
-            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|profile|check|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
+            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|profile|check|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
             std::process::exit(2);
         }
     }

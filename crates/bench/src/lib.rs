@@ -145,6 +145,9 @@ pub enum Contender {
     Fused,
     /// Block-level for m > 32.
     LargeM,
+    /// Single-pass fused pipeline for m > 32 (multi-row decoupled
+    /// look-back, padded bank-conflict-free staging).
+    FusedLargeM,
     ReducedBit,
     RecursiveSplit,
     /// Full 32-bit radix sort (valid as multisplit for range buckets).
@@ -163,6 +166,7 @@ impl Contender {
             Contender::BlockLevel => "Block-level MS".into(),
             Contender::Fused => "Fused MS".into(),
             Contender::LargeM => "Block-level MS".into(),
+            Contender::FusedLargeM => "Fused MS (m > 32)".into(),
             Contender::ReducedBit => "Reduced-bit sort".into(),
             Contender::RecursiveSplit => "Recursive scan split".into(),
             Contender::RadixSort => "Radix sort (CUB-like)".into(),
@@ -241,12 +245,14 @@ pub fn run_contender(
         | Contender::WarpLevel
         | Contender::BlockLevel
         | Contender::Fused
-        | Contender::LargeM => {
+        | Contender::LargeM
+        | Contender::FusedLargeM => {
             let method = match contender {
                 Contender::Direct => Method::Direct,
                 Contender::WarpLevel => Method::WarpLevel,
                 Contender::BlockLevel => Method::BlockLevel,
                 Contender::Fused => Method::Fused,
+                Contender::FusedLargeM => Method::FusedLargeM,
                 _ => Method::LargeM,
             };
             let r = multisplit_device(&dev, method, &keys, values.as_ref(), n, &bucket, wpb);
@@ -525,6 +531,21 @@ mod tests {
                 false,
                 4096,
                 8,
+                Distribution::Uniform,
+                simt::K40C,
+                8,
+                1,
+                true,
+            );
+            assert!(o.total > 0.0, "{}", c.name());
+        }
+        // The m > 32 pair needs a larger bucket count.
+        for c in [Contender::LargeM, Contender::FusedLargeM] {
+            let o = run_contender(
+                c,
+                false,
+                4096,
+                64,
                 Distribution::Uniform,
                 simt::K40C,
                 8,

@@ -117,6 +117,13 @@ pub const PROFILE_CONTENDERS: [(Contender, &str); 4] = [
     (Contender::Fused, "fused"),
 ];
 
+/// The `m > 32` pair the `largem` section of `paper check` covers: the
+/// three-kernel pipeline and its fused single-pass replacement.
+pub const LARGEM_CONTENDERS: [(Contender, &str); 2] = [
+    (Contender::LargeM, "large-m"),
+    (Contender::FusedLargeM, "fused-large-m"),
+];
+
 /// One contender's profile: the outcome plus everything derived from its
 /// per-block launch log.
 pub struct ContenderProfile {
@@ -192,7 +199,18 @@ pub const PROFILE_SEED: u64 = 3000;
 /// testable core of `paper profile` (and of `paper check`, which only
 /// keeps the sector splits).
 pub fn profile_data(n: usize, m: u32, verify: bool) -> Vec<ContenderProfile> {
-    PROFILE_CONTENDERS
+    profile_data_for(&PROFILE_CONTENDERS, n, m, verify)
+}
+
+/// [`profile_data`] over an explicit contender list (the `largem` check
+/// section profiles [`LARGEM_CONTENDERS`] instead of the `m <= 32` four).
+pub fn profile_data_for(
+    contenders: &[(Contender, &'static str)],
+    n: usize,
+    m: u32,
+    verify: bool,
+) -> Vec<ContenderProfile> {
+    contenders
         .iter()
         .map(|&(c, name)| ContenderProfile {
             name,
@@ -217,7 +235,19 @@ pub fn profile_data(n: usize, m: u32, verify: bool) -> Vec<ContenderProfile> {
 /// `{"n", "m", "seed", "contenders": [{"contender", "total_sectors",
 /// "stages": [{"stage", "sectors"}]}]}`.
 pub fn sector_baseline_current(n: usize, m: u32) -> Json {
-    let contenders = profile_data(n, m, false)
+    sector_baseline_for(&PROFILE_CONTENDERS, n, m)
+}
+
+/// The `m > 32` companion of [`sector_baseline_current`]: three-kernel
+/// large-m vs fused-large-m sector counts, same shape, stored under the
+/// `"largem"` key of the committed baseline (its `n`/`m` differ from the
+/// main section's, so it gets its own config header).
+pub fn largem_sector_baseline_current(n: usize, m: u32) -> Json {
+    sector_baseline_for(&LARGEM_CONTENDERS, n, m)
+}
+
+fn sector_baseline_for(contenders: &[(Contender, &'static str)], n: usize, m: u32) -> Json {
+    let contenders = profile_data_for(contenders, n, m, false)
         .iter()
         .map(|p| {
             let total: u64 = p.outcome.sectors.iter().map(|(_, s)| s).sum();
@@ -445,6 +475,35 @@ mod tests {
         );
         let json = fused.to_json(&simt::K40C).pretty();
         assert!(Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn largem_baseline_section_roundtrips_and_fused_wins() {
+        let current = largem_sector_baseline_current(1 << 13, 64);
+        let reparsed = Json::parse(&current.pretty()).expect("valid JSON");
+        assert_eq!(
+            sector_baseline_compare(&current, &reparsed, 0.0),
+            Ok(vec![])
+        );
+        let totals: Vec<(String, f64)> = current
+            .get("contenders")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|c| {
+                (
+                    c.get("contender").and_then(Json::as_str).unwrap().into(),
+                    c.get("total_sectors").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].0, "large-m");
+        assert_eq!(totals[1].0, "fused-large-m");
+        assert!(
+            totals[1].1 < totals[0].1,
+            "fused large-m must move fewer sectors ({totals:?})"
+        );
     }
 
     #[test]

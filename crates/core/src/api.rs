@@ -4,14 +4,20 @@
 //! The paper's guidance (§6.2): Warp-level MS wins for small bucket counts
 //! (`m <= 6` key-only, `m <= 5` key-value), Block-level MS wins for large
 //! ones (`m >= 22` / `m >= 16`), anything in between is a wash. Above the
-//! warp width only the block-granularity large-`m` path applies.
+//! warp width only the block-granularity large-`m` paths apply.
 //! [`Method::auto`] encodes those crossovers — for the three-kernel
 //! pipeline. Under the default [`Pipeline::Fused`], the single-pass
-//! [`Method::Fused`] path (per-bucket decoupled look-back, `fused.rs`)
-//! supersedes all of them for `m <= 32`: it moves strictly fewer DRAM
-//! sectors than any three-kernel variant at every measured `m`
-//! (`paper fused`). Pin [`Pipeline::ThreeKernel`] with [`with_pipeline`]
-//! to recover the paper's original crossovers.
+//! paths (per-bucket decoupled look-back) supersede them at every `m`:
+//! [`Method::Fused`] for `m <= 32`, [`Method::FusedLargeM`] — multi-row
+//! look-back, `fused_large_m.rs` — beyond the warp width up to its
+//! shared-memory capacity [`crate::fused_large_m::max_buckets`] (≈1.2k at
+//! the default block size; slightly below the three-kernel path's limit
+//! because the fused sweep also stages a scatter-base row and padded
+//! staging). Past that capacity `auto` falls back to the three-kernel
+//! [`Method::LargeM`]. Both fused paths move strictly fewer DRAM sectors
+//! than their three-kernel counterparts at every measured `m`
+//! (`paper fused` / `paper largem`). Pin [`Pipeline::ThreeKernel`] with
+//! [`with_pipeline`] to recover the paper's original pipelines.
 
 use std::cell::Cell;
 
@@ -22,6 +28,7 @@ use crate::bucket::BucketFn;
 use crate::common::DeviceMultisplit;
 use crate::direct::multisplit_direct;
 use crate::fused::multisplit_fused;
+use crate::fused_large_m::multisplit_fused_large_m;
 use crate::large_m::multisplit_large_m;
 use crate::warp_level::multisplit_warp_level;
 
@@ -43,6 +50,10 @@ pub enum Method {
     /// Single-pass fused pipeline via per-bucket decoupled look-back
     /// (`fused.rs`; Onesweep structure, `m <= 32`).
     Fused,
+    /// Single-pass fused pipeline for more than 32 buckets: multi-row
+    /// look-back + padded bank-conflict-free staging
+    /// (`fused_large_m.rs`; `32 < m <= fused_large_m::max_buckets`).
+    FusedLargeM,
 }
 
 /// Which pipeline family [`Method::auto`] selects from for `m <= 32`.
@@ -82,12 +93,23 @@ pub fn with_pipeline<R>(p: Pipeline, f: impl FnOnce() -> R) -> R {
 }
 
 impl Method {
-    /// The empirically-best method for `m` buckets: [`Method::Fused`] for
-    /// any `m <= 32` under the default pipeline, or the paper's §6.2
-    /// warp/block crossovers under [`Pipeline::ThreeKernel`].
+    /// The empirically-best method for `m` buckets: the fused single-pass
+    /// paths under the default pipeline ([`Method::Fused`] for `m <= 32`,
+    /// [`Method::FusedLargeM`] beyond, capacity permitting), or the
+    /// paper's §6.2 warp/block crossovers under [`Pipeline::ThreeKernel`].
+    ///
+    /// Capacity awareness: the fused large-m sweep fits fewer buckets in
+    /// shared memory than the three-kernel path (it also stages the
+    /// scatter-base row and conflict-avoidance padding), so for
+    /// `m > fused_large_m::max_buckets` at the default block size `auto`
+    /// selects [`Method::LargeM`] even under [`Pipeline::Fused`].
     pub fn auto(m: u32, key_value: bool) -> Method {
         if m > 32 {
-            return Method::LargeM;
+            let fused_cap = crate::fused_large_m::max_buckets(DEFAULT_WARPS_PER_BLOCK, key_value);
+            return match pipeline() {
+                Pipeline::Fused if m <= fused_cap => Method::FusedLargeM,
+                _ => Method::LargeM,
+            };
         }
         match pipeline() {
             Pipeline::Fused => Method::Fused,
@@ -115,6 +137,7 @@ impl Method {
             Method::BlockLevel => "Block-level MS",
             Method::LargeM => "Block-level MS (m > 32)",
             Method::Fused => "Fused MS",
+            Method::FusedLargeM => "Fused MS (m > 32)",
         }
     }
 }
@@ -135,6 +158,7 @@ pub fn multisplit_device<B: BucketFn + ?Sized, V: Scalar>(
         Method::BlockLevel => multisplit_block_level(dev, keys, values, n, bucket, wpb),
         Method::LargeM => multisplit_large_m(dev, keys, values, n, bucket, wpb),
         Method::Fused => multisplit_fused(dev, keys, values, n, bucket, wpb),
+        Method::FusedLargeM => multisplit_fused_large_m(dev, keys, values, n, bucket, wpb),
     }
 }
 
@@ -207,13 +231,23 @@ mod tests {
     use simt::K40C;
 
     #[test]
-    fn auto_prefers_fused_up_to_warp_width() {
+    fn auto_prefers_fused_at_every_m_with_capacity_fallback() {
         assert_eq!(pipeline(), Pipeline::Fused, "fused is the default");
         for m in [1, 2, 6, 16, 32] {
             assert_eq!(Method::auto(m, false), Method::Fused);
             assert_eq!(Method::auto(m, true), Method::Fused);
         }
-        assert_eq!(Method::auto(33, false), Method::LargeM);
+        for m in [33, 64, 256, 1024] {
+            assert_eq!(Method::auto(m, false), Method::FusedLargeM);
+            assert_eq!(Method::auto(m, true), Method::FusedLargeM);
+        }
+        // Past the fused sweep's shared-memory capacity, auto falls back
+        // to the three-kernel pipeline (which fits slightly more buckets).
+        for kv in [false, true] {
+            let cap = crate::fused_large_m::max_buckets(DEFAULT_WARPS_PER_BLOCK, kv);
+            assert_eq!(Method::auto(cap, kv), Method::FusedLargeM);
+            assert_eq!(Method::auto(cap + 1, kv), Method::LargeM);
+        }
     }
 
     #[test]
@@ -244,6 +278,7 @@ mod tests {
         assert_eq!(Method::WarpLevel.name(), "Warp-level MS");
         assert_eq!(Method::BlockLevel.name(), "Block-level MS");
         assert_eq!(Method::Fused.name(), "Fused MS");
+        assert_eq!(Method::FusedLargeM.name(), "Fused MS (m > 32)");
     }
 
     #[test]

@@ -52,6 +52,16 @@ pub fn offsets_from_scanned(g: &GlobalBuffer<u32>, m: usize, l: usize, n: usize)
     offsets
 }
 
+/// Shared-memory staging words per staged element in a block-wide reorder:
+/// one word for the permuted key, one for its bucket id, plus `value_words`
+/// for the payload (0 key-only, 1 for `u32` values, 2 for packed `u64`
+/// pairs). Single source of truth for the shared-memory budgets of both
+/// the three-kernel `large_m` path and the fused large-m sweep — the two
+/// must never disagree on how big staging is.
+pub const fn staging_words_per_element(value_words: usize) -> usize {
+    2 + value_words
+}
+
 /// Empty result (n = 0): all-zero offsets, no launches.
 pub fn empty_result<V: Scalar>(m: usize, with_values: bool) -> DeviceMultisplit<V> {
     DeviceMultisplit {

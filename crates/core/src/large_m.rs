@@ -20,15 +20,25 @@ use simt::{lanes_from_fn, Device, GlobalBuffer, Scalar, WARP_SIZE};
 use primitives::{block_exclusive_scan_shared, exclusive_scan_u32, low_lanes_mask, tail_mask};
 
 use crate::bucket::BucketFn;
-use crate::common::{empty_result, eval_buckets, offsets_from_scanned, DeviceMultisplit};
+use crate::common::{
+    empty_result, eval_buckets, offsets_from_scanned, staging_words_per_element, DeviceMultisplit,
+};
 use crate::warp_ops::{warp_histogram_multi, warp_offsets};
 
 /// Largest supported bucket count for a given block size: the `m x N_W`
 /// histogram plus per-element staging must fit in shared memory.
+///
+/// The post-scan kernel allocates, in words: the row-vectorized histogram
+/// `m * (wpb | 1)` (odd pitch for bank-conflict-free strided access),
+/// staging of [`staging_words_per_element`] words per block element, and
+/// the `wpb + 1` warp-sums scratch of the block-wide scan. Everything is
+/// derived from those allocations — no magic constants — so the budget is
+/// exact: `m == max_buckets` fits, `m == max_buckets + 1` would overflow.
 pub fn max_buckets(wpb: usize, key_value: bool) -> u32 {
-    let staging = wpb * WARP_SIZE * if key_value { 7 } else { 5 }; // words
-    let budget = simt::SMEM_CAPACITY_BYTES / 4 - staging;
-    (budget / wpb) as u32
+    let sw = staging_words_per_element(if key_value { 1 } else { 0 });
+    let words = simt::SMEM_CAPACITY_BYTES / 4;
+    let fixed = wpb * WARP_SIZE * sw + (wpb + 1);
+    ((words - fixed) / (wpb | 1)) as u32
 }
 
 /// Block-level multisplit for any `32 < m <= max_buckets(wpb, _)`.
@@ -295,6 +305,45 @@ mod tests {
         assert!(max_buckets(2, false) > max_buckets(8, false));
         // Key-value staging shrinks the budget.
         assert!(max_buckets(8, true) < max_buckets(8, false));
+    }
+
+    #[test]
+    fn budget_is_exact_at_the_capacity_boundary() {
+        // A run at m == max_buckets must actually fit: the old
+        // magic-constant formula claimed 1376 buckets at 8 warps key-only,
+        // which would have blown `alloc_shared` in the post-scan kernel
+        // (1376 * 9 words of histogram alone exceed 48 kB).
+        let dev = Device::new(K40C);
+        let wpb = 8;
+        for kv in [false, true] {
+            let m = max_buckets(wpb, kv);
+            let bucket = RangeBuckets::new(m);
+            let n = 600;
+            let data = keys_for(n, 1);
+            let keys = GlobalBuffer::from_slice(&data);
+            if kv {
+                let vals: Vec<u32> = (0..n as u32).collect();
+                let values = GlobalBuffer::from_slice(&vals);
+                let r = multisplit_large_m(&dev, &keys, Some(&values), n, &bucket, wpb);
+                let (ek, ev, _) = multisplit_kv_ref(&data, Some(&vals), &bucket);
+                assert_eq!(r.keys.to_vec(), ek, "kv m={m}");
+                assert_eq!(r.values.unwrap().to_vec(), ev);
+            } else {
+                let r = multisplit_large_m(&dev, &keys, no_values(), n, &bucket, wpb);
+                let (expect, _) = multisplit_ref(&data, &bucket);
+                assert_eq!(r.keys.to_vec(), expect, "m={m}");
+            }
+            // Word-exact accounting: m fits, m + 1 would not.
+            let sw = staging_words_per_element(if kv { 1 } else { 0 });
+            let fixed = wpb * 32 * sw + (wpb + 1);
+            let words = simt::SMEM_CAPACITY_BYTES / 4;
+            let used = m as usize * (wpb | 1) + fixed;
+            assert!(used <= words, "kv={kv}: m={m} must fit");
+            assert!(
+                used + (wpb | 1) > words,
+                "kv={kv}: max_buckets must be tight, not merely safe"
+            );
+        }
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! | [`multisplit_direct`] | warp (32) | none | — (baseline of the family) |
 //! | [`multisplit_warp_level`] | warp (32) | intra-warp | small `m` |
 //! | [`multisplit_block_level`] | block (256) | intra-block | large `m` (≤ 32) |
-//! | [`multisplit_large_m`] | block (256) | intra-block | `32 < m ≲ 1.5k` |
+//! | [`multisplit_large_m`] | block (256) | intra-block | `32 < m ≲ 1.3k` |
 //! | [`multisplit_fused`] | coarsened tile | intra-block | any `m ≤ 32` (default) |
+//! | [`multisplit_fused_large_m`] | coarsened tile | intra-block | any `32 < m ≲ 1.2k` (default) |
 //!
 //! The three paper methods follow the `{pre-scan, scan, post-scan}`
 //! skeleton: ballot-based local histograms
@@ -51,6 +52,7 @@ pub mod common;
 pub mod cpu_ref;
 pub mod direct;
 pub mod fused;
+pub mod fused_large_m;
 pub mod large_m;
 pub mod warp_level;
 pub mod warp_ops;
@@ -68,6 +70,9 @@ pub use common::{no_values, DeviceMultisplit};
 pub use cpu_ref::{check_multisplit, multisplit_kv_ref, multisplit_ref};
 pub use direct::multisplit_direct;
 pub use fused::{fused_items_per_thread, multisplit_fused};
+pub use fused_large_m::{
+    fused_large_m_items_per_thread, max_buckets as fused_max_buckets, multisplit_fused_large_m,
+};
 pub use large_m::{max_buckets, multisplit_large_m};
 pub use warp_level::multisplit_warp_level;
 // Observability knob: callers profile multisplit runs by wrapping them in

@@ -30,9 +30,12 @@
 //! Spin-polls go through the uncounted `device_peek` path (on hardware
 //! they hit the hottest, L2-resident lines on the device, and counting
 //! retries would make stats depend on thread interleaving). Each tile is
-//! charged a fixed, deterministic cost instead: its two record publishes
-//! plus one counted record-sized look-back read — so parallel and
-//! sequential devices report identical [`simt::BlockStats`].
+//! charged a fixed, deterministic cost instead: per warp-sized row group,
+//! its two record publishes plus one counted record-sized look-back read
+//! — so parallel and sequential devices report identical
+//! [`simt::BlockStats`]. Records wider than a warp (`rows > 32`, the
+//! fused large-m multisplit) simply span multiple groups; `rows <= 32`
+//! is one group and reproduces the chained scan's billing bit-for-bit.
 
 use simt::{lanes_from_fn, GlobalBuffer, Lanes, ObsCells, WarpCtx, WARP_SIZE};
 
@@ -93,11 +96,12 @@ pub struct TileStates {
 
 impl TileStates {
     /// Allocate EMPTY state records for `tiles` tiles of `rows` rows each.
+    ///
+    /// `rows` may exceed the warp width: records are then processed in
+    /// [`row_groups`](Self::row_groups) warp-sized slices (one lane per
+    /// row within a group).
     pub fn new(tiles: usize, rows: usize) -> Self {
-        assert!(
-            (1..=WARP_SIZE).contains(&rows),
-            "tile-state records hold 1..=32 rows (one lane per row)"
-        );
+        assert!(rows >= 1, "tile-state records need at least one row");
         Self {
             state: GlobalBuffer::zeroed(tiles * rows),
             rows,
@@ -112,81 +116,149 @@ impl TileStates {
         self.state.len() / self.rows
     }
 
-    /// Lane-indexed word addresses of tile `t`'s record (lane `r` = row `r`).
+    /// Number of warp-sized row groups each tile's record spans (1 for
+    /// `rows <= 32`). The deterministic look-back charge is one counted
+    /// record-sized read *per group*, so `lookback_resolves` totals
+    /// `tiles * row_groups()` for a complete kernel.
+    pub fn row_groups(&self) -> usize {
+        self.rows.div_ceil(WARP_SIZE)
+    }
+
+    /// Lane-indexed word addresses and active mask of group `g` of tile
+    /// `t`'s record (lane `r` = row `g*32 + r`). Group 0 of a
+    /// `rows <= 32` record is exactly the scalar/vector record the chained
+    /// scan has always used.
     #[inline]
-    fn record(&self, t: usize) -> Lanes<usize> {
-        let rows = self.rows;
-        lanes_from_fn(|lane| t * rows + lane.min(rows - 1))
+    fn group_record(&self, t: usize, g: usize) -> (Lanes<usize>, u32) {
+        let cnt = (self.rows - g * WARP_SIZE).min(WARP_SIZE);
+        let base = t * self.rows + g * WARP_SIZE;
+        (
+            lanes_from_fn(|lane| base + lane.min(cnt - 1)),
+            low_lanes_mask(cnt),
+        )
     }
 
     /// Publish tile `t`'s per-row `aggregate` and resolve its exclusive
     /// prefix (per row: the sum of that row's aggregates over tiles
     /// `0..t`) by decoupled look-back; publishes the inclusive record
-    /// before returning. Rows beyond `self.rows` return 0.
+    /// before returning. Lane-shaped convenience wrapper over
+    /// [`resolve_rows`](Self::resolve_rows) for `rows <= 32` (the chained
+    /// scan and the fused `m <= 32` sweep); lanes beyond `self.rows`
+    /// return 0. The one-group path issues exactly the operation sequence
+    /// the scalar chained scan always has, so its billing is bit-for-bit
+    /// unchanged.
     ///
     /// Warp-synchronous: call from a single warp (conventionally warp 0);
     /// `t` must have been claimed via a device-scope ticket `fetch_add`
     /// (see the module docs on deadlock freedom).
     pub fn resolve(&self, w: &WarpCtx, t: usize, aggregate: Lanes<u32>) -> Lanes<u32> {
+        assert!(
+            self.rows <= WARP_SIZE,
+            "lane-shaped resolve covers rows <= 32; use resolve_rows"
+        );
+        let prefix = self.resolve_rows(w, t, &aggregate[..self.rows]);
+        lanes_from_fn(|l| prefix.get(l).copied().unwrap_or(0))
+    }
+
+    /// Multi-row [`resolve`](Self::resolve): publish tile `t`'s per-row
+    /// `aggregate` (`aggregate.len() == self.rows`, any size) and return
+    /// its exclusive per-row prefix.
+    ///
+    /// The record is handled in warp-sized row groups. All groups'
+    /// AGGREGATE words publish before any group walks, so successors
+    /// spinning on a later group never wait for this tile's earlier-group
+    /// walk to finish. Each group is then walked and charged
+    /// independently — one `record_lookback` and one counted record-sized
+    /// read per group per tile — so summed stats stay
+    /// schedule-independent and `rows <= 32` (one group) reproduces the
+    /// chained scan's billing exactly.
+    pub fn resolve_rows(&self, w: &WarpCtx, t: usize, aggregate: &[u32]) -> Vec<u32> {
         let rows = self.rows;
-        let mask = low_lanes_mask(rows);
+        assert_eq!(aggregate.len(), rows, "one aggregate per row");
+        let groups = self.row_groups();
         if t == 0 {
+            for g in 0..groups {
+                let (rec, mask) = self.group_record(0, g);
+                let base = g * WARP_SIZE;
+                let cnt = (rows - base).min(WARP_SIZE);
+                w.device_scatter(
+                    &self.state,
+                    rec,
+                    lanes_from_fn(|l| pack(aggregate[base + l.min(cnt - 1)], FLAG_INCLUSIVE)),
+                    mask,
+                );
+                // Tile 0 resolves at depth 0 (no walk). Counting it keeps
+                // `lookback_resolves == tiles * row_groups()`, a
+                // schedule-independent total.
+                w.obs().record_lookback(0);
+            }
+            return vec![0; rows];
+        }
+        for g in 0..groups {
+            let (rec, mask) = self.group_record(t, g);
+            let base = g * WARP_SIZE;
+            let cnt = (rows - base).min(WARP_SIZE);
             w.device_scatter(
                 &self.state,
-                self.record(0),
-                lanes_from_fn(|l| pack(aggregate[l], FLAG_INCLUSIVE)),
+                rec,
+                lanes_from_fn(|l| pack(aggregate[base + l.min(cnt - 1)], FLAG_AGGREGATE)),
                 mask,
             );
-            // Tile 0 resolves at depth 0 (no walk). Counting it keeps
-            // `lookback_resolves` == tiles, a schedule-independent total.
-            w.obs().record_lookback(0);
-            return [0; WARP_SIZE];
         }
-        w.device_scatter(
-            &self.state,
-            self.record(t),
-            lanes_from_fn(|l| pack(aggregate[l], FLAG_AGGREGATE)),
-            mask,
-        );
-        // Walk back until every row has met an INCLUSIVE word. Rows resolve
-        // independently: a predecessor may have published its aggregate but
-        // not yet its inclusive record, and different rows may stop at
-        // different depths. Pure register work + uncounted polls.
-        let mut prefix = [0u32; WARP_SIZE];
-        let mut done = [false; WARP_SIZE];
-        let mut remaining = rows;
-        let mut p = t;
-        while remaining > 0 {
-            debug_assert!(p > 0, "tile 0 always publishes INCLUSIVE");
-            p -= 1;
-            for row in 0..rows {
-                if done[row] {
-                    continue;
-                }
-                let (value, flag) =
-                    unpack(spin_wait_published(&self.state, p * rows + row, w.obs()));
-                prefix[row] = prefix[row].wrapping_add(value);
-                if flag == FLAG_INCLUSIVE {
-                    done[row] = true;
-                    remaining -= 1;
+        let mut prefix = vec![0u32; rows];
+        for g in 0..groups {
+            let base = g * WARP_SIZE;
+            let cnt = (rows - base).min(WARP_SIZE);
+            // Walk back until every row in the group has met an INCLUSIVE
+            // word. Rows resolve independently: a predecessor may have
+            // published its aggregate but not yet its inclusive record, and
+            // different rows may stop at different depths. Pure register
+            // work + uncounted polls.
+            let mut done = [false; WARP_SIZE];
+            let mut remaining = cnt;
+            let mut p = t;
+            while remaining > 0 {
+                debug_assert!(p > 0, "tile 0 always publishes INCLUSIVE");
+                p -= 1;
+                for r in 0..cnt {
+                    if done[r] {
+                        continue;
+                    }
+                    let (value, flag) = unpack(spin_wait_published(
+                        &self.state,
+                        p * rows + base + r,
+                        w.obs(),
+                    ));
+                    prefix[base + r] = prefix[base + r].wrapping_add(value);
+                    if flag == FLAG_INCLUSIVE {
+                        done[r] = true;
+                        remaining -= 1;
+                    }
                 }
             }
+            // Introspection: this group's walk reached back `t - p` tiles
+            // (the deepest row wins). One resolve per tile per group — that
+            // count is schedule-independent; the depth itself is not
+            // (sequential execution always stops after one hop, parallel
+            // depends on timing).
+            w.obs().record_lookback((t - p) as u64);
+            // Charge the look-back deterministically: one counted
+            // record-sized read per tile per group. How many extra hops the
+            // walk took depends on scheduling — charging them would break
+            // schedule independence.
+            let (prev, mask) = self.group_record(t - 1, g);
+            w.device_gather(&self.state, prev, mask);
+            let (rec, mask) = self.group_record(t, g);
+            w.device_scatter(
+                &self.state,
+                rec,
+                lanes_from_fn(|l| {
+                    let r = base + l.min(cnt - 1);
+                    pack(prefix[r].wrapping_add(aggregate[r]), FLAG_INCLUSIVE)
+                }),
+                mask,
+            );
         }
-        // Introspection: the walk reached back `t - p` tiles (the deepest
-        // row wins). One resolve per tile — that count is schedule-
-        // independent; the depth itself is not (sequential execution
-        // always stops after one hop, parallel depends on timing).
-        w.obs().record_lookback((t - p) as u64);
-        // Charge the look-back deterministically: one counted record-sized
-        // read per tile. How many extra hops the walk took depends on
-        // scheduling — charging them would break schedule independence.
-        w.device_gather(&self.state, self.record(t - 1), mask);
-        w.device_scatter(
-            &self.state,
-            self.record(t),
-            lanes_from_fn(|l| pack(prefix[l].wrapping_add(aggregate[l]), FLAG_INCLUSIVE)),
-            mask,
-        );
         prefix
     }
 
@@ -307,6 +379,111 @@ mod tests {
                 // walk (tiles 1..) stops after exactly one hop.
                 assert_eq!(obs.lookback_depth_total, (tiles - 1) as u64);
                 assert_eq!(obs.lookback_depth_hist[1], (tiles - 1) as u64);
+                assert_eq!(obs.spin_polls, 0, "nothing to wait for sequentially");
+            }
+            resolves.push(obs.lookback_resolves);
+        }
+        assert_eq!(resolves[0], resolves[1]);
+    }
+
+    /// `rows > 32` records span multiple warp-sized groups; prefixes must
+    /// still match the host reference on both executors.
+    #[test]
+    fn multi_group_lookback_matches_reference() {
+        let (tiles, rows) = (41usize, 70usize);
+        let agg = |t: usize, r: usize| ((t * 13 + r * 5) % 17) as u32;
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let states = TileStates::new(tiles, rows);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            let out = simt::GlobalBuffer::<u32>::zeroed(tiles * rows);
+            dev.launch("lookback-multirow", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                let a: Vec<u32> = (0..rows).map(|r| agg(t, r)).collect();
+                let prefix = states.resolve_rows(&w, t, &a);
+                for (r, &p) in prefix.iter().enumerate() {
+                    out.set(t * rows + r, p);
+                }
+            });
+            let got = out.to_vec();
+            for t in 0..tiles {
+                for r in 0..rows {
+                    let expect: u32 = (0..t).map(|p| agg(p, r)).sum();
+                    assert_eq!(got[t * rows + r], expect, "tile {t} row {r}");
+                }
+            }
+            for r in 0..rows {
+                let expect: u32 = (0..tiles).map(|p| agg(p, r)).sum();
+                assert_eq!(states.total(r), expect, "grand total row {r}");
+            }
+        }
+    }
+
+    /// The `rows = 1` case (the chained scan's state) must bill exactly
+    /// the same through the lane-shaped `resolve` and the generalized
+    /// `resolve_rows` — the scalar scan's accounting is the contract.
+    #[test]
+    fn rows_one_billing_matches_chained_scan() {
+        let tiles = 100usize;
+        let mut runs = Vec::new();
+        for use_rows in [false, true] {
+            let dev = Device::sequential(K40C);
+            let states = TileStates::new(tiles, 1);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            dev.launch("lookback-rows1", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                if use_rows {
+                    let p = states.resolve_rows(&w, t, &[t as u32]);
+                    assert_eq!(p.len(), 1);
+                } else {
+                    let p = states.resolve(&w, t, simt::splat(t as u32));
+                    assert_eq!(p[1], 0, "lanes beyond the rows return 0");
+                }
+            });
+            let rec = &dev.records()[0];
+            runs.push((rec.stats, rec.obs, states.total(0)));
+        }
+        assert_eq!(
+            runs[0], runs[1],
+            "resolve and resolve_rows must bill rows = 1 identically"
+        );
+    }
+
+    /// Multi-group records resolve once per tile per group, and the
+    /// histogram invariant stays row-aware: buckets sum to
+    /// `tiles * row_groups()` on every schedule.
+    #[test]
+    fn multi_group_obs_totals_are_schedule_independent() {
+        let (tiles, rows) = (60usize, 70usize);
+        let groups = rows.div_ceil(WARP_SIZE);
+        assert_eq!(groups, 3);
+        let mut resolves = Vec::new();
+        for (i, dev) in [Device::new(K40C), Device::sequential(K40C)]
+            .into_iter()
+            .enumerate()
+        {
+            let states = TileStates::new(tiles, rows);
+            assert_eq!(states.row_groups(), groups);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            dev.launch("lookback-multirow-obs", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                let a: Vec<u32> = (0..rows).map(|r| r as u32).collect();
+                states.resolve_rows(&w, t, &a);
+            });
+            let obs = dev.records()[0].obs;
+            assert_eq!(
+                obs.lookback_resolves,
+                (tiles * groups) as u64,
+                "one resolve per tile per row group"
+            );
+            assert_eq!(obs.depth_hist_total(), obs.lookback_resolves);
+            if i == 1 {
+                // Sequential: tile 0 contributes `groups` depth-0 resolves,
+                // every later tile `groups` one-hop walks.
+                assert_eq!(obs.lookback_depth_hist[0], groups as u64);
+                assert_eq!(obs.lookback_depth_hist[1], ((tiles - 1) * groups) as u64);
                 assert_eq!(obs.spin_polls, 0, "nothing to wait for sequentially");
             }
             resolves.push(obs.lookback_resolves);

@@ -75,7 +75,7 @@ pub use obs::{
     ObsStats, ScopeNode, Telemetry,
 };
 pub use profile::{DeviceProfile, GTX750TI, K40C};
-pub use shared::{SharedBuf, SMEM_BANKS};
+pub use shared::{padded_index, padded_len, SharedBuf, SMEM_BANKS};
 pub use stats::{BlockStats, LaunchRecord, StatCells};
 pub use trace::{chrome_trace_json, write_chrome_trace};
 pub use warp::WarpCtx;

@@ -91,7 +91,11 @@ pub struct ObsCells {
 impl ObsCells {
     /// Record one resolved look-back that met an `INCLUSIVE` word after
     /// walking back `depth` predecessor tiles (0 for tile 0, which
-    /// publishes directly).
+    /// publishes directly). Multi-row state records wider than a warp
+    /// resolve once per warp-sized row group, so a complete kernel records
+    /// `tiles * row_groups` resolves — callers asserting the
+    /// resolves-per-tile invariant must scale it by the record's group
+    /// count.
     pub fn record_lookback(&self, depth: u64) {
         self.lookback_resolves.set(self.lookback_resolves.get() + 1);
         self.lookback_depth_total
@@ -121,7 +125,9 @@ impl ObsCells {
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ObsStats {
     /// Look-backs resolved (one per [`ObsCells::record_lookback`] call).
-    /// **Deterministic**: one per non-trivial tile regardless of schedule.
+    /// **Deterministic**: one per tile per warp-sized row group of its
+    /// state record — `tiles` for the scalar scan, `tiles * ceil(rows/32)`
+    /// for multi-row records — regardless of schedule.
     pub lookback_resolves: u64,
     /// Sum of walk depths. **Nondeterministic**: under `Device::sequential`
     /// every predecessor has finished, so every walk stops after one hop;
@@ -375,7 +381,7 @@ pub fn scope_tree(records: &[LaunchRecord]) -> ScopeNode {
     root
 }
 
-/// Every [`BlockStats`] field as a JSON object (all 11 counters — the
+/// Every [`BlockStats`] field as a JSON object (all 12 counters — the
 /// Chrome trace exporter and the metrics sink share this so neither can
 /// silently drop one again).
 pub fn stats_json(s: &BlockStats) -> Json {
@@ -387,6 +393,10 @@ pub fn stats_json(s: &BlockStats) -> Json {
         ("atomic_ops".into(), Json::int(s.atomic_ops)),
         ("atomic_conflicts".into(), Json::int(s.atomic_conflicts)),
         ("smem_ops".into(), Json::int(s.smem_ops)),
+        (
+            "smem_bank_conflicts".into(),
+            Json::int(s.smem_bank_conflicts),
+        ),
         ("intrinsics".into(), Json::int(s.intrinsics)),
         ("lane_ops".into(), Json::int(s.lane_ops)),
         ("barriers".into(), Json::int(s.barriers)),

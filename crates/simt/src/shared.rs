@@ -16,6 +16,27 @@ use crate::stats::StatCells;
 /// Number of shared-memory banks (4-byte wide each).
 pub const SMEM_BANKS: usize = 32;
 
+/// CUB-style conflict-avoidance padding: one pad word inserted after every
+/// [`SMEM_BANKS`] logical elements, so logical stride-32 column accesses
+/// land on distinct banks. Staging buffers sized with [`padded_len`] and
+/// addressed through this mapping trade a few percent of capacity for
+/// conflict-free block-wide reorders.
+#[inline]
+pub fn padded_index(i: usize) -> usize {
+    i + i / SMEM_BANKS
+}
+
+/// Physical length a padded buffer needs to hold `len` logical elements
+/// addressed through [`padded_index`].
+#[inline]
+pub fn padded_len(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        padded_index(len - 1) + 1
+    }
+}
+
 /// A shared-memory array, alive for the duration of one block.
 pub struct SharedBuf<'a, T: Scalar> {
     data: RefCell<Box<[T]>>,
@@ -38,15 +59,17 @@ impl<'a, T: Scalar> SharedBuf<'a, T> {
         self.len() == 0
     }
 
-    /// Serialized cost of one warp-wide access.
+    /// Serialized cost of one warp-wide access, as `(ops, conflicts)`.
     ///
     /// Hardware broadcasts same-word accesses (multicast), so plain
     /// loads/stores conflict only on *distinct* words mapping to the same
     /// bank; atomics additionally serialize same-word lanes
-    /// (`serialize_duplicates`). Cost = worst-case bank passes times the
-    /// active lane count.
+    /// (`serialize_duplicates`). Ops = worst-case bank passes times the
+    /// active lane count; conflicts = the passes *beyond* the first times
+    /// the active lane count (the serialization a conflict-free layout
+    /// would have avoided — zero for an unconflicted access).
     #[allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
-    fn bank_cost(idx: &Lanes<usize>, mask: u32, serialize_duplicates: bool) -> u64 {
+    fn bank_cost(idx: &Lanes<usize>, mask: u32, serialize_duplicates: bool) -> (u64, u64) {
         let mut per_bank = [0u64; SMEM_BANKS];
         let mut seen_words = [usize::MAX; WARP_SIZE];
         let mut n_seen = 0usize;
@@ -67,15 +90,24 @@ impl<'a, T: Scalar> SharedBuf<'a, T> {
             }
         }
         if !active {
-            return 0;
+            return (0, 0);
         }
         let worst = *per_bank.iter().max().unwrap();
-        worst * mask.count_ones() as u64
+        let lanes = mask.count_ones() as u64;
+        (worst * lanes, (worst - 1) * lanes)
+    }
+
+    /// Charge one warp-wide access: serialized passes into `smem_ops`,
+    /// the avoidable surplus into `smem_bank_conflicts`.
+    fn charge(&self, idx: &Lanes<usize>, mask: u32, serialize_duplicates: bool) {
+        let (ops, conflicts) = Self::bank_cost(idx, mask, serialize_duplicates);
+        StatCells::bump(&self.stats.smem_ops, ops);
+        StatCells::bump(&self.stats.smem_bank_conflicts, conflicts);
     }
 
     /// Warp-wide load.
     pub fn ld(&self, idx: Lanes<usize>, mask: u32) -> Lanes<T> {
-        StatCells::bump(&self.stats.smem_ops, Self::bank_cost(&idx, mask, false));
+        self.charge(&idx, mask, false);
         let data = self.data.borrow();
         let mut out = [T::default(); WARP_SIZE];
         for lane in 0..WARP_SIZE {
@@ -88,7 +120,7 @@ impl<'a, T: Scalar> SharedBuf<'a, T> {
 
     /// Warp-wide store.
     pub fn st(&self, idx: Lanes<usize>, val: Lanes<T>, mask: u32) {
-        StatCells::bump(&self.stats.smem_ops, Self::bank_cost(&idx, mask, false));
+        self.charge(&idx, mask, false);
         let mut data = self.data.borrow_mut();
         for lane in 0..WARP_SIZE {
             if lane_active(mask, lane) {
@@ -106,7 +138,7 @@ impl<'a, T: Scalar> SharedBuf<'a, T> {
     where
         T: std::ops::Add<Output = T>,
     {
-        StatCells::bump(&self.stats.smem_ops, Self::bank_cost(&idx, mask, true));
+        self.charge(&idx, mask, true);
         let mut data = self.data.borrow_mut();
         let mut out = [T::default(); WARP_SIZE];
         for lane in 0..WARP_SIZE {
@@ -147,6 +179,7 @@ mod tests {
         let buf = SharedBuf::<u32>::new(64, &st);
         buf.st(lanes_from_fn(|i| i), lanes_from_fn(|i| i as u32), FULL_MASK);
         assert_eq!(st.smem_ops.get(), 32, "one lane per bank: fully parallel");
+        assert_eq!(st.smem_bank_conflicts.get(), 0);
         let got = buf.ld(lanes_from_fn(|i| i), FULL_MASK);
         assert_eq!(got[13], 13);
     }
@@ -158,6 +191,35 @@ mod tests {
         // Stride 32: every lane hits bank 0 -> 32-way conflict.
         buf.ld(lanes_from_fn(|i| i * 32), FULL_MASK);
         assert_eq!(st.smem_ops.get(), 32 * 32);
+        // 31 avoidable extra passes x 32 active lanes.
+        assert_eq!(st.smem_bank_conflicts.get(), 31 * 32);
+    }
+
+    #[test]
+    fn padding_breaks_stride_conflicts() {
+        let st = StatCells::default();
+        let buf = SharedBuf::<u32>::new(padded_len(32 * 32), &st);
+        // The same logical stride-32 column access through the padded
+        // mapping touches 32 distinct banks: conflict-free.
+        buf.ld(lanes_from_fn(|i| padded_index(i * 32)), FULL_MASK);
+        assert_eq!(st.smem_ops.get(), 32);
+        assert_eq!(st.smem_bank_conflicts.get(), 0);
+    }
+
+    #[test]
+    fn padded_index_and_len_are_consistent() {
+        assert_eq!(padded_index(0), 0);
+        assert_eq!(padded_index(31), 31);
+        assert_eq!(padded_index(32), 33, "one pad word per 32 elements");
+        assert_eq!(padded_index(64), 66);
+        assert_eq!(padded_len(0), 0);
+        assert_eq!(padded_len(32), 32);
+        assert_eq!(padded_len(33), 34);
+        // The mapping is strictly increasing, so padded slots never alias.
+        for i in 1..4096 {
+            assert!(padded_index(i) > padded_index(i - 1));
+            assert!(padded_index(i) < padded_len(4096));
+        }
     }
 
     #[test]
@@ -167,6 +229,7 @@ mod tests {
         let buf = SharedBuf::<u32>::new(4, &st);
         buf.ld(splat(0), 0b1111);
         assert_eq!(st.smem_ops.get(), 4, "one pass for 4 active lanes");
+        assert_eq!(st.smem_bank_conflicts.get(), 0);
     }
 
     #[test]
@@ -177,6 +240,8 @@ mod tests {
         assert_eq!(buf.get(0), 4);
         // 4 serialized passes x 4 active lanes (+1 for the get).
         assert_eq!(st.smem_ops.get(), 17);
+        // 3 avoidable passes x 4 active lanes; the get is conflict-free.
+        assert_eq!(st.smem_bank_conflicts.get(), 12);
     }
 
     #[test]
@@ -186,6 +251,7 @@ mod tests {
         // Consecutive u64s map to even banks only -> 2-way conflicts.
         buf.ld(lanes_from_fn(|i| i), FULL_MASK);
         assert_eq!(st.smem_ops.get(), 64);
+        assert_eq!(st.smem_bank_conflicts.get(), 32);
     }
 
     #[test]
@@ -195,6 +261,7 @@ mod tests {
         buf.set(3, 99);
         assert_eq!(buf.get(3), 99);
         assert_eq!(st.smem_ops.get(), 2);
+        assert_eq!(st.smem_bank_conflicts.get(), 0);
     }
 
     #[test]
@@ -203,5 +270,6 @@ mod tests {
         let buf = SharedBuf::<u32>::new(8, &st);
         buf.ld(splat(0), 0);
         assert_eq!(st.smem_ops.get(), 0);
+        assert_eq!(st.smem_bank_conflicts.get(), 0);
     }
 }

@@ -31,6 +31,10 @@ pub struct BlockStats {
     pub atomic_conflicts: u64,
     /// Shared-memory accesses, counted per active lane.
     pub smem_ops: u64,
+    /// The avoidable share of `smem_ops`: bank passes beyond the first,
+    /// per active lane. Zero for a conflict-free layout; what padded
+    /// staging (see `simt::padded_index`) eliminates.
+    pub smem_bank_conflicts: u64,
     /// Warp-wide intrinsics executed (ballot / shfl / shfl_up / shfl_xor).
     pub intrinsics: u64,
     /// Generic per-lane ALU operations (explicit charges from kernels).
@@ -50,6 +54,7 @@ impl AddAssign for BlockStats {
         self.atomic_ops += o.atomic_ops;
         self.atomic_conflicts += o.atomic_conflicts;
         self.smem_ops += o.smem_ops;
+        self.smem_bank_conflicts += o.smem_bank_conflicts;
         self.intrinsics += o.intrinsics;
         self.lane_ops += o.lane_ops;
         self.barriers += o.barriers;
@@ -88,6 +93,7 @@ pub struct StatCells {
     pub atomic_ops: Cell<u64>,
     pub atomic_conflicts: Cell<u64>,
     pub smem_ops: Cell<u64>,
+    pub smem_bank_conflicts: Cell<u64>,
     pub intrinsics: Cell<u64>,
     pub lane_ops: Cell<u64>,
     pub barriers: Cell<u64>,
@@ -109,6 +115,7 @@ impl StatCells {
             atomic_ops: self.atomic_ops.get(),
             atomic_conflicts: self.atomic_conflicts.get(),
             smem_ops: self.smem_ops.get(),
+            smem_bank_conflicts: self.smem_bank_conflicts.get(),
             intrinsics: self.intrinsics.get(),
             lane_ops: self.lane_ops.get(),
             barriers: self.barriers.get(),

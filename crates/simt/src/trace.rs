@@ -59,8 +59,8 @@ pub fn chrome_trace_json(records: &[LaunchRecord]) -> String {
             concat!(
                 "\"blocks\":{},\"warps_per_block\":{},\"sectors\":{},\"useful_bytes\":{},",
                 "\"global_requests\":{},\"replays\":{},\"atomic_ops\":{},\"atomic_conflicts\":{},",
-                "\"smem_ops\":{},\"intrinsics\":{},\"lane_ops\":{},\"barriers\":{},",
-                "\"divergent_iters\":{}"
+                "\"smem_ops\":{},\"smem_bank_conflicts\":{},\"intrinsics\":{},\"lane_ops\":{},",
+                "\"barriers\":{},\"divergent_iters\":{}"
             ),
             r.blocks,
             r.warps_per_block,
@@ -71,6 +71,7 @@ pub fn chrome_trace_json(records: &[LaunchRecord]) -> String {
             s.atomic_ops,
             s.atomic_conflicts,
             s.smem_ops,
+            s.smem_bank_conflicts,
             s.intrinsics,
             s.lane_ops,
             s.barriers,
@@ -170,6 +171,7 @@ mod tests {
             atomic_ops: 5,
             atomic_conflicts: 6,
             smem_ops: 7,
+            smem_bank_conflicts: 12,
             intrinsics: 8,
             lane_ops: 9,
             barriers: 10,
@@ -184,6 +186,7 @@ mod tests {
             "\"atomic_ops\":5",
             "\"atomic_conflicts\":6",
             "\"smem_ops\":7",
+            "\"smem_bank_conflicts\":12",
             "\"intrinsics\":8",
             "\"lane_ops\":9",
             "\"barriers\":10",

@@ -40,7 +40,8 @@ fn summed_obs(records: &[LaunchRecord]) -> ObsStats {
 
 /// A total order over every counted field, for schedule-independent
 /// comparison of per-block vectors.
-fn stats_key(b: &BlockStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+#[allow(clippy::type_complexity)]
+fn stats_key(b: &BlockStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
     (
         b.sectors,
         b.useful_bytes,
@@ -49,6 +50,7 @@ fn stats_key(b: &BlockStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u6
         b.atomic_ops,
         b.atomic_conflicts,
         b.smem_ops,
+        b.smem_bank_conflicts,
         b.intrinsics,
         b.lane_ops,
         b.barriers,
@@ -60,11 +62,15 @@ fn stats_key(b: &BlockStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u6
 fn per_block_stats_are_schedule_independent() {
     let n = 100_000;
     let keys_host = keys_for(n, 3);
-    for method in [Method::BlockLevel, Method::Fused] {
+    for (method, m) in [
+        (Method::BlockLevel, 32),
+        (Method::Fused, 32),
+        (Method::FusedLargeM, 64),
+    ] {
         let mut per_dev: Vec<(BlockStats, Vec<Vec<BlockStats>>)> = Vec::new();
         for dev in [Device::new(K40C), Device::sequential(K40C)] {
             let records = with_telemetry(Telemetry::PerBlock, || {
-                run_with(&dev, method, &keys_host, 32)
+                run_with(&dev, method, &keys_host, m)
             });
             let mut per_block: Vec<Vec<BlockStats>> = Vec::new();
             for rec in &records {
@@ -127,11 +133,17 @@ fn lookback_totals_are_schedule_independent_end_to_end() {
     let keys_host = keys_for(n, 9);
     // Block-level resolves look-backs in its chained scan; fused in its
     // sweep. Depth *distribution* varies with scheduling, but one resolve
-    // fires per tile, so totals must match across schedulers.
-    for method in [Method::BlockLevel, Method::Fused] {
+    // fires per tile per 32-row group (one group for the m <= 32 paths,
+    // ceil(m/32) for fused large-m), so totals must match across
+    // schedulers.
+    for (method, m) in [
+        (Method::BlockLevel, 32),
+        (Method::Fused, 32),
+        (Method::FusedLargeM, 64),
+    ] {
         let mut resolves = Vec::new();
         for dev in [Device::new(K40C), Device::sequential(K40C)] {
-            let records = run_with(&dev, method, &keys_host, 32);
+            let records = run_with(&dev, method, &keys_host, m);
             let obs = summed_obs(&records);
             assert!(obs.lookback_resolves > 0, "{method:?}: look-backs expected");
             assert_eq!(

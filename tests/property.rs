@@ -153,6 +153,96 @@ fn large_m_matches_reference() {
 }
 
 #[test]
+fn fused_large_m_matches_reference_and_three_kernel() {
+    // The fused large-m path's correctness sweep (ISSUE 4, satellite 2):
+    // bit-identical to the CPU reference AND the three-kernel large-m
+    // pipeline, key-only and key-value, for bucket counts spanning the
+    // supported range up to the exact shared-memory capacity boundary
+    // (`fused_max_buckets`). Random lengths end on ragged tiles at every
+    // coarsening factor. The fused output buffers carry the simulator's
+    // write-race detector (`tracked()`): any double-write panics here.
+    let mut rng = SmallRng::seed_from_u64(0x51ca_000c);
+    for kv in [false, true] {
+        let cap = multisplit::fused_max_buckets(8, kv);
+        for m in [33u32, 64, 100, 256, cap] {
+            let keys = rand_keys(&mut rng, 6000);
+            let n = keys.len();
+            let values: Vec<u32> = (0..n as u32).collect();
+            let bucket = RangeBuckets::new(m);
+            let dev = Device::new(K40C);
+            let kbuf = GlobalBuffer::from_slice(&keys);
+            let vbuf = GlobalBuffer::from_slice(&values);
+            let vals = kv.then_some(&vbuf);
+            let f = multisplit_device(&dev, Method::FusedLargeM, &kbuf, vals, n, &bucket, 8);
+            let t = multisplit_device(&dev, Method::LargeM, &kbuf, vals, n, &bucket, 8);
+            let (ek, ev, eo) = multisplit_kv_ref(&keys, kv.then_some(&values), &bucket);
+            assert_eq!(f.keys.to_vec(), ek, "kv={kv} m={m} n={n} vs reference");
+            assert_eq!(f.offsets, eo, "kv={kv} m={m} n={n}");
+            assert_eq!(
+                f.keys.to_vec(),
+                t.keys.to_vec(),
+                "kv={kv} m={m} vs three-kernel"
+            );
+            assert_eq!(f.offsets, t.offsets, "kv={kv} m={m} vs three-kernel");
+            if kv {
+                let fv = f.values.unwrap().to_vec();
+                assert_eq!(fv, ev, "m={m} n={n} values vs reference");
+                assert_eq!(
+                    fv,
+                    t.values.unwrap().to_vec(),
+                    "m={m} values vs three-kernel"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_large_m_edge_cases() {
+    let dev = Device::new(K40C);
+    let bucket = RangeBuckets::new(80);
+    // Zero-length input: no launches, all-zero offsets.
+    let empty = GlobalBuffer::<u32>::zeroed(0);
+    let r = multisplit_device(
+        &dev,
+        Method::FusedLargeM,
+        &empty,
+        no_values(),
+        0,
+        &bucket,
+        8,
+    );
+    assert_eq!(r.offsets, vec![0; 81]);
+    assert!(dev.records().is_empty());
+    // Tiny and one-past-a-tile lengths against the reference.
+    for n in [1usize, 2049] {
+        let keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let buf = GlobalBuffer::from_slice(&keys);
+        let r = multisplit_device(&dev, Method::FusedLargeM, &buf, no_values(), n, &bucket, 8);
+        let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
+        assert_eq!(r.keys.to_vec(), ek, "n={n}");
+        assert_eq!(r.offsets, eo, "n={n}");
+    }
+    // All-one-bucket skew: the output is the identity permutation
+    // (stability) and every element lands in bucket 40.
+    let keys: Vec<u32> = (0..5000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let one = multisplit::FnBuckets::new(64, |_| 40);
+    let buf = GlobalBuffer::from_slice(&keys);
+    let r = multisplit_device(
+        &dev,
+        Method::FusedLargeM,
+        &buf,
+        no_values(),
+        keys.len(),
+        &one,
+        8,
+    );
+    assert_eq!(r.keys.to_vec(), keys);
+    let expect: Vec<u32> = (0..=64).map(|b| if b <= 40 { 0 } else { 5000 }).collect();
+    assert_eq!(r.offsets, expect);
+}
+
+#[test]
 fn warp_histogram_and_offsets_match_scalar_definitions() {
     let mut rng = SmallRng::seed_from_u64(0x51ca_0004);
     for _ in 0..CASES * 4 {
