@@ -27,7 +27,13 @@
 //!   check       compare per-stage sector counts (n=2^16, m=32, plus a
 //!               large-m section at m=64) against
 //!               bench_results/baseline_sectors.json; exits 1 on regression
-//!   all         everything above (except profile/check)
+//!   fuzz        differential fuzz harness: seeded (n, m, method, distribution,
+//!               schedule) cases across every method, checked against the CPU
+//!               reference with schedule-independence invariants; shrinks the
+//!               first failure to a minimal reproducer and exits 1.
+//!               own options: --iters K (default 200), --seed S (default 5000),
+//!               --replay TOKEN (re-run one shrunk case verbatim)
+//!   all         everything above (except profile/check/fuzz)
 //!
 //! options:
 //!   --n <log2>     input size exponent (default 22; the paper uses 25)
@@ -1494,9 +1500,110 @@ fn check_cmd(opts: &Opts) {
     }
 }
 
+// ====================== Fuzz (differential harness) ======================
+
+/// Differential fuzzing across every multisplit method, key distribution,
+/// and execution schedule (sequential / parallel / four adversarial
+/// flavors). Each case is checked against the CPU reference, and
+/// non-sequential runs additionally against a sequential baseline for
+/// schedule-independence of outputs, launch labels, counted stats, and
+/// look-back resolve counts. The first failure is shrunk to a minimal
+/// reproducer, written to `bench_results/fuzz_repro.txt`, and exits 1.
+///
+/// Parsed here (not via `parse_opts`) because the options differ.
+fn fuzz_cmd(args: &[String]) {
+    let mut iters = 200usize;
+    let mut seed = 5000u64;
+    let mut replay: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("bad --iters")
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("bad --seed")
+            }
+            "--replay" => replay = Some(it.next().expect("--replay needs a token").clone()),
+            other => panic!("unknown fuzz option {other}"),
+        }
+    }
+    if let Some(token) = replay {
+        let case = msfuzz::parse_replay(&token).unwrap_or_else(|e| {
+            eprintln!("fuzz: bad replay token: {e}");
+            std::process::exit(2);
+        });
+        println!("fuzz: replaying {}", case.replay_token());
+        match msfuzz::run_case(&case) {
+            Ok(()) => println!("fuzz: replay clean — no divergence"),
+            Err(d) => {
+                eprintln!("fuzz: replay FAILED: {d}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    println!("fuzz: {iters} iterations, seed {seed}");
+    let mut last_pct = 0usize;
+    let report = msfuzz::fuzz(iters, seed, |ix, _| {
+        let pct = (ix + 1) * 10 / iters.max(1);
+        if pct > last_pct {
+            last_pct = pct;
+            println!("fuzz: {}/{iters}", ix + 1);
+        }
+    });
+    match report.failure {
+        None => println!(
+            "fuzz: OK — {} cases, zero divergences across every method, \
+             distribution, and schedule",
+            report.iters_run
+        ),
+        Some(f) => {
+            eprintln!(
+                "fuzz: FAILURE at iteration {} ({})",
+                f.iteration, f.divergence
+            );
+            eprintln!("fuzz: original case: {}", f.case.replay_token());
+            eprintln!("fuzz: shrunk case:   {}", f.shrunk.replay_token());
+            eprintln!("fuzz: replay with:   {}", f.replay_command());
+            let path = std::path::Path::new("bench_results/fuzz_repro.txt");
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let body = format!(
+                "divergence: {}\niteration: {}\noriginal: {}\nshrunk: {}\nreplay: {}\n",
+                f.divergence,
+                f.iteration,
+                f.case.replay_token(),
+                f.shrunk.replay_token(),
+                f.replay_command()
+            );
+            match std::fs::write(path, body) {
+                Ok(()) => eprintln!("fuzz: reproducer written to {}", path.display()),
+                Err(e) => eprintln!("fuzz: could not write {}: {e}", path.display()),
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    // `fuzz` owns its argument set; dispatch before parse_opts (which
+    // rejects unknown options).
+    if cmd == "fuzz" {
+        fuzz_cmd(&args[1..]);
+        return;
+    }
     let opts = parse_opts(&args[1.min(args.len())..]);
     if opts.json.is_some() {
         metrics::sink_begin();
@@ -1539,7 +1646,8 @@ fn main() {
             largem_compare(&opts);
         }
         _ => {
-            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|profile|check|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
+            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|profile|check|fuzz|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
+            eprintln!("       paper fuzz [--iters K] [--seed S] [--replay TOKEN]");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,786 @@
+//! Differential fuzz harness for the multisplit stack.
+//!
+//! Each [`FuzzCase`] is a seeded `(n, m, method, key distribution,
+//! schedule)` tuple. [`run_case`] executes it three ways — the CPU
+//! reference, the simulated device under the case's schedule, and the
+//! same device sequentially — and checks:
+//!
+//! * **Output correctness**: permuted keys (and values, and bucket
+//!   offsets) match the stable CPU reference bit-for-bit.
+//! * **Schedule independence**: the launch-label sequence, per-label
+//!   summed [`simt::BlockStats`], and the look-back resolve counts are
+//!   identical to the sequential run (spin-poll counts and depth
+//!   *distributions* are legitimately schedule-dependent and excluded —
+//!   see DESIGN.md §10 for the formal statement).
+//! * **Race freedom**: input buffers run with the epoch race detector on
+//!   (`GlobalBuffer::tracked`), so a kernel reading data another block
+//!   wrote in the same epoch panics, which the harness reports as a
+//!   divergence.
+//!
+//! On failure [`fuzz`] shrinks the case to a *minimal* reproducer (halve
+//! then decrement `n` and `m`, simplify the distribution and schedule)
+//! and formats it as a one-line `paper fuzz --replay ...` command. A
+//! deliberately injected [`Fault`] (test-only) proves the shrinker finds
+//! exact minima.
+
+use msrng::SmallRng;
+use multisplit::{
+    fused_max_buckets, max_buckets as large_m_max_buckets, multisplit_device, multisplit_kv_ref,
+    multisplit_ref, no_values, Method, RangeBuckets,
+};
+use simt::{AdvFlavor, AdvSchedule, Device, GlobalBuffer, LaunchRecord, Schedule, K40C};
+
+/// Upper bound on generated `n`: big enough for multi-tile grids (dozens
+/// of look-back tiles at every `wpb`), small enough that a 200-case run
+/// finishes in seconds.
+pub const MAX_N: usize = 4096;
+
+/// Upper bound on generated `m` for the large-m methods (their
+/// shared-memory capacity allows ~1.2k, but histogram setup cost scales
+/// with `m` and the interesting boundaries are far below).
+pub const MAX_LARGE_M: u32 = 256;
+
+/// All six methods with their replay-token names.
+pub const METHODS: [(Method, &str); 6] = [
+    (Method::Direct, "direct"),
+    (Method::WarpLevel, "warp"),
+    (Method::BlockLevel, "block"),
+    (Method::LargeM, "largem"),
+    (Method::Fused, "fused"),
+    (Method::FusedLargeM, "fusedlargem"),
+];
+
+/// Input key distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform over the full `u32` domain.
+    Uniform,
+    /// 75% of keys land in bucket 0 (load imbalance / contended bucket).
+    Skew75,
+    /// Every key identical: the whole input is one bucket.
+    OneBucket,
+    /// Uniform keys, pre-sorted (already-split input).
+    Sorted,
+}
+
+impl KeyDist {
+    pub const ALL: [KeyDist; 4] = [
+        KeyDist::Uniform,
+        KeyDist::Skew75,
+        KeyDist::OneBucket,
+        KeyDist::Sorted,
+    ];
+
+    fn token(&self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Skew75 => "skew75",
+            KeyDist::OneBucket => "onebucket",
+            KeyDist::Sorted => "sorted",
+        }
+    }
+}
+
+/// Which schedule the device under test runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedSpec {
+    Sequential,
+    Parallel,
+    Adversarial { seed: u64, flavor: AdvFlavor },
+}
+
+impl SchedSpec {
+    pub fn to_schedule(self) -> Schedule {
+        match self {
+            SchedSpec::Sequential => Schedule::Sequential,
+            SchedSpec::Parallel => Schedule::Parallel,
+            SchedSpec::Adversarial { seed, flavor } => {
+                Schedule::Adversarial(AdvSchedule::with_flavor(seed, flavor))
+            }
+        }
+    }
+
+    fn token(&self) -> String {
+        match self {
+            SchedSpec::Sequential => "seq".to_string(),
+            SchedSpec::Parallel => "par".to_string(),
+            SchedSpec::Adversarial { seed, flavor } => format!("adv:{seed}:{}", flavor.name()),
+        }
+    }
+}
+
+/// One generated differential test case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzCase {
+    pub n: usize,
+    pub m: u32,
+    pub method: Method,
+    pub kv: bool,
+    pub dist: KeyDist,
+    pub key_seed: u64,
+    pub wpb: usize,
+    pub sched: SchedSpec,
+}
+
+fn method_token(m: Method) -> &'static str {
+    METHODS.iter().find(|(mm, _)| *mm == m).unwrap().1
+}
+
+impl FuzzCase {
+    /// Smallest legal `m` for this case's method (the large-m paths only
+    /// accept `m > 32`).
+    pub fn min_m(&self) -> u32 {
+        match self.method {
+            Method::LargeM | Method::FusedLargeM => 33,
+            _ => 1,
+        }
+    }
+
+    /// Largest legal `m` for this case's method at its block size.
+    pub fn max_m(&self) -> u32 {
+        match self.method {
+            Method::LargeM => large_m_max_buckets(self.wpb, self.kv).min(MAX_LARGE_M),
+            Method::FusedLargeM => fused_max_buckets(self.wpb, self.kv).min(MAX_LARGE_M),
+            _ => 32,
+        }
+    }
+
+    /// The self-contained replay token (inverse of [`parse_replay`]).
+    pub fn replay_token(&self) -> String {
+        format!(
+            "n={},m={},method={},kv={},dist={},keyseed={},wpb={},sched={}",
+            self.n,
+            self.m,
+            method_token(self.method),
+            self.kv as u32,
+            self.dist.token(),
+            self.key_seed,
+            self.wpb,
+            self.sched.token()
+        )
+    }
+
+    /// The one-line command a human (or CI) pastes to replay this case.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "cargo run --release -p ms-bench --bin paper -- fuzz --replay {}",
+            self.replay_token()
+        )
+    }
+}
+
+/// Parse a `k=v,...` replay token produced by [`FuzzCase::replay_token`].
+pub fn parse_replay(s: &str) -> Result<FuzzCase, String> {
+    let mut n = None;
+    let mut m = None;
+    let mut method = None;
+    let mut kv = None;
+    let mut dist = None;
+    let mut key_seed = None;
+    let mut wpb = None;
+    let mut sched = None;
+    for part in s.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad replay field {part:?} (want k=v)"))?;
+        match k {
+            "n" => n = Some(v.parse::<usize>().map_err(|e| format!("n: {e}"))?),
+            "m" => m = Some(v.parse::<u32>().map_err(|e| format!("m: {e}"))?),
+            "method" => {
+                method = Some(
+                    METHODS
+                        .iter()
+                        .find(|(_, t)| *t == v)
+                        .map(|(mm, _)| *mm)
+                        .ok_or_else(|| format!("unknown method {v:?}"))?,
+                )
+            }
+            "kv" => kv = Some(v == "1"),
+            "dist" => {
+                dist = Some(
+                    KeyDist::ALL
+                        .into_iter()
+                        .find(|d| d.token() == v)
+                        .ok_or_else(|| format!("unknown dist {v:?}"))?,
+                )
+            }
+            "keyseed" => key_seed = Some(v.parse::<u64>().map_err(|e| format!("keyseed: {e}"))?),
+            "wpb" => wpb = Some(v.parse::<usize>().map_err(|e| format!("wpb: {e}"))?),
+            "sched" => {
+                sched = Some(match v {
+                    "seq" => SchedSpec::Sequential,
+                    "par" => SchedSpec::Parallel,
+                    adv => {
+                        let mut it = adv.split(':');
+                        let (Some("adv"), Some(seed), Some(flavor)) =
+                            (it.next(), it.next(), it.next())
+                        else {
+                            return Err(format!("unknown sched {v:?}"));
+                        };
+                        let seed = seed
+                            .parse::<u64>()
+                            .map_err(|e| format!("sched seed: {e}"))?;
+                        let flavor = AdvFlavor::ALL
+                            .into_iter()
+                            .find(|f| f.name() == flavor)
+                            .ok_or_else(|| format!("unknown flavor {flavor:?}"))?;
+                        SchedSpec::Adversarial { seed, flavor }
+                    }
+                })
+            }
+            other => return Err(format!("unknown replay field {other:?}")),
+        }
+    }
+    Ok(FuzzCase {
+        n: n.ok_or("missing n")?,
+        m: m.ok_or("missing m")?,
+        method: method.ok_or("missing method")?,
+        kv: kv.ok_or("missing kv")?,
+        dist: dist.ok_or("missing dist")?,
+        key_seed: key_seed.ok_or("missing keyseed")?,
+        wpb: wpb.ok_or("missing wpb")?,
+        sched: sched.ok_or("missing sched")?,
+    })
+}
+
+/// Generate the case's input keys (deterministic from `key_seed`).
+pub fn gen_keys(case: &FuzzCase) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(case.key_seed);
+    let bucket0_width = (1u64 << 32).div_ceil(case.m as u64).max(1);
+    let mut keys: Vec<u32> = match case.dist {
+        KeyDist::Uniform | KeyDist::Sorted => (0..case.n).map(|_| rng.next_u32()).collect(),
+        KeyDist::Skew75 => (0..case.n)
+            .map(|_| {
+                if rng.gen_bool(0.75) {
+                    (rng.next_u64() % bucket0_width) as u32
+                } else {
+                    rng.next_u32()
+                }
+            })
+            .collect(),
+        KeyDist::OneBucket => {
+            let k = rng.next_u32();
+            vec![k; case.n]
+        }
+    };
+    if case.dist == KeyDist::Sorted {
+        keys.sort_unstable();
+    }
+    keys
+}
+
+/// A deliberately injected output corruption, for exercising the shrinker
+/// without a real bug: any case with `n >= min_n && m >= min_m` has its
+/// first output key flipped before comparison. Test-only — the CLI never
+/// constructs one.
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    pub min_n: usize,
+    pub min_m: u32,
+}
+
+impl Fault {
+    fn applies(&self, case: &FuzzCase) -> bool {
+        case.n >= self.min_n && case.m >= self.min_m
+    }
+}
+
+/// Why a case failed.
+#[derive(Debug, Clone)]
+pub enum Divergence {
+    /// Device output differs from the CPU reference (or between schedules).
+    Output(String),
+    /// Counted stats or launch structure differ between schedules.
+    Stats(String),
+    /// A look-back observability invariant broke.
+    Obs(String),
+    /// A kernel panicked (race detector, look-back stall, executor bug).
+    Panic(String),
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Output(s) => write!(f, "output divergence: {s}"),
+            Divergence::Stats(s) => write!(f, "stats divergence: {s}"),
+            Divergence::Obs(s) => write!(f, "obs divergence: {s}"),
+            Divergence::Panic(s) => write!(f, "panic: {s}"),
+        }
+    }
+}
+
+struct DeviceRun {
+    keys: Vec<u32>,
+    values: Option<Vec<u32>>,
+    offsets: Vec<u32>,
+    records: Vec<LaunchRecord>,
+}
+
+/// One full device execution of the case under `sched`, with tracked
+/// (race-detected) input buffers.
+fn device_run(case: &FuzzCase, keys: &[u32], sched: SchedSpec) -> Result<DeviceRun, Divergence> {
+    let result = std::panic::catch_unwind(|| {
+        let dev = Device::with_schedule(K40C, sched.to_schedule());
+        let bucket = RangeBuckets::new(case.m);
+        let kbuf = GlobalBuffer::from_slice(keys).tracked();
+        let out = if case.kv {
+            let values: Vec<u32> = (0..case.n as u32).collect();
+            let vbuf = GlobalBuffer::from_slice(&values).tracked();
+            multisplit_device(
+                &dev,
+                case.method,
+                &kbuf,
+                Some(&vbuf),
+                case.n,
+                &bucket,
+                case.wpb,
+            )
+        } else {
+            multisplit_device(
+                &dev,
+                case.method,
+                &kbuf,
+                no_values(),
+                case.n,
+                &bucket,
+                case.wpb,
+            )
+        };
+        DeviceRun {
+            keys: out.keys.to_vec(),
+            values: out.values.as_ref().map(|v| v.to_vec()),
+            offsets: out.offsets,
+            records: dev.records(),
+        }
+    });
+    result.map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Divergence::Panic(msg)
+    })
+}
+
+fn first_diff<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    (0..a.len()).find(|&i| a[i] != b[i])
+}
+
+/// Execute one case differentially. `fault` (test-only) corrupts the
+/// scheduled run's output to exercise the failure path.
+pub fn run_case_with_fault(case: &FuzzCase, fault: Option<Fault>) -> Result<(), Divergence> {
+    let keys = gen_keys(case);
+    let bucket = RangeBuckets::new(case.m);
+    // CPU reference (stable by construction).
+    let values: Vec<u32> = (0..case.n as u32).collect();
+    let (ref_keys, ref_values, ref_offsets) = if case.kv {
+        multisplit_kv_ref(&keys, Some(&values), &bucket)
+    } else {
+        let (k, o) = multisplit_ref(&keys, &bucket);
+        (k, Vec::new(), o)
+    };
+
+    let mut run = device_run(case, &keys, case.sched)?;
+    if let Some(f) = fault {
+        if f.applies(case) && !run.keys.is_empty() {
+            run.keys[0] ^= 1;
+        }
+    }
+
+    // 1. Output vs the CPU reference.
+    if let Some(i) = first_diff(&run.keys, &ref_keys) {
+        return Err(Divergence::Output(format!(
+            "keys[{i}]: device {:?} vs reference {:?} (lens {} vs {})",
+            run.keys.get(i),
+            ref_keys.get(i),
+            run.keys.len(),
+            ref_keys.len()
+        )));
+    }
+    if run.offsets != ref_offsets {
+        return Err(Divergence::Output(format!(
+            "bucket offsets: device {:?} vs reference {:?}",
+            run.offsets, ref_offsets
+        )));
+    }
+    if case.kv {
+        let dev_values = run.values.as_deref().unwrap_or(&[]);
+        if let Some(i) = first_diff(dev_values, &ref_values) {
+            return Err(Divergence::Output(format!(
+                "values[{i}]: device {:?} vs reference {:?}",
+                dev_values.get(i),
+                ref_values.get(i)
+            )));
+        }
+    }
+
+    // 2. Schedule independence vs a sequential run of the same case:
+    // identical outputs, launch structure, per-label summed stats, and
+    // look-back resolve totals. (The sequential run doubles as the
+    // "against each other" comparison — all schedules compare to the same
+    // anchor, so any two agree transitively.)
+    if case.sched != SchedSpec::Sequential {
+        let base = device_run(case, &keys, SchedSpec::Sequential)?;
+        if run.keys != base.keys || run.offsets != base.offsets || run.values != base.values {
+            return Err(Divergence::Output(format!(
+                "outputs differ between {} and sequential schedules",
+                case.sched.token()
+            )));
+        }
+        let labels =
+            |r: &[LaunchRecord]| -> Vec<String> { r.iter().map(|rec| rec.label.clone()).collect() };
+        if labels(&run.records) != labels(&base.records) {
+            return Err(Divergence::Stats(format!(
+                "launch sequence differs: {:?} vs {:?}",
+                labels(&run.records),
+                labels(&base.records)
+            )));
+        }
+        for (a, b) in run.records.iter().zip(&base.records) {
+            if a.stats != b.stats {
+                return Err(Divergence::Stats(format!(
+                    "summed BlockStats differ for launch {:?}: {:?} vs {:?}",
+                    a.label, a.stats, b.stats
+                )));
+            }
+            if a.obs.lookback_resolves != b.obs.lookback_resolves {
+                return Err(Divergence::Obs(format!(
+                    "lookback_resolves differ for launch {:?}: {} vs {}",
+                    a.label, a.obs.lookback_resolves, b.obs.lookback_resolves
+                )));
+            }
+        }
+    }
+
+    // 3. Look-back introspection invariant: every resolve lands in the
+    // depth histogram, on every schedule.
+    for rec in &run.records {
+        if rec.obs.depth_hist_total() != rec.obs.lookback_resolves {
+            return Err(Divergence::Obs(format!(
+                "launch {:?}: depth histogram total {} != resolves {}",
+                rec.label,
+                rec.obs.depth_hist_total(),
+                rec.obs.lookback_resolves
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Execute one case differentially (the production entry point).
+pub fn run_case(case: &FuzzCase) -> Result<(), Divergence> {
+    run_case_with_fault(case, None)
+}
+
+/// Greedily shrink a failing case to a local minimum: every single-step
+/// reduction (halve/decrement `n`, halve/decrement `m`, simplify the
+/// distribution, simplify the schedule) makes it pass. The decrement
+/// candidates make the fixpoint *exactly* minimal in `n` and `m`, not
+/// just within a factor of two.
+pub fn shrink(case: &FuzzCase, still_fails: impl Fn(&FuzzCase) -> bool) -> FuzzCase {
+    let mut cur = *case;
+    loop {
+        let mut candidates: Vec<FuzzCase> = Vec::new();
+        for n in [cur.n / 2, cur.n.saturating_sub(1)] {
+            if n < cur.n {
+                candidates.push(FuzzCase { n, ..cur });
+            }
+        }
+        let min_m = cur.min_m();
+        for m in [cur.m / 2, cur.m.saturating_sub(1)] {
+            if m < cur.m && m >= min_m {
+                candidates.push(FuzzCase { m, ..cur });
+            }
+        }
+        if cur.dist != KeyDist::Uniform {
+            candidates.push(FuzzCase {
+                dist: KeyDist::Uniform,
+                ..cur
+            });
+        }
+        match cur.sched {
+            SchedSpec::Adversarial { .. } => {
+                candidates.push(FuzzCase {
+                    sched: SchedSpec::Parallel,
+                    ..cur
+                });
+                candidates.push(FuzzCase {
+                    sched: SchedSpec::Sequential,
+                    ..cur
+                });
+            }
+            SchedSpec::Parallel => candidates.push(FuzzCase {
+                sched: SchedSpec::Sequential,
+                ..cur
+            }),
+            SchedSpec::Sequential => {}
+        }
+        match candidates.into_iter().find(|c| still_fails(c)) {
+            Some(smaller) => cur = smaller,
+            None => return cur,
+        }
+    }
+}
+
+/// A failing case together with its shrunk minimal reproducer.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    pub case: FuzzCase,
+    pub shrunk: FuzzCase,
+    pub divergence: Divergence,
+    pub iteration: usize,
+}
+
+impl FuzzFailure {
+    /// The one-line replay command for the *minimal* reproducer.
+    pub fn replay_command(&self) -> String {
+        self.shrunk.replay_command()
+    }
+}
+
+/// Result of a fuzz run: how many cases passed, and the first failure
+/// (shrunk) if any.
+#[derive(Debug)]
+pub struct FuzzReport {
+    pub iters_run: usize,
+    pub failure: Option<FuzzFailure>,
+}
+
+/// The schedule rotation the generator cycles through: sequential,
+/// parallel, and all four adversarial flavors (6 schedules — the
+/// acceptance matrix needs at least 3).
+fn sched_for(ix: usize, rng: &mut SmallRng) -> SchedSpec {
+    match ix % 6 {
+        0 => SchedSpec::Sequential,
+        1 => SchedSpec::Parallel,
+        k => SchedSpec::Adversarial {
+            seed: rng.next_u64(),
+            flavor: AdvFlavor::ALL[k - 2],
+        },
+    }
+}
+
+/// Deterministically generate case `ix` of a run seeded with `seed`.
+///
+/// Methods, kv, and schedules rotate (so 200 iterations exhaust the
+/// 6 methods x {key, kv} x 6 schedules matrix several times over) while
+/// sizes, bucket counts, seeds, and distributions are drawn from the
+/// run's RNG with a deliberate bias toward boundary values (0, 1, warp
+/// and tile multiples, capacity edges).
+pub fn gen_case(seed: u64, ix: usize) -> FuzzCase {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let (method, _) = METHODS[ix % METHODS.len()];
+    let kv = (ix / METHODS.len()) % 2 == 1;
+    let sched = sched_for(ix / (METHODS.len() * 2), &mut rng);
+    let wpb = [2usize, 4, 8][(rng.next_u32() % 3) as usize];
+    let tile = wpb * 32;
+    let n = match rng.next_u32() % 8 {
+        0 => 0,
+        1 => 1,
+        2 => tile,
+        3 => tile + 1,
+        4 => (rng.next_u32() as usize % 63) + 2,
+        5 => tile * ((rng.next_u32() as usize % 8) + 1),
+        _ => (rng.next_u32() as usize % MAX_N) + 1,
+    };
+    let dist = KeyDist::ALL[(rng.next_u32() % 4) as usize];
+    let mut case = FuzzCase {
+        n,
+        m: 1,
+        method,
+        kv,
+        dist,
+        key_seed: rng.next_u64(),
+        wpb,
+        sched,
+    };
+    let (lo, hi) = (case.min_m(), case.max_m());
+    case.m = match rng.next_u32() % 4 {
+        0 => lo,
+        1 => hi,
+        _ => lo + rng.next_u32() % (hi - lo + 1),
+    };
+    case
+}
+
+/// Run `iters` generated cases; on the first failure, shrink it and stop.
+/// `on_progress` is called after every case with (index, case).
+pub fn fuzz_with_fault(
+    iters: usize,
+    seed: u64,
+    fault: Option<Fault>,
+    mut on_progress: impl FnMut(usize, &FuzzCase),
+) -> FuzzReport {
+    for ix in 0..iters {
+        let case = gen_case(seed, ix);
+        if let Err(divergence) = run_case_with_fault(&case, fault) {
+            let shrunk = shrink(&case, |c| run_case_with_fault(c, fault).is_err());
+            let divergence = run_case_with_fault(&shrunk, fault)
+                .err()
+                .unwrap_or(divergence);
+            return FuzzReport {
+                iters_run: ix + 1,
+                failure: Some(FuzzFailure {
+                    case,
+                    shrunk,
+                    divergence,
+                    iteration: ix,
+                }),
+            };
+        }
+        on_progress(ix, &case);
+    }
+    FuzzReport {
+        iters_run: iters,
+        failure: None,
+    }
+}
+
+/// Run `iters` generated cases with no injected fault.
+pub fn fuzz(iters: usize, seed: u64, on_progress: impl FnMut(usize, &FuzzCase)) -> FuzzReport {
+    fuzz_with_fault(iters, seed, None, on_progress)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_token_round_trips() {
+        for ix in 0..48 {
+            let case = gen_case(99, ix);
+            let token = case.replay_token();
+            let parsed = parse_replay(&token).expect(&token);
+            assert_eq!(parsed, case, "token {token}");
+        }
+    }
+
+    #[test]
+    fn replay_rejects_malformed_tokens() {
+        assert!(parse_replay("").is_err());
+        assert!(parse_replay("n=1").is_err(), "missing fields");
+        assert!(
+            parse_replay("n=1,m=2,method=nope,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq")
+                .is_err()
+        );
+        assert!(parse_replay(
+            "n=1,m=2,method=fused,kv=0,dist=uniform,keyseed=0,wpb=8,sched=adv:x:y"
+        )
+        .is_err());
+        assert!(
+            parse_replay("n=x,m=2,method=fused,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn generator_covers_the_matrix() {
+        // 72 consecutive cases hit every method x kv x schedule family.
+        let mut methods = std::collections::HashSet::new();
+        let mut kvs = std::collections::HashSet::new();
+        let mut scheds = std::collections::HashSet::new();
+        for ix in 0..72 {
+            let c = gen_case(5, ix);
+            methods.insert(method_token(c.method));
+            kvs.insert(c.kv);
+            scheds.insert(match c.sched {
+                SchedSpec::Sequential => "seq".to_string(),
+                SchedSpec::Parallel => "par".to_string(),
+                SchedSpec::Adversarial { flavor, .. } => flavor.name().to_string(),
+            });
+            assert!(c.m >= c.min_m() && c.m <= c.max_m(), "m in range for {c:?}");
+            assert!(c.n <= MAX_N);
+        }
+        assert_eq!(methods.len(), 6, "{methods:?}");
+        assert_eq!(kvs.len(), 2);
+        assert_eq!(scheds.len(), 6, "{scheds:?}");
+    }
+
+    #[test]
+    fn key_distributions_have_their_shapes() {
+        let base = FuzzCase {
+            n: 512,
+            m: 8,
+            method: Method::Fused,
+            kv: false,
+            dist: KeyDist::OneBucket,
+            key_seed: 7,
+            wpb: 8,
+            sched: SchedSpec::Sequential,
+        };
+        let one = gen_keys(&base);
+        assert!(
+            one.windows(2).all(|w| w[0] == w[1]),
+            "one-bucket is constant"
+        );
+        let sorted = gen_keys(&FuzzCase {
+            dist: KeyDist::Sorted,
+            ..base
+        });
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let skew = gen_keys(&FuzzCase {
+            dist: KeyDist::Skew75,
+            ..base
+        });
+        let bucket = RangeBuckets::new(8);
+        use multisplit::BucketFn;
+        let in0 = skew.iter().filter(|&&k| bucket.bucket_of(k) == 0).count();
+        assert!(in0 > 512 / 2, "skew75 concentrates bucket 0 ({in0}/512)");
+        // Deterministic in the seed.
+        assert_eq!(gen_keys(&base), gen_keys(&base));
+    }
+
+    #[test]
+    fn small_smoke_run_is_clean() {
+        // 72 iterations walk one full schedule rotation (ix/12 cycles through
+        // sequential, parallel, and all four adversarial flavors), so this
+        // smoke test exercises the adversarial executor, not just seq/par.
+        let report = fuzz(72, 1234, |_, _| {});
+        assert_eq!(report.iters_run, 72);
+        assert!(
+            report.failure.is_none(),
+            "smoke fuzz must be clean: {:?}",
+            report
+                .failure
+                .map(|f| (f.divergence.to_string(), f.replay_command()))
+        );
+    }
+
+    #[test]
+    fn injected_fault_shrinks_to_the_exact_minimum() {
+        let fault = Some(Fault {
+            min_n: 97,
+            min_m: 5,
+        });
+        // Any case with n >= 97 && m >= 5 fails; everything else passes.
+        let report = fuzz_with_fault(200, 42, fault, |_, _| {});
+        let failure = report.failure.expect("the injected fault must be found");
+        let s = failure.shrunk;
+        assert_eq!(
+            (s.n, s.m),
+            (97, 5),
+            "shrinker must reach the exact minimum, got {s:?}"
+        );
+        assert_eq!(s.dist, KeyDist::Uniform, "distribution simplified");
+        assert_eq!(s.sched, SchedSpec::Sequential, "schedule simplified");
+        // The reproducer replays to the same failure.
+        let replayed = parse_replay(&s.replay_token()).unwrap();
+        assert!(run_case_with_fault(&replayed, fault).is_err());
+        assert!(run_case(&replayed).is_ok(), "no fault, no failure");
+        assert!(failure.replay_command().contains("paper -- fuzz --replay"));
+    }
+
+    #[test]
+    fn divergences_render_distinctly() {
+        assert!(Divergence::Output("x".into())
+            .to_string()
+            .contains("output"));
+        assert!(Divergence::Stats("x".into()).to_string().contains("stats"));
+        assert!(Divergence::Obs("x".into()).to_string().contains("obs"));
+        assert!(Divergence::Panic("x".into()).to_string().contains("panic"));
+    }
+}

@@ -69,6 +69,10 @@ pub fn unpack(word: u64) -> (u32, u64) {
 fn spin_wait_published(state: &GlobalBuffer<u64>, idx: usize, obs: &ObsCells) -> u64 {
     let mut spins = 0u64;
     loop {
+        // Adversarial yield point, marking this block as *waiting on
+        // another tile's published state* (the straggler policy's release
+        // condition); a no-op on the parallel/sequential executors.
+        simt::sched::spin_yield();
         let word = state.device_peek(idx);
         if word & 3 != FLAG_EMPTY {
             obs.record_spins(spins);

@@ -12,12 +12,13 @@
 //! running (or finished) work. Per-block event counters are merged with
 //! a reduction; no locks sit on the hot path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::block::BlockCtx;
 use crate::obs::{telemetry, ObsStats, Telemetry};
 use crate::profile::DeviceProfile;
+use crate::sched::{self, AdvCore, AdvSchedule, Schedule, ScheduleAborted, ADV_WORKERS};
 use crate::stats::{BlockStats, LaunchRecord};
 
 /// Below this grid size the thread fan-out costs more than it saves.
@@ -28,7 +29,11 @@ pub struct Device {
     profile: DeviceProfile,
     records: Mutex<Vec<LaunchRecord>>,
     scope: Mutex<String>,
-    parallel: bool,
+    schedule: Schedule,
+    /// Launches so far — mixed into the adversarial seed so each launch in
+    /// a multi-kernel pipeline gets its own interleaving (deterministic:
+    /// launch order on one device is program order).
+    launch_counter: AtomicU64,
 }
 
 /// Lock a mutex, recovering the data if a previous holder panicked. The
@@ -41,27 +46,41 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 impl Device {
     /// A device that executes blocks in parallel across host cores.
     pub fn new(profile: DeviceProfile) -> Self {
-        Self {
-            profile,
-            records: Mutex::new(Vec::new()),
-            scope: Mutex::new(String::new()),
-            parallel: true,
-        }
+        Self::with_schedule(profile, Schedule::Parallel)
     }
 
     /// A single-threaded device (bit-identical scheduling; used by tests
     /// that inspect intermediate buffers between phases).
     pub fn sequential(profile: DeviceProfile) -> Self {
+        Self::with_schedule(profile, Schedule::Sequential)
+    }
+
+    /// A device that executes blocks under a seeded adversarial schedule
+    /// (see [`crate::sched`]): one worker runs at a time and a policy
+    /// chooses who runs next at every device-scope access. Deterministic
+    /// given the schedule, hostile by construction.
+    pub fn adversarial(profile: DeviceProfile, adv: AdvSchedule) -> Self {
+        Self::with_schedule(profile, Schedule::Adversarial(adv))
+    }
+
+    /// A device with an explicit execution [`Schedule`].
+    pub fn with_schedule(profile: DeviceProfile, schedule: Schedule) -> Self {
         Self {
             profile,
             records: Mutex::new(Vec::new()),
             scope: Mutex::new(String::new()),
-            parallel: false,
+            schedule,
+            launch_counter: AtomicU64::new(0),
         }
     }
 
     pub fn profile(&self) -> &DeviceProfile {
         &self.profile
+    }
+
+    /// The execution schedule this device runs blocks under.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
     }
 
     /// Run `f` with `scope/` prepended to every launch label — lets a
@@ -136,16 +155,109 @@ impl Device {
                 seconds: 0.0,
             };
         }
+        // Every launch is a race-detection epoch boundary: the id is pinned
+        // per worker thread while it runs a block, so writes from earlier
+        // launches (already ordered by the launch sync point) never read as
+        // same-epoch hazards, while intra-launch cross-block traffic does.
+        let epoch = crate::memory::fresh_epoch();
         let run_block = |b: usize| -> (BlockStats, ObsStats) {
+            // Attribute every tracked memory access in this block to block
+            // id `b` (the read-write hazard detector names reader/writer).
+            let _blk_guard = crate::memory::enter_block(b);
+            let _epoch_pin = crate::memory::enter_epoch(epoch);
             let blk = BlockCtx::new(b, num_blocks, warps_per_block);
             kernel(&blk);
             blk.into_parts()
         };
+        let launch_ix = self.launch_counter.fetch_add(1, Ordering::Relaxed);
         // Each worker accumulates locally (no locks on the hot path) and
         // keeps `(block_id, stats)` pairs when per-block telemetry is on;
         // the pairs are scattered into an id-indexed Vec after the join,
         // so the retained order is deterministic whatever the claim order.
-        let (stats, obs, per_block) = if self.parallel && num_blocks >= PARALLEL_GRID_THRESHOLD {
+        let parallel_wanted =
+            self.schedule == Schedule::Parallel && num_blocks >= PARALLEL_GRID_THRESHOLD;
+        let (stats, obs, per_block) = if let Schedule::Adversarial(adv) = self.schedule {
+            // Adversarial executor: dynamic self-scheduling like the
+            // parallel path, but exactly one worker runs at a time and the
+            // seeded policy picks who at every yield point. Each launch
+            // mixes the launch index into the seed so a multi-kernel
+            // pipeline explores a different interleaving per kernel while
+            // staying deterministic (launch order is program order).
+            let workers = num_blocks.min(ADV_WORKERS);
+            let seed = adv.seed ^ launch_ix.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let core = Arc::new(AdvCore::new(adv.flavor, seed, workers));
+            let next = AtomicUsize::new(0);
+            let next = &next;
+            let run_block = &run_block;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let core = Arc::clone(&core);
+                        s.spawn(move || {
+                            // On unwind (ours or a preempted neighbour's)
+                            // retire this worker so nobody waits on it.
+                            struct FinishGuard<'a> {
+                                core: &'a AdvCore,
+                                w: usize,
+                            }
+                            impl Drop for FinishGuard<'_> {
+                                fn drop(&mut self) {
+                                    self.core.finish(self.w, std::thread::panicking());
+                                }
+                            }
+                            let _fin = FinishGuard { core: &core, w };
+                            let _inst = sched::install(Arc::clone(&core), w);
+                            let mut acc = BlockStats::default();
+                            let mut obs = ObsStats::default();
+                            let mut kept: Vec<(usize, BlockStats)> = Vec::new();
+                            loop {
+                                sched::yield_block_start();
+                                let b = next.fetch_add(1, Ordering::Relaxed);
+                                if b >= num_blocks {
+                                    break;
+                                }
+                                let (bs, bo) = run_block(b);
+                                acc += bs;
+                                obs += bo;
+                                if per_block_wanted {
+                                    kept.push((b, bs));
+                                }
+                            }
+                            (acc, obs, kept)
+                        })
+                    })
+                    .collect();
+                let mut acc = BlockStats::default();
+                let mut obs = ObsStats::default();
+                let mut per_block =
+                    per_block_wanted.then(|| vec![BlockStats::default(); num_blocks]);
+                // Re-raise the *original* panic; workers torn down with the
+                // `ScheduleAborted` marker were collateral, not the bug.
+                let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+                for h in handles {
+                    match h.join() {
+                        Ok((s, o, kept)) => {
+                            acc += s;
+                            obs += o;
+                            if let Some(pb) = per_block.as_mut() {
+                                for (b, bs) in kept {
+                                    pb[b] = bs;
+                                }
+                            }
+                        }
+                        Err(payload) => {
+                            if !payload.is::<ScheduleAborted>() && first_panic.is_none() {
+                                first_panic = Some(payload);
+                            }
+                        }
+                    }
+                }
+                if let Some(payload) = first_panic {
+                    std::panic::resume_unwind(payload);
+                }
+                (acc, obs, per_block)
+            })
+        } else if parallel_wanted {
             let workers = std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
                 .min(num_blocks);
@@ -442,6 +554,110 @@ mod tests {
             per_block_runs[0].per_block, per_block_runs[1].per_block,
             "block-id-indexed stats must be schedule-independent"
         );
+    }
+
+    #[test]
+    fn adversarial_flavors_agree_with_sequential() {
+        use crate::sched::{AdvFlavor, AdvSchedule};
+        let n = 10_000;
+        let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let reference = {
+            let dev = Device::sequential(K40C);
+            let src = GlobalBuffer::from_slice(&data);
+            let dst = GlobalBuffer::<u32>::zeroed(n);
+            copy_kernel(&dev, &src, &dst, n, 8);
+            (dst.to_vec(), dev.records()[0].stats)
+        };
+        for flavor in AdvFlavor::ALL {
+            let dev = Device::adversarial(K40C, AdvSchedule::with_flavor(0xC0FFEE, flavor));
+            assert!(matches!(
+                dev.schedule(),
+                crate::sched::Schedule::Adversarial(_)
+            ));
+            let src = GlobalBuffer::from_slice(&data);
+            let dst = GlobalBuffer::<u32>::zeroed(n);
+            copy_kernel(&dev, &src, &dst, n, 8);
+            assert_eq!(dst.to_vec(), reference.0, "{flavor:?} output");
+            assert_eq!(
+                dev.records()[0].stats,
+                reference.1,
+                "{flavor:?} stats must be schedule-independent"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_runs_every_block_once_even_on_small_grids() {
+        use crate::sched::AdvSchedule;
+        // Below PARALLEL_GRID_THRESHOLD and above ADV_WORKERS: both
+        // boundaries of the worker-multiplexing logic.
+        for n_blocks in [1, 3, ADV_WORKERS, 64] {
+            let dev = Device::adversarial(K40C, AdvSchedule::from_seed(7));
+            let hits = GlobalBuffer::<u32>::zeroed(n_blocks);
+            dev.launch("adv-dyn", n_blocks, 1, |blk| {
+                for w in blk.warps() {
+                    w.atomic_add(&hits, splat(blk.block_id), splat(1u32), 1);
+                }
+            });
+            assert_eq!(hits.to_vec(), vec![1u32; n_blocks], "{n_blocks} blocks");
+        }
+    }
+
+    #[test]
+    fn adversarial_per_block_telemetry_is_id_indexed() {
+        use crate::obs::{with_telemetry, Telemetry};
+        use crate::sched::AdvSchedule;
+        let n = 10_000;
+        let data: Vec<u32> = (0..n as u32).collect();
+        let mut runs = Vec::new();
+        for dev in [
+            Device::sequential(K40C),
+            Device::adversarial(K40C, AdvSchedule::from_seed(41)),
+        ] {
+            let src = GlobalBuffer::from_slice(&data);
+            let dst = GlobalBuffer::<u32>::zeroed(n);
+            with_telemetry(Telemetry::PerBlock, || {
+                copy_kernel(&dev, &src, &dst, n, 8);
+            });
+            runs.push(dev.records()[0].clone());
+        }
+        assert_eq!(
+            runs[0].per_block, runs[1].per_block,
+            "per-block stats must be schedule-independent"
+        );
+    }
+
+    #[test]
+    fn adversarial_panics_propagate_the_original_payload() {
+        use crate::sched::AdvSchedule;
+        let dev = Device::adversarial(K40C, AdvSchedule::from_seed(2));
+        let counter = GlobalBuffer::<u32>::zeroed(1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch("doomed", 32, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&counter, 0, 1);
+                if t == 13 {
+                    panic!("kernel bug in tile 13");
+                }
+                // Touch another yield point so preempted workers are
+                // plausibly waiting when the panic lands.
+                w.device_peek(&counter, 0);
+            });
+        }));
+        let payload = caught.expect_err("launch must propagate the kernel panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("kernel bug in tile 13"),
+            "must re-raise the original panic, not the abort marker (got {msg:?})"
+        );
+        // The device stays usable afterwards.
+        dev.launch("after", 4, 1, |_| {});
+        assert_eq!(dev.records().last().unwrap().label, "after");
     }
 
     #[test]

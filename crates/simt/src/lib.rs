@@ -57,6 +57,7 @@ pub mod lanes;
 pub mod memory;
 pub mod obs;
 pub mod profile;
+pub mod sched;
 pub mod shared;
 pub mod stats;
 pub mod trace;
@@ -75,6 +76,7 @@ pub use obs::{
     ObsStats, ScopeNode, Telemetry,
 };
 pub use profile::{DeviceProfile, GTX750TI, K40C};
+pub use sched::{AdvFlavor, AdvSchedule, Schedule, ADV_WORKERS};
 pub use shared::{padded_index, padded_len, SharedBuf, SMEM_BANKS};
 pub use stats::{BlockStats, LaunchRecord, StatCells};
 pub use trace::{chrome_trace_json, write_chrome_trace};

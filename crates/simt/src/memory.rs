@@ -14,6 +14,7 @@
 //! to 32 — an 8x difference that is precisely the scatter penalty the paper
 //! attacks with its reordering stages.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::lanes::{lane_active, Lanes, WARP_SIZE};
@@ -21,6 +22,79 @@ use crate::stats::StatCells;
 
 /// DRAM sector size in bytes.
 pub const SECTOR_BYTES: u64 = 32;
+
+/// Writer identity recorded by the race detector when the access did not
+/// come from inside a kernel block (host uploads, unit tests).
+const HOST_ACTOR: u32 = u32::MAX;
+
+thread_local! {
+    /// Block id the current host thread is executing (set by the grid
+    /// executor around each block), used to attribute tracked accesses.
+    static CURRENT_BLOCK: Cell<u32> = const { Cell::new(HOST_ACTOR) };
+}
+
+fn current_actor() -> u32 {
+    CURRENT_BLOCK.with(|c| c.get())
+}
+
+fn actor_name(a: u32) -> String {
+    if a == HOST_ACTOR {
+        "the host".to_string()
+    } else {
+        format!("block {a}")
+    }
+}
+
+/// RAII attribution of the current thread to block `b`; restores the
+/// previous attribution (normally "host") on drop, including on unwind.
+pub(crate) struct BlockAttribution(u32);
+
+impl Drop for BlockAttribution {
+    fn drop(&mut self) {
+        CURRENT_BLOCK.with(|c| c.set(self.0));
+    }
+}
+
+pub(crate) fn enter_block(b: usize) -> BlockAttribution {
+    BlockAttribution(CURRENT_BLOCK.with(|c| c.replace(b as u32)))
+}
+
+/// Epochs are allocated from one process-wide counter — no two kernel
+/// launches ever share one — but the checks read them through a
+/// thread-local, so a launch running concurrently on another host thread
+/// (e.g. another test) cannot shift the epoch out from under a kernel
+/// mid-flight.
+static EPOCH_SOURCE: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    /// Race-detection epoch for accesses on this host thread. The grid
+    /// executor pins every worker to the launch's epoch for the duration
+    /// of each block; outside a kernel it identifies the host "epoch".
+    static CURRENT_EPOCH: Cell<u32> = const { Cell::new(1) };
+}
+
+fn current_epoch() -> u32 {
+    CURRENT_EPOCH.with(|c| c.get())
+}
+
+/// Allocate a never-before-seen epoch id (one per kernel launch).
+pub(crate) fn fresh_epoch() -> u32 {
+    EPOCH_SOURCE.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// RAII epoch pin for the current thread; restores the previous epoch on
+/// drop, including on unwind.
+pub(crate) struct EpochPin(u32);
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        CURRENT_EPOCH.with(|c| c.set(self.0));
+    }
+}
+
+pub(crate) fn enter_epoch(epoch: u32) -> EpochPin {
+    EpochPin(CURRENT_EPOCH.with(|c| c.replace(epoch)))
+}
 
 /// An element type that can live in simulated global memory.
 ///
@@ -100,9 +174,9 @@ impl Scalar for (u32, u32) {
 /// A buffer in simulated device global memory.
 pub struct GlobalBuffer<T: Scalar> {
     words: Box<[AtomicU64]>,
-    /// Per-element kernel-epoch write marks for the race detector.
-    marks: Option<Box<[AtomicU32]>>,
-    epoch: AtomicU32,
+    /// Per-element race-detector marks: `(epoch << 32) | writer_block`,
+    /// recording who last wrote each element and in which kernel epoch.
+    marks: Option<Box<[AtomicU64]>>,
     _elem: std::marker::PhantomData<T>,
 }
 
@@ -112,7 +186,6 @@ impl<T: Scalar> GlobalBuffer<T> {
         Self {
             words: data.iter().map(|v| AtomicU64::new(v.to_bits())).collect(),
             marks: None,
-            epoch: AtomicU32::new(1),
             _elem: std::marker::PhantomData,
         }
     }
@@ -122,17 +195,25 @@ impl<T: Scalar> GlobalBuffer<T> {
         Self::from_slice(&vec![T::default(); len])
     }
 
-    /// Enable the write-race detector: within one *epoch* (kernel launch)
-    /// each element may be written at most once. Violations panic with the
-    /// offending index. Used by tests to prove scatter disjointness.
+    /// Enable the race detector: within one *epoch* (kernel launch) each
+    /// element may be written at most once, and a counted read of an
+    /// element written in the same epoch by a *different block* is a
+    /// read-write hazard (cross-block ordering only exists through the
+    /// `device_*` ops, which this detector deliberately skips). Violations
+    /// panic with the offending index and the blocks involved. Used by
+    /// tests to prove scatter disjointness and single-epoch data flow.
     pub fn tracked(mut self) -> Self {
-        self.marks = Some((0..self.words.len()).map(|_| AtomicU32::new(0)).collect());
+        self.marks = Some((0..self.words.len()).map(|_| AtomicU64::new(0)).collect());
         self
     }
 
-    /// Start a new race-detection epoch (call between kernel launches).
+    /// Start a new race-detection epoch on the calling thread, as a kernel
+    /// launch boundary would. [`crate::Device::launch`] opens a fresh epoch
+    /// for every kernel automatically; this is for host-side tests that
+    /// drive tracked buffers directly (the epoch id is globally fresh, so
+    /// it never collides with a launch's).
     pub fn next_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::Relaxed);
+        CURRENT_EPOCH.with(|c| c.set(fresh_epoch()));
     }
 
     pub fn len(&self) -> usize {
@@ -171,12 +252,41 @@ impl<T: Scalar> GlobalBuffer<T> {
 
     fn check_write_mark(&self, idx: usize) {
         if let Some(marks) = &self.marks {
-            let epoch = self.epoch.load(Ordering::Relaxed);
-            let prev = marks[idx].swap(epoch, Ordering::Relaxed);
+            let epoch = current_epoch();
+            let mark = (epoch as u64) << 32 | current_actor() as u64;
+            let prev = marks[idx].swap(mark, Ordering::Relaxed);
             assert_ne!(
-                prev, epoch,
+                (prev >> 32) as u32,
+                epoch,
                 "race detector: element {idx} written twice within one kernel epoch"
             );
+        }
+    }
+
+    /// Read-side race check for *counted* gathers: an element written this
+    /// epoch by a different block has no happens-before edge to this read
+    /// (plain loads/stores are unordered across blocks within a kernel), so
+    /// observing it is a hazard even if the simulator happened to deliver
+    /// the value. Reads of the writer's own data are fine (program order),
+    /// and `device_*` ops skip this by design — they *are* the cross-block
+    /// ordering discipline.
+    fn check_read_mark(&self, idx: usize) {
+        if let Some(marks) = &self.marks {
+            let epoch = current_epoch();
+            let mark = marks[idx].load(Ordering::Relaxed);
+            if (mark >> 32) as u32 == epoch {
+                let writer = mark as u32;
+                let reader = current_actor();
+                assert_eq!(
+                    writer,
+                    reader,
+                    "race detector: read-write hazard on element {idx}: read by {} but \
+                     written by {} within the same kernel epoch (cross-block data must \
+                     flow through device-scope ops or a new epoch)",
+                    actor_name(reader),
+                    actor_name(writer)
+                );
+            }
         }
     }
 
@@ -188,6 +298,7 @@ impl<T: Scalar> GlobalBuffer<T> {
         let mut out = [T::default(); WARP_SIZE];
         for lane in 0..WARP_SIZE {
             if lane_active(mask, lane) {
+                self.check_read_mark(idx[lane]);
                 out[lane] = T::from_bits(self.words[idx[lane]].load(Ordering::Relaxed));
             }
         }
@@ -210,6 +321,7 @@ impl<T: Scalar> GlobalBuffer<T> {
         let mut active = 0u64;
         for lane in 0..WARP_SIZE {
             if lane_active(mask, lane) {
+                self.check_read_mark(idx[lane]);
                 out[lane] = T::from_bits(self.words[idx[lane]].load(Ordering::Relaxed));
                 active += 1;
             }
@@ -328,6 +440,7 @@ impl<T: Scalar> GlobalBuffer<T> {
 impl<T: Scalar> GlobalBuffer<T> {
     /// Single-lane device-scope read (counted: 1 sector + `T::BYTES` useful).
     pub fn device_get(&self, stats: &StatCells, idx: usize) -> T {
+        crate::sched::yield_op();
         let v = T::from_bits(self.words[idx].load(Ordering::SeqCst));
         Self::account_single(stats);
         v
@@ -339,12 +452,16 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// twice per epoch *by design* (aggregate, then inclusive prefix), and
     /// the `SeqCst` ordering is exactly the discipline that makes it safe.
     pub fn device_set(&self, stats: &StatCells, idx: usize, v: T) {
+        crate::sched::yield_op();
         self.words[idx].store(v.to_bits(), Ordering::SeqCst);
         Self::account_single(stats);
     }
 
     /// Single-lane device-scope read with **no accounting** — the spin-poll
-    /// path (see the impl-level docs for why polls are free).
+    /// path (see the impl-level docs for why polls are free). Also not an
+    /// adversarial yield point on its own: spin loops mark themselves as
+    /// *waiting* via [`crate::sched::spin_yield`] instead, which is what
+    /// lets the straggler policy see "every other block is stuck polling".
     pub fn device_peek(&self, idx: usize) -> T {
         T::from_bits(self.words[idx].load(Ordering::SeqCst))
     }
@@ -355,6 +472,7 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// are the hottest lines on the device and stay L2-resident, like
     /// [`GlobalBuffer::gather_cached`] tables).
     pub fn device_gather(&self, stats: &StatCells, idx: Lanes<usize>, mask: u32) -> Lanes<T> {
+        crate::sched::yield_op();
         let mut out = [T::default(); WARP_SIZE];
         let mut active = 0u64;
         for lane in 0..WARP_SIZE {
@@ -380,6 +498,7 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// prefix) and bills sector-rounded useful bytes like
     /// [`GlobalBuffer::device_gather`].
     pub fn device_scatter(&self, stats: &StatCells, idx: Lanes<usize>, val: Lanes<T>, mask: u32) {
+        crate::sched::yield_op();
         let mut active = 0u64;
         for lane in 0..WARP_SIZE {
             if lane_active(mask, lane) {
@@ -411,9 +530,15 @@ impl GlobalBuffer<u32> {
     /// id in task-start order, which is what makes the decoupled lookback
     /// deadlock-free (a block only ever waits on already-started blocks).
     pub fn device_fetch_add(&self, stats: &StatCells, idx: usize, val: u32) -> u32 {
+        // Yield *before* the add so the adversarial scheduler controls the
+        // ticket claim order, and note the claimed value *after* so the
+        // ticket-aware policies (reverse-ticket, straggler) can key on it
+        // before the block publishes anything.
+        crate::sched::yield_op();
         let prev = self.words[idx].fetch_add(val as u64, Ordering::SeqCst) as u32;
         Self::account_single(stats);
         StatCells::bump(&stats.atomic_ops, 1);
+        crate::sched::note_ticket(prev);
         prev
     }
 
@@ -587,6 +712,70 @@ mod tests {
         let st = cells();
         buf.scatter(&st, lanes_from_fn(|i| i), splat(1), FULL_MASK);
         buf.scatter(&st, lanes_from_fn(|i| i), splat(2), FULL_MASK);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-write hazard")]
+    fn race_detector_catches_cross_block_read_after_write() {
+        let buf = GlobalBuffer::<u32>::zeroed(64).tracked();
+        let st = cells();
+        {
+            let _w = enter_block(0);
+            buf.scatter(&st, lanes_from_fn(|i| i), splat(1), FULL_MASK);
+        }
+        // A different block reading block 0's same-epoch writes has no
+        // happens-before edge to them: hazard.
+        let _r = enter_block(1);
+        buf.gather(&st, lanes_from_fn(|i| i), FULL_MASK);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-write hazard")]
+    fn race_detector_catches_cross_block_cached_read_after_write() {
+        let buf = GlobalBuffer::<u32>::zeroed(64).tracked();
+        let st = cells();
+        {
+            let _w = enter_block(3);
+            buf.scatter_merged(&st, lanes_from_fn(|i| i), splat(1), FULL_MASK);
+        }
+        let _r = enter_block(4);
+        buf.gather_cached(&st, lanes_from_fn(|i| i), FULL_MASK);
+    }
+
+    #[test]
+    fn race_detector_allows_same_block_and_new_epoch_reads() {
+        let buf = GlobalBuffer::<u32>::zeroed(64).tracked();
+        let st = cells();
+        {
+            // A block re-reading its own writes is program-ordered: fine.
+            let _b = enter_block(0);
+            buf.scatter(&st, lanes_from_fn(|i| i), splat(7), FULL_MASK);
+            let got = buf.gather(&st, lanes_from_fn(|i| i), FULL_MASK);
+            assert_eq!(got[5], 7);
+        }
+        // After an epoch bump (kernel boundary) any block may read.
+        buf.next_epoch();
+        let _r = enter_block(9);
+        let got = buf.gather(&st, lanes_from_fn(|i| i), FULL_MASK);
+        assert_eq!(got[31], 7);
+    }
+
+    #[test]
+    fn race_detector_ignores_untracked_and_inactive_lanes() {
+        // Untracked buffers never check; tracked gathers only check active
+        // lanes, and host-context reads of host writes are self-reads.
+        let plain = GlobalBuffer::<u32>::zeroed(32);
+        let st = cells();
+        plain.scatter(&st, lanes_from_fn(|i| i), splat(1), FULL_MASK);
+        plain.gather(&st, lanes_from_fn(|i| i), FULL_MASK);
+        let tracked = GlobalBuffer::<u32>::zeroed(32).tracked();
+        {
+            let _w = enter_block(0);
+            tracked.scatter(&st, lanes_from_fn(|i| i), splat(2), 0x0000_FFFF);
+        }
+        let _r = enter_block(1);
+        // Only the upper 16 lanes read — none written this epoch.
+        tracked.gather(&st, lanes_from_fn(|i| i), 0xFFFF_0000);
     }
 
     #[test]

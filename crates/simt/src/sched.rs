@@ -1,0 +1,471 @@
+//! Adversarial schedule exploration for the grid executor.
+//!
+//! The paper's single-pass kernels (chained scan, fused multisplit) are
+//! only correct if decoupled look-back is deadlock-free and
+//! schedule-independent under *every* block execution order. The parallel
+//! and sequential executors in [`crate::grid`] each exercise exactly one
+//! order; [`Schedule::Adversarial`] adds a third mode that actively hunts
+//! interleaving bugs: blocks still take tile tickets from the shared
+//! device atomic, but a seeded policy controls **which host worker runs
+//! next and for how long**.
+//!
+//! ## Execution model
+//!
+//! An adversarial launch multiplexes blocks onto [`ADV_WORKERS`] host
+//! workers (dynamic self-scheduling, like the parallel executor), but
+//! only **one worker holds the run token at a time**. The token is handed
+//! over at *yield points*: every device-scope memory access
+//! (`device_get` / `device_set` / `device_peek` / `device_fetch_add` /
+//! `device_gather` / `device_scatter`), every look-back spin-poll
+//! iteration ([`spin_yield`], called by `primitives::lookback`), and
+//! every block claim. These are the natural preemption points of the
+//! model: everything between two device-scope accesses is block-local
+//! (or a commutative warp atomic) and cannot be interleaved against.
+//!
+//! Because exactly one worker runs at a time and every scheduling
+//! decision is made by the token holder from a seeded RNG, **the whole
+//! interleaving is a deterministic function of the seed** — a failing
+//! schedule replays bit-for-bit from its one-line reproducer.
+//!
+//! ## Policies
+//!
+//! * [`AdvFlavor::Random`] — uniformly random hand-offs: random ticket
+//!   claim permutations and random interleavings of the look-back
+//!   protocol.
+//! * [`AdvFlavor::ReverseTicket`] — let every worker claim a ticket
+//!   first, then always run the *highest* outstanding ticket: maximizes
+//!   look-back depth (every tile walks the full window back). When all
+//!   runnable workers are spinning, the lowest ticket runs (the earliest
+//!   unresolved tile is the only one guaranteed to make progress —
+//!   exactly the forward-progress argument of the protocol).
+//! * [`AdvFlavor::Straggler`] — park the worker that claims **ticket 0**
+//!   (the tile-0 publisher, the root of every look-back chain) until
+//!   every other worker is either finished or stuck in a look-back spin,
+//!   then release it. A protocol that ever waited on a tile *later* than
+//!   itself would livelock here; termination under this schedule is the
+//!   deadlock-freedom proof of DESIGN.md §10.
+//! * [`AdvFlavor::BoundedPreempt`] — run each worker for a small random
+//!   number of yield points (1..=8), then preempt: dense context
+//!   switching at every device access boundary.
+//!
+//! A spinning worker is always eventually rescheduled (policies pick
+//! among spinning workers when nothing else is runnable), so the model's
+//! forward-progress guarantee — a claimed ticket belongs to a started
+//! block — is preserved; the schedules stress *order*, not *liveness of
+//! the host*.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Host workers an adversarial launch multiplexes its blocks onto. Fixed
+/// (not `available_parallelism`) so schedules are identical on every
+/// machine: a reproducer from CI replays exactly on a laptop.
+pub const ADV_WORKERS: usize = 8;
+
+/// Sentinel for "no worker holds the run token".
+const NO_WORKER: usize = usize::MAX;
+
+/// How the grid executor orders block execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Free-running host threads with dynamic self-scheduling (the
+    /// default; `Device::new`).
+    Parallel,
+    /// Strictly one block after another on the calling thread
+    /// (`Device::sequential`).
+    Sequential,
+    /// Seeded adversarial interleaving (see module docs).
+    Adversarial(AdvSchedule),
+}
+
+impl Schedule {
+    /// An adversarial schedule with the flavor derived from the seed
+    /// (`seed % 4`), so a plain seed sweep cycles through all four
+    /// policies.
+    pub fn adversarial(seed: u64) -> Self {
+        Schedule::Adversarial(AdvSchedule::from_seed(seed))
+    }
+}
+
+/// A seeded adversarial scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdvSchedule {
+    pub seed: u64,
+    pub flavor: AdvFlavor,
+}
+
+impl AdvSchedule {
+    /// Derive the flavor from the low bits of the seed (so seed sweeps
+    /// cover every policy) and keep the full seed for the RNG.
+    pub fn from_seed(seed: u64) -> Self {
+        let flavor = match seed % 4 {
+            0 => AdvFlavor::Random,
+            1 => AdvFlavor::ReverseTicket,
+            2 => AdvFlavor::Straggler,
+            _ => AdvFlavor::BoundedPreempt,
+        };
+        Self { seed, flavor }
+    }
+
+    /// An explicit flavor with its own seed.
+    pub fn with_flavor(seed: u64, flavor: AdvFlavor) -> Self {
+        Self { seed, flavor }
+    }
+}
+
+/// The scheduling policy family (see module docs for what each hunts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvFlavor {
+    Random,
+    ReverseTicket,
+    Straggler,
+    BoundedPreempt,
+}
+
+impl AdvFlavor {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdvFlavor::Random => "random",
+            AdvFlavor::ReverseTicket => "reverse-ticket",
+            AdvFlavor::Straggler => "straggler",
+            AdvFlavor::BoundedPreempt => "bounded-preempt",
+        }
+    }
+
+    pub const ALL: [AdvFlavor; 4] = [
+        AdvFlavor::Random,
+        AdvFlavor::ReverseTicket,
+        AdvFlavor::Straggler,
+        AdvFlavor::BoundedPreempt,
+    ];
+}
+
+/// SplitMix64 — the policy RNG. Local so the simulator substrate stays
+/// dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// What a worker is doing at a yield point.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    /// About to claim the next block id (resets the worker's ticket).
+    BlockStart,
+    /// A generic device-scope access.
+    Op,
+    /// A look-back spin-poll iteration: the worker is *waiting* on a
+    /// predecessor's published state (the straggler release condition).
+    Spin,
+    /// A device `fetch_add` returned this previous value — for the
+    /// kernels' tile-ticket counters this is the claimed ticket, which
+    /// the reverse-ticket and straggler policies key on.
+    Ticket(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WStatus {
+    Ready,
+    Spinning,
+    Done,
+}
+
+/// Panic payload used to tear down waiting workers after another worker
+/// panicked; filtered out when the launch re-raises the original payload.
+pub(crate) struct ScheduleAborted;
+
+struct Inner {
+    status: Vec<WStatus>,
+    /// Ticket each worker's *current block* claimed (None before claim).
+    ticket: Vec<Option<u32>>,
+    /// The straggler policy's parked worker, if any.
+    parked: Option<usize>,
+    /// Set once the straggler has been parked and released; never park twice.
+    straggler_done: bool,
+    running: usize,
+    rng: SplitMix64,
+    /// Remaining yields before the bounded-preempt policy switches.
+    budget: u64,
+    aborted: bool,
+}
+
+/// The shared core of one adversarial launch: a single run token handed
+/// over at yield points under a seeded policy.
+pub(crate) struct AdvCore {
+    flavor: AdvFlavor,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl AdvCore {
+    pub(crate) fn new(flavor: AdvFlavor, seed: u64, workers: usize) -> Self {
+        Self {
+            flavor,
+            inner: Mutex::new(Inner {
+                status: vec![WStatus::Ready; workers],
+                ticket: vec![None; workers],
+                parked: None,
+                straggler_done: false,
+                running: 0,
+                rng: SplitMix64::new(seed),
+                budget: 0,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// One yield point: record the event, hand the token over per policy,
+    /// and block until this worker is scheduled again.
+    pub(crate) fn yield_event(&self, w: usize, ev: Ev) {
+        let mut g = lock_unpoisoned(&self.inner);
+        if g.aborted {
+            drop(g);
+            std::panic::panic_any(ScheduleAborted);
+        }
+        match ev {
+            Ev::BlockStart => {
+                g.ticket[w] = None;
+                g.status[w] = WStatus::Ready;
+            }
+            Ev::Op => g.status[w] = WStatus::Ready,
+            Ev::Spin => g.status[w] = WStatus::Spinning,
+            Ev::Ticket(t) => {
+                g.ticket[w] = Some(t);
+                g.status[w] = WStatus::Ready;
+                if t == 0
+                    && self.flavor == AdvFlavor::Straggler
+                    && !g.straggler_done
+                    && g.parked.is_none()
+                {
+                    // Park the tile-0 publisher right after it claims its
+                    // ticket, before it can publish anything.
+                    g.parked = Some(w);
+                    g.straggler_done = true;
+                }
+            }
+        }
+        // Only the token holder makes scheduling decisions; a worker whose
+        // thread arrives before it is ever scheduled just registers and
+        // waits (its logical state was `Ready` from the start, so the
+        // schedule stays a deterministic function of the seed).
+        if g.running == w || g.running == NO_WORKER {
+            let next = self.pick(&mut g);
+            g.running = next;
+            self.cv.notify_all();
+        }
+        while g.running != w {
+            if g.aborted {
+                drop(g);
+                std::panic::panic_any(ScheduleAborted);
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Retire worker `w` (normal exit or unwind) and hand the token on.
+    pub(crate) fn finish(&self, w: usize, aborting: bool) {
+        let mut g = lock_unpoisoned(&self.inner);
+        g.status[w] = WStatus::Done;
+        if aborting {
+            g.aborted = true;
+        }
+        if g.running == w || g.running == NO_WORKER {
+            let next = self.pick(&mut g);
+            g.running = next;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Choose the next token holder. Must be called with the lock held;
+    /// deterministic given the seed (all state transitions happen under
+    /// the token).
+    fn pick(&self, g: &mut Inner) -> usize {
+        let n = g.status.len();
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&i| g.status[i] != WStatus::Done && g.parked != Some(i))
+            .collect();
+        if candidates.is_empty() {
+            // Everyone (except possibly the parked straggler) is done.
+            return match g.parked.take() {
+                Some(p) if g.status[p] != WStatus::Done => p,
+                _ => NO_WORKER,
+            };
+        }
+        // Straggler release: once every non-parked worker is stuck in a
+        // look-back spin (or done), the parked tile-0 publisher is the
+        // only way forward — release it. If the protocol ever waited on a
+        // *later* tile, this point would never be reached and the launch
+        // would livelock instead of terminating.
+        if let Some(p) = g.parked {
+            if candidates.iter().all(|&i| g.status[i] == WStatus::Spinning) {
+                g.parked = None;
+                return p;
+            }
+        }
+        match self.flavor {
+            AdvFlavor::Random | AdvFlavor::Straggler => candidates[g.rng.below(candidates.len())],
+            AdvFlavor::ReverseTicket => {
+                // Claim phase first: any worker without a ticket gets
+                // priority (so every outstanding ticket exists before any
+                // runs), then the highest ticket runs — unless everyone
+                // runnable is spinning, in which case the lowest ticket is
+                // the one guaranteed to make progress.
+                if let Some(&u) = candidates
+                    .iter()
+                    .find(|&&i| g.ticket[i].is_none() && g.status[i] != WStatus::Spinning)
+                {
+                    return u;
+                }
+                let runnable: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| g.status[i] != WStatus::Spinning)
+                    .collect();
+                let key = |i: usize| g.ticket[i].map_or(0, |t| t as i64);
+                if runnable.is_empty() {
+                    // Everyone waits on a predecessor: the lowest-ticket
+                    // spinner's predecessor has necessarily published (its
+                    // worker moved on, or is itself spinning — which
+                    // happens only after its AGGREGATE publish), so its
+                    // next poll succeeds. Picking any *other* spinner
+                    // could loop forever.
+                    *candidates.iter().min_by_key(|&&i| key(i)).unwrap()
+                } else {
+                    // Run the highest outstanding ticket among workers
+                    // that can actually advance — maximizing how deep
+                    // successors' look-back walks reach.
+                    *runnable.iter().max_by_key(|&&i| key(i)).unwrap()
+                }
+            }
+            AdvFlavor::BoundedPreempt => {
+                if g.budget > 0 && candidates.contains(&g.running) {
+                    g.budget -= 1;
+                    g.running
+                } else {
+                    g.budget = 1 + g.rng.next() % 8;
+                    candidates[g.rng.below(candidates.len())]
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// The adversarial core (and this thread's worker id) while a worker
+    /// is executing blocks; `None` on every other thread, which makes all
+    /// yield hooks no-ops under the parallel and sequential executors.
+    static ACTIVE: RefCell<Option<(Arc<AdvCore>, usize)>> = const { RefCell::new(None) };
+}
+
+fn active() -> Option<(Arc<AdvCore>, usize)> {
+    ACTIVE.with(|a| a.borrow().clone())
+}
+
+/// RAII registration of the current thread as adversarial worker `w`.
+pub(crate) struct Installed;
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+    }
+}
+
+pub(crate) fn install(core: Arc<AdvCore>, w: usize) -> Installed {
+    ACTIVE.with(|a| *a.borrow_mut() = Some((core, w)));
+    Installed
+}
+
+/// Yield hook for a generic device-scope access (called by every
+/// `GlobalBuffer::device_*` method). No-op outside adversarial launches.
+pub(crate) fn yield_op() {
+    if let Some((core, w)) = active() {
+        core.yield_event(w, Ev::Op);
+    }
+}
+
+/// Yield hook fired after a device `fetch_add` returned `prev` — informs
+/// the ticket-aware policies which tile this worker just claimed.
+pub(crate) fn note_ticket(prev: u32) {
+    if let Some((core, w)) = active() {
+        core.yield_event(w, Ev::Ticket(prev));
+    }
+}
+
+/// Yield hook for a block claim (scheduler controls claim order).
+pub(crate) fn yield_block_start() {
+    if let Some((core, w)) = active() {
+        core.yield_event(w, Ev::BlockStart);
+    }
+}
+
+/// Public yield hook for spin-wait loops: marks the current worker as
+/// *waiting on another block's published state*. `primitives::lookback`
+/// calls this once per spin-poll iteration, which is both how the
+/// adversarial scheduler preempts a spinning block and how the straggler
+/// policy knows when every other block has hit its look-back spin.
+/// No-op outside adversarial launches.
+pub fn spin_yield() {
+    if let Some((core, w)) = active() {
+        core.yield_event(w, Ev::Spin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_cycles_flavors() {
+        assert_eq!(AdvSchedule::from_seed(4000).flavor, AdvFlavor::Random);
+        assert_eq!(
+            AdvSchedule::from_seed(4001).flavor,
+            AdvFlavor::ReverseTicket
+        );
+        assert_eq!(AdvSchedule::from_seed(4002).flavor, AdvFlavor::Straggler);
+        assert_eq!(
+            AdvSchedule::from_seed(4003).flavor,
+            AdvFlavor::BoundedPreempt
+        );
+        assert_eq!(AdvSchedule::from_seed(4002).seed, 4002);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn yield_hooks_are_noops_off_schedule() {
+        // No adversarial launch active on this thread: all hooks return.
+        yield_op();
+        note_ticket(0);
+        yield_block_start();
+        spin_yield();
+    }
+}

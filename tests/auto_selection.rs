@@ -1,0 +1,111 @@
+//! `Method::auto` boundary tests (ISSUE 5 satellite): for each bucket
+//! count around a selection crossover, the host-convenience entry points
+//! must dispatch the expected pipeline — asserted through the launch-record
+//! labels the pipelines emit, not just the enum — AND produce the
+//! reference permutation.
+
+use multisplit::{
+    fused_max_buckets, multisplit, multisplit_kv, multisplit_kv_ref, with_pipeline, Method,
+    Pipeline, RangeBuckets,
+};
+use simt::{Device, K40C};
+
+fn keys_for(_m: u32) -> Vec<u32> {
+    // A full-range multiplicative hash: every bucket is populated for every
+    // m under test, and 4000 elements end on a ragged tile at wpb = 8.
+    (0..4000u32).map(|i| i.wrapping_mul(2654435761)).collect()
+}
+
+/// Run the auto-dispatched host multisplit and return the launch labels.
+fn labels_of(kv: bool, m: u32) -> Vec<String> {
+    let keys = keys_for(m);
+    let bucket = RangeBuckets::new(m);
+    let dev = Device::new(K40C);
+    if kv {
+        let values: Vec<u32> = (0..keys.len() as u32).collect();
+        let (ok, ov, offs) = multisplit_kv(&dev, &keys, &values, &bucket);
+        let (ek, ev, eo) = multisplit_kv_ref(&keys, Some(&values), &bucket);
+        assert_eq!((ok, ov, offs), (ek, ev, eo), "kv m={m}");
+    } else {
+        let (out, offs) = multisplit(&dev, &keys, &bucket);
+        let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
+        assert_eq!((out, offs), (ek, eo), "m={m}");
+    }
+    dev.records().iter().map(|r| r.label.clone()).collect()
+}
+
+fn assert_prefix(labels: &[String], prefix: &str, ctx: &str) {
+    assert!(
+        !labels.is_empty() && labels.iter().all(|l| l.starts_with(prefix)),
+        "{ctx}: expected every launch label to start with `{prefix}`, got {labels:?}"
+    );
+}
+
+#[test]
+fn auto_picks_fused_up_to_32_and_fused_large_m_above() {
+    for kv in [false, true] {
+        // m = 32 is the last single-row bucket count → fused pipeline.
+        let labels = labels_of(kv, 32);
+        assert_prefix(&labels, "fused/", &format!("kv={kv} m=32"));
+        assert!(
+            labels.iter().any(|l| l == "fused/sweep"),
+            "kv={kv}: fused pipeline must end in its sweep kernel, got {labels:?}"
+        );
+        // m = 33 crosses the warp width → multi-row fused large-m pipeline.
+        let labels = labels_of(kv, 33);
+        assert_prefix(&labels, "fused_large_m/", &format!("kv={kv} m=33"));
+    }
+    assert_eq!(Method::auto(32, false), Method::Fused);
+    assert_eq!(Method::auto(33, false), Method::FusedLargeM);
+}
+
+#[test]
+fn auto_falls_back_to_three_kernel_large_m_past_the_fused_capacity() {
+    for kv in [false, true] {
+        let cap = fused_max_buckets(multisplit::DEFAULT_WARPS_PER_BLOCK, kv);
+        assert!(
+            cap > 33,
+            "fused large-m capacity should exceed the crossover"
+        );
+        assert_eq!(Method::auto(cap, kv), Method::FusedLargeM, "kv={kv} at cap");
+        assert_eq!(
+            Method::auto(cap + 1, kv),
+            Method::LargeM,
+            "kv={kv} past cap"
+        );
+        // At the exact capacity the fused sweep still fits in shared memory.
+        let labels = labels_of(kv, cap);
+        assert_prefix(&labels, "fused_large_m/", &format!("kv={kv} m=cap={cap}"));
+        // One past it must dispatch the three-kernel large-m pipeline,
+        // recognizable by its separate scan and post-scan launches.
+        let labels = labels_of(kv, cap + 1);
+        assert_prefix(&labels, "large/", &format!("kv={kv} m=cap+1"));
+        assert!(
+            labels.iter().any(|l| l == "large/post-scan"),
+            "kv={kv}: three-kernel large-m must run a post-scan, got {labels:?}"
+        );
+    }
+}
+
+#[test]
+fn three_kernel_pipeline_keeps_the_papers_crossovers() {
+    with_pipeline(Pipeline::ThreeKernel, || {
+        // Key-only: warp-level through m = 21, block-level from m = 22.
+        for (m, prefix) in [(2u32, "warp/"), (6, "warp/"), (21, "warp/"), (22, "block/")] {
+            let labels = labels_of(false, m);
+            assert_prefix(&labels, prefix, &format!("three-kernel m={m}"));
+        }
+        // Key-value crossover is earlier (m >= 16 → block-level).
+        for (m, prefix) in [(5u32, "warp/"), (15, "warp/"), (16, "block/")] {
+            let labels = labels_of(true, m);
+            assert_prefix(&labels, prefix, &format!("three-kernel kv m={m}"));
+        }
+        // Above the warp width the three-kernel large-m path applies
+        // regardless of pipeline pinning.
+        assert_eq!(Method::auto(33, false), Method::LargeM);
+        let labels = labels_of(false, 33);
+        assert_prefix(&labels, "large/", "three-kernel m=33");
+    });
+    // Pinning restored: the default pipeline is fused again.
+    assert_eq!(Method::auto(8, false), Method::Fused);
+}

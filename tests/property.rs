@@ -21,10 +21,20 @@ fn rand_keys(rng: &mut SmallRng, max_len: usize) -> Vec<u32> {
     (0..len).map(|_| rng.next_u32()).collect()
 }
 
+/// Self-contained reproducer line for a failing seeded case. Each suite
+/// draws from a fixed seed, so `case` pins the exact inputs: re-run the
+/// test with the loop skipped to `case` (or rebuild the inputs from the
+/// printed parameters) to replay the failure without bisecting the RNG
+/// stream.
+fn repro(suite_seed: u64, case: usize, params: String) -> String {
+    format!("repro: suite_seed={suite_seed:#x} case_index={case} {params}")
+}
+
 #[test]
 fn multisplit_methods_match_reference() {
-    let mut rng = SmallRng::seed_from_u64(0x51ca_0001);
-    for _ in 0..CASES {
+    const SEED: u64 = 0x51ca_0001;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    for case in 0..CASES {
         let keys = rand_keys(&mut rng, 3000);
         let m = rng.gen_range(1u32..=32);
         let method = [
@@ -34,25 +44,26 @@ fn multisplit_methods_match_reference() {
             Method::Fused,
         ][rng.gen_range(0usize..4)];
         let wpb = [2usize, 4, 8][rng.gen_range(0usize..3)];
+        let ctx = repro(
+            SEED,
+            case,
+            format!("n={} m={m} method={method:?} wpb={wpb}", keys.len()),
+        );
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
         let r = multisplit_device(&dev, method, &buf, no_values(), keys.len(), &bucket, wpb);
         let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
-        assert_eq!(
-            r.keys.to_vec(),
-            ek,
-            "method {method:?} m={m} wpb={wpb} n={}",
-            keys.len()
-        );
-        assert_eq!(r.offsets, eo);
+        assert_eq!(r.keys.to_vec(), ek, "{ctx}");
+        assert_eq!(r.offsets, eo, "{ctx}");
     }
 }
 
 #[test]
 fn multisplit_kv_matches_reference() {
-    let mut rng = SmallRng::seed_from_u64(0x51ca_0002);
-    for _ in 0..CASES {
+    const SEED: u64 = 0x51ca_0002;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    for case in 0..CASES {
         let keys = rand_keys(&mut rng, 2000);
         let m = rng.gen_range(1u32..=32);
         let method = [
@@ -61,6 +72,11 @@ fn multisplit_kv_matches_reference() {
             Method::BlockLevel,
             Method::Fused,
         ][rng.gen_range(0usize..4)];
+        let ctx = repro(
+            SEED,
+            case,
+            format!("n={} m={m} method={method:?} wpb=8 kv", keys.len()),
+        );
         let values: Vec<u32> = (0..keys.len() as u32).collect();
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
@@ -68,13 +84,8 @@ fn multisplit_kv_matches_reference() {
         let vbuf = GlobalBuffer::from_slice(&values);
         let r = multisplit_device(&dev, method, &kbuf, Some(&vbuf), keys.len(), &bucket, 8);
         let (ek, ev, _) = multisplit_kv_ref(&keys, Some(&values), &bucket);
-        assert_eq!(
-            r.keys.to_vec(),
-            ek,
-            "method {method:?} m={m} n={}",
-            keys.len()
-        );
-        assert_eq!(r.values.unwrap().to_vec(), ev);
+        assert_eq!(r.keys.to_vec(), ek, "{ctx}");
+        assert_eq!(r.values.unwrap().to_vec(), ev, "{ctx}");
     }
 }
 
@@ -130,10 +141,16 @@ fn fused_edge_cases() {
 
 #[test]
 fn large_m_matches_reference() {
-    let mut rng = SmallRng::seed_from_u64(0x51ca_0003);
-    for _ in 0..CASES {
+    const SEED: u64 = 0x51ca_0003;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    for case in 0..CASES {
         let keys = rand_keys(&mut rng, 2000);
         let m = rng.gen_range(33u32..=512);
+        let ctx = repro(
+            SEED,
+            case,
+            format!("n={} m={m} method=LargeM wpb=8", keys.len()),
+        );
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
@@ -147,8 +164,8 @@ fn large_m_matches_reference() {
             8,
         );
         let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
-        assert_eq!(r.keys.to_vec(), ek, "m={m} n={}", keys.len());
-        assert_eq!(r.offsets, eo);
+        assert_eq!(r.keys.to_vec(), ek, "{ctx}");
+        assert_eq!(r.offsets, eo, "{ctx}");
     }
 }
 
@@ -305,17 +322,23 @@ fn alternative_implementations_match_reference() {
 
 #[test]
 fn reduced_bit_matches_reference() {
-    let mut rng = SmallRng::seed_from_u64(0x51ca_0006);
-    for _ in 0..CASES {
+    const SEED: u64 = 0x51ca_0006;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    for case in 0..CASES {
         let keys = rand_keys(&mut rng, 1500);
         let m = rng.gen_range(1u32..=256);
+        let ctx = repro(
+            SEED,
+            case,
+            format!("n={} m={m} method=reduced-bit wpb=8", keys.len()),
+        );
         let bucket = RangeBuckets::new(m);
         let dev = Device::new(K40C);
         let buf = GlobalBuffer::from_slice(&keys);
         let (out, offs) = baselines::reduced_bit_multisplit(&dev, &buf, keys.len(), &bucket, 8);
         let (ek, _, eo) = multisplit_kv_ref(&keys, None, &bucket);
-        assert_eq!(out.to_vec(), ek, "m={m} n={}", keys.len());
-        assert_eq!(offs, eo);
+        assert_eq!(out.to_vec(), ek, "{ctx}");
+        assert_eq!(offs, eo, "{ctx}");
     }
 }
 
