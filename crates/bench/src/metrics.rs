@@ -124,6 +124,16 @@ pub const LARGEM_CONTENDERS: [(Contender, &str); 2] = [
     (Contender::FusedLargeM, "fused-large-m"),
 ];
 
+/// The pair the `onesweep` section of `paper check` covers: the fused
+/// two-key-pass pipeline vs the single-key-pass onesweep. Both directions
+/// of its sector tradeoff are pinned by the committed baseline — fused's
+/// lower total, onesweep's lower `sweep` stage (the only stage that
+/// touches the key buffer once).
+pub const ONESWEEP_CONTENDERS: [(Contender, &str); 2] = [
+    (Contender::Fused, "fused"),
+    (Contender::Onesweep, "onesweep"),
+];
+
 /// One contender's profile: the outcome plus everything derived from its
 /// per-block launch log.
 pub struct ContenderProfile {
@@ -246,6 +256,12 @@ pub fn largem_sector_baseline_current(n: usize, m: u32) -> Json {
     sector_baseline_for(&LARGEM_CONTENDERS, n, m)
 }
 
+/// The onesweep companion: fused vs onesweep sector counts, stored under
+/// the `"onesweep"` key of the committed baseline.
+pub fn onesweep_sector_baseline_current(n: usize, m: u32) -> Json {
+    sector_baseline_for(&ONESWEEP_CONTENDERS, n, m)
+}
+
 fn sector_baseline_for(contenders: &[(Contender, &'static str)], n: usize, m: u32) -> Json {
     let contenders = profile_data_for(contenders, n, m, false)
         .iter()
@@ -312,11 +328,26 @@ pub fn sector_baseline_compare(
         .get("contenders")
         .and_then(Json::as_arr)
         .unwrap_or(&empty);
-    for cur in current
+    let current_contenders = current
         .get("contenders")
         .and_then(Json::as_arr)
-        .unwrap_or(&empty)
-    {
+        .unwrap_or(&empty);
+    // A contender present in the baseline but absent from the report —
+    // renamed, removed, or dropped by a serialization bug — is a gate
+    // failure, not a vacuous pass: its regressions would otherwise be
+    // invisible forever.
+    for base in baseline_contenders {
+        let name = base.get("contender").and_then(Json::as_str).unwrap_or("?");
+        if !current_contenders
+            .iter()
+            .any(|c| c.get("contender").and_then(Json::as_str) == Some(name))
+        {
+            failures.push(format!(
+                "baseline contender `{name}` is missing from the current report"
+            ));
+        }
+    }
+    for cur in current_contenders {
         let name = cur.get("contender").and_then(Json::as_str).unwrap_or("?");
         let Some(base) = baseline_contenders
             .iter()
@@ -354,27 +385,52 @@ pub fn sector_baseline_compare(
                 ));
             }
         }
-        let totals = (
+        // An absent `total_sectors` on either side used to fall through
+        // the `if let (Some, Some)` silently — treat it as the gate
+        // failure it is (the field is how a regression is measured).
+        match (
             cur.get("total_sectors").and_then(Json::as_f64),
             base.get("total_sectors").and_then(Json::as_f64),
-        );
-        if let (Some(c), Some(b)) = totals {
-            check_one(
+        ) {
+            (Some(c), Some(b)) => check_one(
                 &mut notes,
                 &mut failures,
                 tolerance,
                 format!("{name}/total"),
                 c,
                 b,
-            );
+            ),
+            (c, b) => {
+                if c.is_none() {
+                    failures.push(format!("current report missing `{name}/total_sectors`"));
+                }
+                if b.is_none() {
+                    failures.push(format!("baseline missing `{name}/total_sectors`"));
+                }
+            }
         }
-        for stage in cur.get("stages").and_then(Json::as_arr).unwrap_or(&empty) {
+        let base_stages = base.get("stages").and_then(Json::as_arr).unwrap_or(&empty);
+        let cur_stages = cur.get("stages").and_then(Json::as_arr).unwrap_or(&empty);
+        // Baseline-only stages are the per-stage shape of the missing-
+        // contender bug: a stage that vanished from the report must fail.
+        for stage in base_stages {
             let sname = stage.get("stage").and_then(Json::as_str).unwrap_or("?");
-            let cur_v = stage.get("sectors").and_then(Json::as_f64).unwrap_or(0.0);
-            let base_v = base
-                .get("stages")
-                .and_then(Json::as_arr)
-                .unwrap_or(&empty)
+            if !cur_stages
+                .iter()
+                .any(|s| s.get("stage").and_then(Json::as_str) == Some(sname))
+            {
+                failures.push(format!(
+                    "baseline stage `{name}/{sname}` is missing from the current report"
+                ));
+            }
+        }
+        for stage in cur_stages {
+            let sname = stage.get("stage").and_then(Json::as_str).unwrap_or("?");
+            let Some(cur_v) = stage.get("sectors").and_then(Json::as_f64) else {
+                failures.push(format!("current report missing `{name}/{sname}` sectors"));
+                continue;
+            };
+            let base_v = base_stages
                 .iter()
                 .find(|s| s.get("stage").and_then(Json::as_str) == Some(sname))
                 .and_then(|s| s.get("sectors").and_then(Json::as_f64));
@@ -504,6 +560,125 @@ mod tests {
             totals[1].1 < totals[0].1,
             "fused large-m must move fewer sectors ({totals:?})"
         );
+    }
+
+    /// One hand-built contender row: name, optional total, stages as
+    /// (name, optional sectors).
+    type ContenderSpec<'a> = (&'a str, Option<u64>, &'a [(&'a str, Option<u64>)]);
+
+    /// Build a small baseline-shaped document by hand — the compare
+    /// function only looks at the JSON shape, so the vacuous-pass
+    /// regressions can be pinned without running contenders.
+    fn doc(contenders: &[ContenderSpec<'_>]) -> Json {
+        Json::Obj(vec![
+            ("n".into(), Json::int(1024)),
+            ("m".into(), Json::int(8)),
+            ("seed".into(), Json::int(PROFILE_SEED)),
+            (
+                "contenders".into(),
+                Json::Arr(
+                    contenders
+                        .iter()
+                        .map(|(name, total, stages)| {
+                            let mut fields = vec![("contender".into(), Json::Str((*name).into()))];
+                            if let Some(t) = total {
+                                fields.push(("total_sectors".into(), Json::int(*t)));
+                            }
+                            fields.push((
+                                "stages".into(),
+                                Json::Arr(
+                                    stages
+                                        .iter()
+                                        .map(|(sname, sv)| {
+                                            let mut sf =
+                                                vec![("stage".into(), Json::Str((*sname).into()))];
+                                            if let Some(v) = sv {
+                                                sf.push(("sectors".into(), Json::int(*v)));
+                                            }
+                                            Json::Obj(sf)
+                                        })
+                                        .collect(),
+                                ),
+                            ));
+                            Json::Obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Satellite-2 regression: a contender present in the baseline but
+    /// deleted from the report used to pass the gate vacuously (the loop
+    /// only visited *current* contenders). It must fail now.
+    #[test]
+    fn deleting_a_contender_from_the_report_fails_the_gate() {
+        let stages: &[(&str, Option<u64>)] = &[("sweep", Some(100))];
+        let baseline = doc(&[("fused", Some(100), stages), ("onesweep", Some(50), stages)]);
+        let current = doc(&[("fused", Some(100), stages)]); // onesweep dropped
+        let err = sector_baseline_compare(&current, &baseline, 0.02)
+            .expect_err("a missing contender must fail the gate");
+        assert!(
+            err.iter()
+                .any(|e| e.contains("`onesweep`") && e.contains("missing")),
+            "failure must name the dropped contender: {err:?}"
+        );
+        // The unmodified report still passes.
+        assert_eq!(
+            sector_baseline_compare(&baseline, &baseline, 0.0),
+            Ok(vec![])
+        );
+    }
+
+    /// Satellite-2 regression: an absent `total_sectors` (or per-stage
+    /// `sectors`) field used to skip the comparison via `if let
+    /// (Some, Some)` fallthrough. Both sides must fail loudly now.
+    #[test]
+    fn absent_sector_fields_fail_the_gate() {
+        let stages: &[(&str, Option<u64>)] = &[("sweep", Some(100))];
+        let good = doc(&[("fused", Some(100), stages)]);
+        // Current report lost its total_sectors field.
+        let no_total = doc(&[("fused", None, stages)]);
+        let err = sector_baseline_compare(&no_total, &good, 0.02).expect_err("must fail");
+        assert!(err.iter().any(|e| e.contains("total_sectors")), "{err:?}");
+        // Baseline lost it (e.g. hand-edited) — also a failure.
+        let err = sector_baseline_compare(&good, &no_total, 0.02).expect_err("must fail");
+        assert!(err.iter().any(|e| e.contains("total_sectors")), "{err:?}");
+        // A stage entry without a `sectors` value fails.
+        let no_stage_v: &[(&str, Option<u64>)] = &[("sweep", None)];
+        let bad_stage = doc(&[("fused", Some(100), no_stage_v)]);
+        assert!(sector_baseline_compare(&bad_stage, &good, 0.02).is_err());
+        // A stage present in the baseline but dropped from the report fails.
+        let no_stages: &[(&str, Option<u64>)] = &[];
+        let dropped_stage = doc(&[("fused", Some(100), no_stages)]);
+        let err = sector_baseline_compare(&dropped_stage, &good, 0.02).expect_err("must fail");
+        assert!(
+            err.iter()
+                .any(|e| e.contains("fused/sweep") && e.contains("missing")),
+            "{err:?}"
+        );
+    }
+
+    /// The onesweep check section: both directions of the tradeoff hold —
+    /// fused moves fewer *total* sectors, onesweep's sweep stage (the only
+    /// one reading the key buffer) moves fewer than fused's two key passes
+    /// combined.
+    #[test]
+    fn onesweep_baseline_section_roundtrips() {
+        let current = onesweep_sector_baseline_current(1 << 13, 32);
+        let reparsed = Json::parse(&current.pretty()).expect("valid JSON");
+        assert_eq!(
+            sector_baseline_compare(&current, &reparsed, 0.0),
+            Ok(vec![])
+        );
+        let names: Vec<&str> = current
+            .get("contenders")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|c| c.get("contender").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(names, vec!["fused", "onesweep"]);
     }
 
     #[test]

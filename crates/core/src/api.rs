@@ -30,6 +30,7 @@ use crate::direct::multisplit_direct;
 use crate::fused::multisplit_fused;
 use crate::fused_large_m::multisplit_fused_large_m;
 use crate::large_m::multisplit_large_m;
+use crate::onesweep::multisplit_onesweep;
 use crate::warp_level::multisplit_warp_level;
 
 /// Warps per block used throughout the paper's evaluation (`N_W = 8`,
@@ -54,6 +55,14 @@ pub enum Method {
     /// look-back + padded bank-conflict-free staging
     /// (`fused_large_m.rs`; `32 < m <= fused_large_m::max_buckets`).
     FusedLargeM,
+    /// True single-key-pass multisplit (`onesweep.rs`, `m <= 32`): tile
+    /// histograms chained through the look-back records (the last tile's
+    /// inclusive record is the global histogram), deferred scatter
+    /// through a staged scratch. Fewest *key-buffer* reads of any method
+    /// (one pass vs the fused paths' two); total traffic is higher than
+    /// [`Method::Fused`] because of the staging round-trip, so
+    /// [`Method::auto`] does not select it.
+    Onesweep,
 }
 
 /// Which pipeline family [`Method::auto`] selects from for `m <= 32`.
@@ -104,8 +113,19 @@ impl Method {
     /// `m > fused_large_m::max_buckets` at the default block size `auto`
     /// selects [`Method::LargeM`] even under [`Pipeline::Fused`].
     pub fn auto(m: u32, key_value: bool) -> Method {
+        Method::auto_for(m, key_value, DEFAULT_WARPS_PER_BLOCK)
+    }
+
+    /// [`Method::auto`] for a caller-chosen block size. The fused large-m
+    /// capacity *shrinks* as `wpb` grows (more warps share the fixed
+    /// 48 kB), so the capacity check must use the `wpb` the kernels will
+    /// actually run with — checking `DEFAULT_WARPS_PER_BLOCK` here and
+    /// launching with a larger block dispatched [`Method::FusedLargeM`]
+    /// into its own capacity assert instead of falling back to
+    /// [`Method::LargeM`].
+    pub fn auto_for(m: u32, key_value: bool, wpb: usize) -> Method {
         if m > 32 {
-            let fused_cap = crate::fused_large_m::max_buckets(DEFAULT_WARPS_PER_BLOCK, key_value);
+            let fused_cap = crate::fused_large_m::max_buckets(wpb, key_value);
             return match pipeline() {
                 Pipeline::Fused if m <= fused_cap => Method::FusedLargeM,
                 _ => Method::LargeM,
@@ -138,6 +158,7 @@ impl Method {
             Method::LargeM => "Block-level MS (m > 32)",
             Method::Fused => "Fused MS",
             Method::FusedLargeM => "Fused MS (m > 32)",
+            Method::Onesweep => "Onesweep MS",
         }
     }
 }
@@ -159,6 +180,7 @@ pub fn multisplit_device<B: BucketFn + ?Sized, V: Scalar>(
         Method::LargeM => multisplit_large_m(dev, keys, values, n, bucket, wpb),
         Method::Fused => multisplit_fused(dev, keys, values, n, bucket, wpb),
         Method::FusedLargeM => multisplit_fused_large_m(dev, keys, values, n, bucket, wpb),
+        Method::Onesweep => multisplit_onesweep(dev, keys, values, n, bucket, wpb),
     }
 }
 
@@ -250,6 +272,80 @@ mod tests {
         }
     }
 
+    /// Satellite-1 regression: `auto` (and `auto_for`) must never dispatch
+    /// a method that asserts on capacity. Sweep wpb × m across the
+    /// fused-large-m boundary and *run* every selection — before the fix,
+    /// `auto` at a non-default wpb straddling the boundary picked
+    /// `FusedLargeM` and died on `multisplit_fused_large_m`'s capacity
+    /// assert instead of falling back to `LargeM`.
+    #[test]
+    fn auto_for_never_dispatches_past_capacity() {
+        let dev = Device::new(K40C);
+        let keys: Vec<u32> = (0..2048u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let buf = GlobalBuffer::from_slice(&keys);
+        for wpb in [1usize, 2, 8, 16, 32] {
+            for kv in [false, true] {
+                let cap = crate::fused_large_m::max_buckets(wpb, kv);
+                for m in [32u32, 33, cap - 1, cap, cap + 1, cap + 7] {
+                    let method = Method::auto_for(m, kv, wpb);
+                    let bucket = RangeBuckets::new(m);
+                    let (expect, _) = multisplit_ref(&keys, &bucket);
+                    let vals = GlobalBuffer::from_slice(&keys);
+                    let r = multisplit_device(
+                        &dev,
+                        method,
+                        &buf,
+                        kv.then_some(&vals),
+                        keys.len(),
+                        &bucket,
+                        wpb,
+                    );
+                    assert_eq!(
+                        r.keys.to_vec(),
+                        expect,
+                        "wpb={wpb} kv={kv} m={m} {method:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The concrete pre-fix failure shape: at wpb = 32 the fused large-m
+    /// capacity is far below the default-block capacity, so an `m` that
+    /// fits the default block must fall back to `LargeM`, not assert.
+    #[test]
+    fn auto_for_straddles_the_boundary_at_nondefault_wpb() {
+        let wpb = 32usize;
+        let cap_default = crate::fused_large_m::max_buckets(DEFAULT_WARPS_PER_BLOCK, false);
+        let cap_wide = crate::fused_large_m::max_buckets(wpb, false);
+        assert!(
+            cap_wide < cap_default,
+            "wider blocks must have less per-warp capacity for this test to bite"
+        );
+        let m = cap_wide + 1; // fits the default block, not wpb = 32
+        assert_eq!(
+            Method::auto_for(m, false, DEFAULT_WARPS_PER_BLOCK),
+            Method::FusedLargeM
+        );
+        assert_eq!(Method::auto_for(m, false, wpb), Method::LargeM);
+        // And the dispatched method actually runs at that block size.
+        let dev = Device::new(K40C);
+        let keys: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(747796405)).collect();
+        let bucket = RangeBuckets::new(m);
+        let buf = GlobalBuffer::from_slice(&keys);
+        let r = multisplit_device(
+            &dev,
+            Method::auto_for(m, false, wpb),
+            &buf,
+            crate::common::no_values(),
+            keys.len(),
+            &bucket,
+            wpb,
+        );
+        let (expect, _) = multisplit_ref(&keys, &bucket);
+        assert_eq!(r.keys.to_vec(), expect);
+    }
+
     #[test]
     fn auto_matches_paper_crossovers_under_three_kernel() {
         with_pipeline(Pipeline::ThreeKernel, || {
@@ -279,6 +375,7 @@ mod tests {
         assert_eq!(Method::BlockLevel.name(), "Block-level MS");
         assert_eq!(Method::Fused.name(), "Fused MS");
         assert_eq!(Method::FusedLargeM.name(), "Fused MS (m > 32)");
+        assert_eq!(Method::Onesweep.name(), "Onesweep MS");
     }
 
     #[test]
@@ -320,6 +417,7 @@ mod tests {
             Method::WarpLevel,
             Method::BlockLevel,
             Method::Fused,
+            Method::Onesweep,
         ] {
             let r = multisplit_device(
                 &dev,

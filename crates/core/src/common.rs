@@ -52,6 +52,15 @@ pub fn offsets_from_scanned(g: &GlobalBuffer<u32>, m: usize, l: usize, n: usize)
     offsets
 }
 
+/// Shared-memory budget of a sweep-style kernel, in 32-bit words: the full
+/// 48 kB block capacity, spent exactly. Single source of truth for the
+/// coarsening / capacity searches of `fused`, `fused_large_m`, and
+/// `onesweep` — a path that reserved private slack (as `fused` once did
+/// with a 512-byte margin) would disagree with the others about whether a
+/// footprint "fits", and the disagreement only surfaces at capacity
+/// boundaries the tests happen to straddle.
+pub const SMEM_BUDGET_WORDS: usize = simt::SMEM_CAPACITY_BYTES / 4;
+
 /// Shared-memory staging words per staged element in a block-wide reorder:
 /// one word for the permuted key, one for its bucket id, plus `value_words`
 /// for the payload (0 key-only, 1 for `u32` values, 2 for packed `u64`

@@ -45,7 +45,7 @@
 //! one output slot — the classic symptom of a wrong scatter base — panics
 //! instead of silently producing a permutation-shaped wrong answer.
 
-use simt::{lanes_from_fn, Device, GlobalBuffer, Scalar, SMEM_CAPACITY_BYTES, WARP_SIZE};
+use simt::{lanes_from_fn, Device, GlobalBuffer, Scalar, WARP_SIZE};
 
 use primitives::{
     lookback::TileStates, low_lanes_mask, multi_exclusive_scan_across_cols,
@@ -53,24 +53,36 @@ use primitives::{
 };
 
 use crate::bucket::BucketFn;
-use crate::common::{empty_result, eval_buckets, DeviceMultisplit};
+use crate::common::{
+    empty_result, eval_buckets, staging_words_per_element, DeviceMultisplit, SMEM_BUDGET_WORDS,
+};
 use crate::warp_ops::{warp_histogram, warp_histogram_and_offsets};
 
 /// Most chunks of 32 elements a warp processes per tile.
 pub const MAX_ITEMS_PER_THREAD: usize = 8;
 
+/// Shared words the fused sweep kernel allocates at a given coarsening:
+/// the per-chunk histogram columns (odd pitch), three m-word tables
+/// (tile_hist / bucket_base / scatter_base), the staged tile (key +
+/// bucket id + optional payload per element), and the tile-id word. This
+/// mirrors the `alloc_shared` calls in the sweep launch exactly, so the
+/// budget check and the allocation can only drift together.
+pub fn fused_footprint_words(wpb: usize, m: usize, ipt: usize, value_words: usize) -> usize {
+    let pitch = m | 1;
+    let nchunks = wpb * ipt;
+    let tile = wpb * WARP_SIZE * ipt;
+    nchunks * pitch + 3 * m + tile * staging_words_per_element(value_words) + 1
+}
+
 /// Thread-coarsening factor for the fused kernels: the largest
-/// `items_per_thread ≤ 8` whose sweep-kernel shared footprint (staged
-/// keys + bucket ids + optional values, plus one histogram column per
-/// chunk) fits the 48 kB budget. Bigger tiles amortize the per-tile flag
-/// records and lengthen same-bucket runs in the reordered scatter.
+/// `items_per_thread ≤ 8` whose sweep-kernel shared footprint
+/// ([`fused_footprint_words`]) fits [`SMEM_BUDGET_WORDS`]. Bigger tiles
+/// amortize the per-tile flag records and lengthen same-bucket runs in
+/// the reordered scatter.
 pub fn fused_items_per_thread(wpb: usize, m: usize, value_bytes: u64) -> usize {
-    let pitch = (m | 1) as u64;
-    let fixed = 3 * m as u64 * 4 + 4; // tile_hist + bucket_base + scatter_base + tile_id
-    let budget = (SMEM_CAPACITY_BYTES - 512) as u64;
-    let per_ipt = (wpb * WARP_SIZE) as u64 * (8 + value_bytes) + wpb as u64 * pitch * 4;
+    let value_words = value_bytes as usize / 4;
     let mut ipt = MAX_ITEMS_PER_THREAD;
-    while ipt > 1 && fixed + ipt as u64 * per_ipt > budget {
+    while ipt > 1 && fused_footprint_words(wpb, m, ipt, value_words) > SMEM_BUDGET_WORDS {
         ipt -= 1;
     }
     ipt
@@ -417,6 +429,33 @@ mod tests {
         for wpb in [1, 2, 4, 8, 16] {
             let r = multisplit_fused(&dev, &keys, no_values(), n, &bucket, wpb);
             assert_eq!(r.keys.to_vec(), expect, "wpb={wpb}");
+        }
+    }
+
+    #[test]
+    fn coarsening_is_tight_against_the_shared_budget() {
+        // The chosen coarsening fits the shared budget exactly, and one
+        // more item per thread would not: the budget convention is the
+        // workspace-wide SMEM_BUDGET_WORDS, with no private slack.
+        for (wpb, m, vb) in [
+            (8usize, 32usize, 0u64),
+            (16, 32, 4),
+            (16, 32, 16),
+            (8, 1, 0),
+        ] {
+            let vw = vb as usize / 4;
+            let ipt = fused_items_per_thread(wpb, m, vb);
+            assert!(
+                fused_footprint_words(wpb, m, ipt, vw) <= SMEM_BUDGET_WORDS,
+                "wpb={wpb} m={m} vb={vb}: chosen ipt={ipt} overflows the budget"
+            );
+            if ipt < MAX_ITEMS_PER_THREAD {
+                assert!(
+                    fused_footprint_words(wpb, m, ipt + 1, vw) > SMEM_BUDGET_WORDS,
+                    "wpb={wpb} m={m} vb={vb}: ipt={ipt} is not tight — {} more would fit",
+                    ipt + 1
+                );
+            }
         }
     }
 

@@ -46,15 +46,14 @@
 //! Output buffers are allocated with the write-race detector enabled
 //! ([`simt::GlobalBuffer::tracked`]), as in `fused.rs`.
 
-use simt::{
-    lanes_from_fn, padded_index, padded_len, Device, GlobalBuffer, Scalar, SMEM_CAPACITY_BYTES,
-    WARP_SIZE,
-};
+use simt::{lanes_from_fn, padded_index, padded_len, Device, GlobalBuffer, Scalar, WARP_SIZE};
 
 use primitives::{block_exclusive_scan_shared, lookback::TileStates, low_lanes_mask, tail_mask};
 
 use crate::bucket::BucketFn;
-use crate::common::{empty_result, eval_buckets, staging_words_per_element, DeviceMultisplit};
+use crate::common::{
+    empty_result, eval_buckets, staging_words_per_element, DeviceMultisplit, SMEM_BUDGET_WORDS,
+};
 use crate::fused::MAX_ITEMS_PER_THREAD;
 use crate::warp_ops::{warp_histogram_multi, warp_offsets};
 
@@ -76,10 +75,9 @@ fn sweep_footprint_words(wpb: usize, m: usize, ipt: usize, value_words: usize) -
 /// max_buckets` fits, `m + 1` would overflow `alloc_shared`.
 pub fn max_buckets(wpb: usize, key_value: bool) -> u32 {
     let sw = staging_words_per_element(if key_value { 1 } else { 0 });
-    let words = SMEM_CAPACITY_BYTES / 4;
     let fixed = padded_len(wpb * WARP_SIZE) * sw + 1 + (wpb + 1);
     // Each bucket costs one histogram row (pitch wpb | 1) + one base word.
-    ((words - fixed) / ((wpb | 1) + 1)) as u32
+    ((SMEM_BUDGET_WORDS - fixed) / ((wpb | 1) + 1)) as u32
 }
 
 /// Thread-coarsening factor for the sweep: the largest
@@ -89,9 +87,8 @@ pub fn max_buckets(wpb: usize, key_value: bool) -> u32 {
 /// guarantees always fits.
 pub fn fused_large_m_items_per_thread(wpb: usize, m: usize, value_bytes: u64) -> usize {
     let vw = value_bytes as usize / 4;
-    let words = SMEM_CAPACITY_BYTES / 4;
     let mut ipt = MAX_ITEMS_PER_THREAD;
-    while ipt > 1 && sweep_footprint_words(wpb, m, ipt, vw) > words {
+    while ipt > 1 && sweep_footprint_words(wpb, m, ipt, vw) > SMEM_BUDGET_WORDS {
         ipt -= 1;
     }
     ipt
@@ -517,11 +514,10 @@ mod tests {
                 let (expect, _) = multisplit_ref(&data, &bucket);
                 assert_eq!(r.keys.to_vec(), expect, "m={m}");
             }
-            let words = SMEM_CAPACITY_BYTES / 4;
             let vw = if kv { 1 } else { 0 };
-            assert!(sweep_footprint_words(wpb, m as usize, 1, vw) <= words);
+            assert!(sweep_footprint_words(wpb, m as usize, 1, vw) <= SMEM_BUDGET_WORDS);
             assert!(
-                sweep_footprint_words(wpb, m as usize + 1, 1, vw) > words,
+                sweep_footprint_words(wpb, m as usize + 1, 1, vw) > SMEM_BUDGET_WORDS,
                 "kv={kv}: max_buckets must be tight"
             );
         }
@@ -550,7 +546,7 @@ mod tests {
             for vb in [0u64, 4] {
                 let ipt = fused_large_m_items_per_thread(8, m, vb);
                 assert!(
-                    sweep_footprint_words(8, m, ipt, vb as usize / 4) <= SMEM_CAPACITY_BYTES / 4,
+                    sweep_footprint_words(8, m, ipt, vb as usize / 4) <= SMEM_BUDGET_WORDS,
                     "m={m} vb={vb} ipt={ipt}"
                 );
             }

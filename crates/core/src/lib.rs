@@ -54,6 +54,7 @@ pub mod direct;
 pub mod fused;
 pub mod fused_large_m;
 pub mod large_m;
+pub mod onesweep;
 pub mod warp_level;
 pub mod warp_ops;
 
@@ -74,6 +75,7 @@ pub use fused_large_m::{
     fused_large_m_items_per_thread, max_buckets as fused_max_buckets, multisplit_fused_large_m,
 };
 pub use large_m::{max_buckets, multisplit_large_m};
+pub use onesweep::{multisplit_onesweep, onesweep_items_per_thread};
 pub use warp_level::multisplit_warp_level;
 // Observability knob: callers profile multisplit runs by wrapping them in
 // `with_telemetry(Telemetry::PerBlock, ..)`, like `with_pipeline` above.

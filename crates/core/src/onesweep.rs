@@ -1,0 +1,500 @@
+//! Onesweep multisplit (m ≤ 32): chain tile *histograms* through the
+//! multi-row look-back so every key is read from DRAM exactly once.
+//!
+//! The fused path (`fused.rs`) still reads keys twice: a lightweight
+//! `fused/pre-scan` histograms the whole input into `m` global counters
+//! because a tile cannot learn `base[b]` — the count of all keys in
+//! buckets `< b`, a function of the *entire* input — without waiting on
+//! later-ticketed tiles, which would deadlock. This module removes the
+//! pre-scan by making the chained look-back records themselves carry the
+//! global histogram: each tile publishes its m-vector tile histogram as
+//! its AGGREGATE, so the **last tile's inclusive record is the global
+//! per-bucket total** — the old global-totals buffer, for free. The price
+//! is that final positions are only known once the chain has fully
+//! resolved, so the scatter is *deferred*:
+//!
+//! 1. `onesweep/sweep` (ticketed) — read the tile's keys **once**,
+//!    histogram, publish + resolve the m-row look-back record
+//!    ([`TileStates::resolve`]), block-reorder into bank-padded shared
+//!    staging, and write the bucket-dense tile to a global `staged`
+//!    scratch at `[t*tile ..]` (coalesced).
+//! 2. Host: exclusive-scan the last tile's inclusive row totals
+//!    ([`TileStates::row_totals`]) into the `m` global bucket bases — the
+//!    launch boundary is the device-wide barrier that makes every record
+//!    INCLUSIVE.
+//! 3. `onesweep/scatter` (block = tile, no ticket, no spinning) — read
+//!    the staged tile back coalesced, recompute buckets (ALU only),
+//!    rebuild the tile's exclusive prefix and histogram from its own and
+//!    its predecessor's resolved records ([`TileStates::read_record`],
+//!    the same counted per-group charge the walk bills), and scatter to
+//!    final positions.
+//!
+//! Traffic honesty: the *key buffer* is read once (n sectors' worth vs
+//! the fused path's 2n — the ISSUE gate), but the staged round-trip makes
+//! **total** traffic ~4n words against fused's ~3n. That is the known
+//! floor: "read keys once" + "bucket-contiguous output" forces either a
+//! second key pass (fused) or a staging pass (here); see DESIGN.md §11.
+//! [`crate::api::Method::auto`] therefore still prefers `Fused`; Onesweep
+//! exists for workloads where key-buffer reads are the scarce resource
+//! (e.g. keys streamed from a slower tier) and as the paper-faithful
+//! "single pass over the input" formulation.
+//!
+//! Outputs and the staged scratch are allocated with the write-race
+//! detector on ([`simt::GlobalBuffer::tracked`]); launches are distinct
+//! detector epochs, so the cross-launch staging flow is checked, not
+//! exempted.
+
+use simt::{lanes_from_fn, padded_index, padded_len, Device, GlobalBuffer, Scalar, WARP_SIZE};
+
+use primitives::{
+    lookback::TileStates, low_lanes_mask, multi_exclusive_scan_across_cols, tail_mask, warp_scan,
+};
+
+use crate::bucket::BucketFn;
+use crate::common::{empty_result, eval_buckets, DeviceMultisplit, SMEM_BUDGET_WORDS};
+use crate::fused::MAX_ITEMS_PER_THREAD;
+use crate::warp_ops::warp_histogram_and_offsets;
+
+/// Shared words the onesweep sweep kernel allocates at a given
+/// coarsening: per-chunk histogram columns (odd pitch), two m-word tables
+/// (tile_hist / bucket_base), the bank-padded staged tile (key plus
+/// optional payload per element — no bucket word: the scatter kernel
+/// recomputes buckets from the staged keys), and the tile-id word.
+/// Mirrors the sweep's `alloc_shared` calls exactly.
+pub fn onesweep_footprint_words(wpb: usize, m: usize, ipt: usize, value_words: usize) -> usize {
+    let pitch = m | 1;
+    let nchunks = wpb * ipt;
+    let tile = wpb * WARP_SIZE * ipt;
+    nchunks * pitch + 2 * m + padded_len(tile) * (1 + value_words) + 1
+}
+
+/// Thread-coarsening factor for the onesweep sweep: the largest
+/// `items_per_thread ≤ 8` whose footprint fits the workspace-wide
+/// [`SMEM_BUDGET_WORDS`] (no private slack — the unified convention).
+pub fn onesweep_items_per_thread(wpb: usize, m: usize, value_bytes: u64) -> usize {
+    let value_words = value_bytes as usize / 4;
+    let mut ipt = MAX_ITEMS_PER_THREAD;
+    while ipt > 1 && onesweep_footprint_words(wpb, m, ipt, value_words) > SMEM_BUDGET_WORDS {
+        ipt -= 1;
+    }
+    ipt
+}
+
+/// Single-key-pass multisplit over `m <= 32` buckets via chained tile
+/// histograms and a deferred scatter.
+///
+/// Same contract as the other `multisplit_*` entry points (stable, keys
+/// permuted into `m` contiguous buckets, `m + 1` offsets returned);
+/// dispatched from [`crate::api::Method::Onesweep`].
+pub fn multisplit_onesweep<B: BucketFn + ?Sized, V: Scalar>(
+    dev: &Device,
+    keys: &GlobalBuffer<u32>,
+    values: Option<&GlobalBuffer<V>>,
+    n: usize,
+    bucket: &B,
+    wpb: usize,
+) -> DeviceMultisplit<V> {
+    let m = bucket.num_buckets();
+    assert!(
+        m <= 32,
+        "onesweep multisplit requires m <= 32 (use the large-m paths)"
+    );
+    assert!(keys.len() >= n, "key buffer shorter than n");
+    if n == 0 {
+        return empty_result(m as usize, values.is_some());
+    }
+    let mu = m as usize;
+    let ipt = onesweep_items_per_thread(wpb, mu, if values.is_some() { V::BYTES } else { 0 });
+    let tile = wpb * WARP_SIZE * ipt;
+    let l = n.div_ceil(tile); // tiles
+
+    // Bucket-dense staging scratch: tile t's region [t*tile, t*tile+valid)
+    // holds its reordered keys (and payloads), written once in the sweep
+    // and read once in the scatter.
+    let staged = GlobalBuffer::<u32>::zeroed(n).tracked();
+    let staged_vals = values.map(|_| GlobalBuffer::<V>::zeroed(n).tracked());
+    let ticket = GlobalBuffer::<u32>::zeroed(1);
+    let states = TileStates::new(l, mu);
+
+    // ====== Launch 1: the single pass over the keys.
+    dev.launch("onesweep/sweep", l, wpb, |blk| {
+        let nw = blk.warps_per_block;
+        let pitch = mu | 1;
+        let nchunks = nw * ipt; // one histogram column per 32-element chunk
+        let h2 = blk.alloc_shared::<u32>(nchunks * pitch);
+        let tile_hist = blk.alloc_shared::<u32>(mu);
+        let bucket_base = blk.alloc_shared::<u32>(mu);
+        let keys2_s = blk.alloc_shared::<u32>(padded_len(tile));
+        let values2_s = values.map(|_| blk.alloc_shared::<V>(padded_len(tile)));
+        let tile_id = blk.alloc_shared::<u32>(1);
+        // Per-chunk registers persisting across barriers; the tile's keys
+        // are read from DRAM exactly once, here.
+        let mut key_reg = vec![[0u32; WARP_SIZE]; nchunks];
+        let mut bucket_reg = vec![[0u32; WARP_SIZE]; nchunks];
+        let mut offs_reg = vec![[0u32; WARP_SIZE]; nchunks];
+        let mut val_reg = values.map(|_| vec![[V::default(); WARP_SIZE]; nchunks]);
+
+        // Phase 0: claim the next tile in task-start order — the look-back
+        // deadlock-freedom invariant.
+        {
+            let w = blk.warp(0);
+            tile_id.set(0, w.device_fetch_add(&ticket, 0, 1));
+        }
+        blk.sync();
+        let t = tile_id.get(0) as usize;
+        let tile_start = t * tile;
+
+        // Phase 1: warp histograms + in-warp ranks per chunk.
+        for w in blk.warps() {
+            for c in 0..ipt {
+                let chunk = w.warp_id * ipt + c;
+                let base = tile_start + chunk * WARP_SIZE;
+                let mask = tail_mask(base, n);
+                let col = chunk * pitch;
+                if mask == 0 {
+                    h2.st(
+                        lanes_from_fn(|lane| col + lane.min(mu - 1)),
+                        [0; WARP_SIZE],
+                        low_lanes_mask(mu),
+                    );
+                    continue;
+                }
+                let idx = lanes_from_fn(|j| if base + j < n { base + j } else { base });
+                let k = w.gather(keys, idx, mask);
+                let b = eval_buckets(&w, bucket, k, mask);
+                let (histo, offs) = warp_histogram_and_offsets(&w, b, m, mask);
+                h2.st(
+                    lanes_from_fn(|lane| col + lane.min(mu - 1)),
+                    histo,
+                    low_lanes_mask(mu),
+                );
+                key_reg[chunk] = k;
+                bucket_reg[chunk] = b;
+                offs_reg[chunk] = offs;
+                if let (Some(vin), Some(vr)) = (values, &mut val_reg) {
+                    vr[chunk] = w.gather(vin, idx, mask);
+                }
+            }
+        }
+        blk.sync();
+
+        // Phase 2: per-row exclusive multi-scan across the chunk columns;
+        // the tile's m-vector aggregate falls out of the same shuffles.
+        multi_exclusive_scan_across_cols(blk, &h2, mu, pitch, nchunks, Some(&tile_hist));
+
+        // Phase 3 (warp 0): publish the tile histogram as this tile's
+        // look-back AGGREGATE and resolve to INCLUSIVE. The returned
+        // exclusive prefix is *not* used here — final positions need the
+        // global bases, known only after every tile has published, so the
+        // scatter kernel rebuilds it from the resolved records. Resolving
+        // now (rather than publish-only) keeps the protocol and billing
+        // identical to the fused sweep and leaves every record INCLUSIVE
+        // at the launch boundary.
+        {
+            let w = blk.warp(0);
+            let mask = low_lanes_mask(mu);
+            let agg = tile_hist.ld(lanes_from_fn(|lane| lane.min(mu - 1)), mask);
+            let _deferred = states.resolve(&w, t, agg);
+            let padded = lanes_from_fn(|lane| if lane < mu { agg[lane] } else { 0 });
+            let exc = warp_scan::exclusive_scan_add(&w, padded);
+            bucket_base.st(lanes_from_fn(|lane| lane.min(mu - 1)), exc, mask);
+        }
+        blk.sync();
+
+        // Phase 4: block-wide reorder into bank-padded staging.
+        for w in blk.warps() {
+            for c in 0..ipt {
+                let chunk = w.warp_id * ipt + c;
+                let base = tile_start + chunk * WARP_SIZE;
+                let mask = tail_mask(base, n);
+                if mask == 0 {
+                    continue;
+                }
+                let b = bucket_reg[chunk];
+                let col = chunk * pitch;
+                let prev_chunks = h2.ld(lanes_from_fn(|lane| col + b[lane] as usize), mask);
+                let bb = bucket_base.ld(lanes_from_fn(|lane| b[lane] as usize), mask);
+                let new_idx = lanes_from_fn(|lane| {
+                    padded_index((bb[lane] + prev_chunks[lane] + offs_reg[chunk][lane]) as usize)
+                });
+                keys2_s.st(new_idx, key_reg[chunk], mask);
+                if let (Some(vr), Some(vs2)) = (&val_reg, &values2_s) {
+                    vs2.st(new_idx, vr[chunk], mask);
+                }
+            }
+        }
+        blk.sync();
+
+        // Phase 5: write the bucket-dense tile to the staged scratch,
+        // fully coalesced (a partial tail tile is dense too — the reorder
+        // maps `valid` elements onto positions 0..valid).
+        for w in blk.warps() {
+            for c in 0..ipt {
+                let chunk = w.warp_id * ipt + c;
+                let base = tile_start + chunk * WARP_SIZE;
+                let mask = tail_mask(base, n);
+                if mask == 0 {
+                    continue;
+                }
+                let tid = lanes_from_fn(|lane| chunk * WARP_SIZE + lane);
+                let spos = lanes_from_fn(|lane| padded_index(tid[lane]));
+                let k2 = keys2_s.ld(spos, mask);
+                let dest = lanes_from_fn(|lane| tile_start + tid[lane]);
+                w.scatter(&staged, dest, k2, mask);
+                if let (Some(vs2), Some(vstg)) = (&values2_s, &staged_vals) {
+                    let v2 = vs2.ld(spos, mask);
+                    w.scatter(vstg, dest, v2, mask);
+                }
+            }
+        }
+    });
+
+    // ====== Host: the last tile's inclusive record *is* the global
+    // histogram — exclusive-scan it into the m bucket bases (uncounted
+    // host reads, like the fused path's `totals.get(b)`).
+    let row_totals = states.row_totals();
+    let mut bases_host = Vec::with_capacity(mu);
+    let mut run = 0u32;
+    for &t in &row_totals {
+        bases_host.push(run);
+        run = run.wrapping_add(t);
+    }
+    debug_assert_eq!(run as usize, n, "chained totals must sum to n");
+    let bases = GlobalBuffer::from_slice(&bases_host);
+    let mut offsets = bases_host;
+    offsets.push(n as u32);
+
+    // ====== Launch 2: deferred scatter. Block = tile (no ticket needed:
+    // nothing waits on anything), every record already INCLUSIVE, so this
+    // kernel never spins and its stats are trivially schedule-independent.
+    let out_keys = GlobalBuffer::<u32>::zeroed(n).tracked();
+    let out_values = values.map(|_| GlobalBuffer::<V>::zeroed(n).tracked());
+    dev.launch("onesweep/scatter", l, wpb, |blk| {
+        let t = blk.block_id;
+        let tile_start = t * tile;
+        let scatter_base = blk.alloc_shared::<u32>(mu);
+
+        // Warp 0: rebuild this tile's exclusive prefix and histogram from
+        // the resolved records — own inclusive minus predecessor
+        // inclusive — then fold the three scatter terms into one table:
+        // dest = bases[b] + prefix[b] + (tid - bucket_base[b])
+        //      = scatter_base[b] + tid.
+        {
+            let w = blk.warp(0);
+            let mask = low_lanes_mask(mu);
+            let own = states.read_record(&w, t);
+            let prev = if t > 0 {
+                states.read_record(&w, t - 1)
+            } else {
+                vec![0u32; mu]
+            };
+            let hist = lanes_from_fn(|lane| {
+                if lane < mu {
+                    own[lane].wrapping_sub(prev[lane])
+                } else {
+                    0
+                }
+            });
+            let bb = warp_scan::exclusive_scan_add(&w, hist);
+            let gb = w.gather_cached(&bases, lanes_from_fn(|lane| lane.min(mu - 1)), mask);
+            scatter_base.st(
+                lanes_from_fn(|lane| lane.min(mu - 1)),
+                lanes_from_fn(|lane| {
+                    gb[lane]
+                        .wrapping_add(prev[lane.min(mu - 1)])
+                        .wrapping_sub(bb[lane])
+                }),
+                mask,
+            );
+        }
+        blk.sync();
+
+        // Coalesced read of the staged tile; buckets recomputed from the
+        // staged keys (ALU only — cheaper than staging a second word per
+        // element); near-coalesced scatter (bucket-dense runs).
+        for w in blk.warps() {
+            for c in 0..ipt {
+                let chunk = w.warp_id * ipt + c;
+                let base = tile_start + chunk * WARP_SIZE;
+                let mask = tail_mask(base, n);
+                if mask == 0 {
+                    continue;
+                }
+                let tid = lanes_from_fn(|lane| chunk * WARP_SIZE + lane);
+                let idx = lanes_from_fn(|j| if base + j < n { base + j } else { base });
+                let k2 = w.gather(&staged, idx, mask);
+                let b2 = eval_buckets(&w, bucket, k2, mask);
+                let sb = scatter_base.ld(lanes_from_fn(|lane| b2[lane] as usize), mask);
+                let dest = lanes_from_fn(|lane| sb[lane].wrapping_add(tid[lane] as u32) as usize);
+                w.scatter(&out_keys, dest, k2, mask);
+                if let (Some(vstg), Some(vout)) = (&staged_vals, &out_values) {
+                    let v2 = w.gather(vstg, idx, mask);
+                    w.scatter(vout, dest, v2, mask);
+                }
+            }
+        }
+    });
+
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::{FnBuckets, RangeBuckets};
+    use crate::common::no_values;
+    use crate::cpu_ref::{multisplit_kv_ref, multisplit_ref};
+    use crate::fused::multisplit_fused;
+    use simt::{BlockStats, Device, K40C};
+
+    fn keys_for(n: usize, seed: u32) -> Vec<u32> {
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_across_m_and_n() {
+        let dev = Device::new(K40C);
+        for m in [1u32, 2, 4, 9, 17, 32] {
+            for n in [1usize, 32, 255, 2048, 2049, 10_000] {
+                let bucket = RangeBuckets::new(m);
+                let data = keys_for(n, m);
+                let keys = GlobalBuffer::from_slice(&data);
+                let r = multisplit_onesweep(&dev, &keys, no_values(), n, &bucket, 8);
+                let (expect, expect_offs) = multisplit_ref(&data, &bucket);
+                assert_eq!(r.keys.to_vec(), expect, "m={m} n={n}");
+                assert_eq!(r.offsets, expect_offs, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_value_matches_reference() {
+        let dev = Device::new(K40C);
+        let n = 10_000;
+        let bucket = RangeBuckets::new(13);
+        let data = keys_for(n, 7);
+        let vals: Vec<u32> = (0..n as u32).map(|i| !i).collect();
+        let keys = GlobalBuffer::from_slice(&data);
+        let values = GlobalBuffer::from_slice(&vals);
+        let r = multisplit_onesweep(&dev, &keys, Some(&values), n, &bucket, 8);
+        let (ek, ev, eo) = multisplit_kv_ref(&data, Some(&vals), &bucket);
+        assert_eq!(r.keys.to_vec(), ek);
+        assert_eq!(r.values.unwrap().to_vec(), ev);
+        assert_eq!(r.offsets, eo);
+    }
+
+    #[test]
+    fn empty_input_launches_nothing() {
+        let dev = Device::new(K40C);
+        let keys = GlobalBuffer::<u32>::zeroed(0);
+        let bucket = RangeBuckets::new(8);
+        let r = multisplit_onesweep(&dev, &keys, no_values(), 0, &bucket, 8);
+        assert_eq!(r.offsets, vec![0; 9]);
+        assert!(dev.records().is_empty());
+    }
+
+    #[test]
+    fn single_bucket_identity() {
+        let dev = Device::new(K40C);
+        let n = 1000;
+        let bucket = FnBuckets::new(8, |_| 3);
+        let data = keys_for(n, 1);
+        let keys = GlobalBuffer::from_slice(&data);
+        let r = multisplit_onesweep(&dev, &keys, no_values(), n, &bucket, 8);
+        assert_eq!(r.keys.to_vec(), data, "stability: one bucket is identity");
+        assert_eq!(r.offsets, vec![0, 0, 0, 0, 1000, 1000, 1000, 1000, 1000]);
+    }
+
+    #[test]
+    fn works_with_various_warps_per_block() {
+        let dev = Device::new(K40C);
+        let n = 5000;
+        let bucket = RangeBuckets::new(8);
+        let data = keys_for(n, 3);
+        let keys = GlobalBuffer::from_slice(&data);
+        let (expect, _) = multisplit_ref(&data, &bucket);
+        for wpb in [1, 2, 4, 8, 16] {
+            let r = multisplit_onesweep(&dev, &keys, no_values(), n, &bucket, wpb);
+            assert_eq!(r.keys.to_vec(), expect, "wpb={wpb}");
+        }
+    }
+
+    #[test]
+    fn coarsening_is_tight_against_the_shared_budget() {
+        // Same convention as the fused paths: the chosen coarsening fits
+        // SMEM_BUDGET_WORDS exactly, one more item per thread would not.
+        for (wpb, m, vb) in [
+            (8usize, 32usize, 0u64),
+            (16, 32, 4),
+            (16, 32, 16),
+            (8, 1, 0),
+        ] {
+            let vw = vb as usize / 4;
+            let ipt = onesweep_items_per_thread(wpb, m, vb);
+            assert!(
+                onesweep_footprint_words(wpb, m, ipt, vw) <= SMEM_BUDGET_WORDS,
+                "wpb={wpb} m={m} vb={vb}: chosen ipt={ipt} overflows the budget"
+            );
+            if ipt < MAX_ITEMS_PER_THREAD {
+                assert!(
+                    onesweep_footprint_words(wpb, m, ipt + 1, vw) > SMEM_BUDGET_WORDS,
+                    "wpb={wpb} m={m} vb={vb}: ipt={ipt} is not tight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_bit_and_stats() {
+        let n = 100_000;
+        let bucket = RangeBuckets::new(32);
+        let data = keys_for(n, 11);
+        let mut outs = Vec::new();
+        let mut stats = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let keys = GlobalBuffer::from_slice(&data);
+            let r = multisplit_onesweep(&dev, &keys, no_values(), n, &bucket, 8);
+            outs.push((r.keys.to_vec(), r.offsets));
+            stats.push(
+                dev.records()
+                    .iter()
+                    .fold(BlockStats::default(), |mut a, rec| {
+                        a += rec.stats;
+                        a
+                    }),
+            );
+        }
+        assert_eq!(outs[0], outs[1], "bit-identical across schedulers");
+        assert_eq!(stats[0], stats[1], "stats must be schedule-independent");
+    }
+
+    #[test]
+    fn reads_keys_at_least_25_percent_less_than_fused() {
+        // The ISSUE gate: at n = 2^20, m = 32 the onesweep path must read
+        // >= 25% fewer key-buffer DRAM sectors than Method::Fused (one
+        // key pass vs two; the expected figure is ~50%).
+        let n = 1 << 20;
+        let bucket = RangeBuckets::new(32);
+        let data = keys_for(n, 2);
+        let dev_o = Device::sequential(K40C);
+        let keys_o = GlobalBuffer::from_slice(&data);
+        let ro = multisplit_onesweep(&dev_o, &keys_o, no_values(), n, &bucket, 8);
+        let one = keys_o.read_sectors();
+        let dev_f = Device::sequential(K40C);
+        let keys_f = GlobalBuffer::from_slice(&data);
+        let rf = multisplit_fused(&dev_f, &keys_f, no_values(), n, &bucket, 8);
+        let two = keys_f.read_sectors();
+        assert_eq!(ro.keys.to_vec(), rf.keys.to_vec(), "bit-identical paths");
+        assert_eq!(ro.offsets, rf.offsets);
+        assert!(
+            (one as f64) <= 0.75 * two as f64,
+            "onesweep read {one} key sectors vs fused {two}: need >= 25% fewer"
+        );
+    }
+}

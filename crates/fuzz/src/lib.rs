@@ -40,14 +40,15 @@ pub const MAX_N: usize = 4096;
 /// with `m` and the interesting boundaries are far below).
 pub const MAX_LARGE_M: u32 = 256;
 
-/// All six methods with their replay-token names.
-pub const METHODS: [(Method, &str); 6] = [
+/// All seven methods with their replay-token names.
+pub const METHODS: [(Method, &str); 7] = [
     (Method::Direct, "direct"),
     (Method::WarpLevel, "warp"),
     (Method::BlockLevel, "block"),
     (Method::LargeM, "largem"),
     (Method::Fused, "fused"),
     (Method::FusedLargeM, "fusedlargem"),
+    (Method::Onesweep, "onesweep"),
 ];
 
 /// Input key distribution.
@@ -567,7 +568,7 @@ fn sched_for(ix: usize, rng: &mut SmallRng) -> SchedSpec {
 /// Deterministically generate case `ix` of a run seeded with `seed`.
 ///
 /// Methods, kv, and schedules rotate (so 200 iterations exhaust the
-/// 6 methods x {key, kv} x 6 schedules matrix several times over) while
+/// 7 methods x {key, kv} x 6 schedules matrix twice over) while
 /// sizes, bucket counts, seeds, and distributions are drawn from the
 /// run's RNG with a deliberate bias toward boundary values (0, 1, warp
 /// and tile multiples, capacity edges).
@@ -679,11 +680,12 @@ mod tests {
 
     #[test]
     fn generator_covers_the_matrix() {
-        // 72 consecutive cases hit every method x kv x schedule family.
+        // 84 consecutive cases (7 methods x 2 kv x 6 schedules) hit every
+        // method x kv x schedule family exactly once.
         let mut methods = std::collections::HashSet::new();
         let mut kvs = std::collections::HashSet::new();
         let mut scheds = std::collections::HashSet::new();
-        for ix in 0..72 {
+        for ix in 0..84 {
             let c = gen_case(5, ix);
             methods.insert(method_token(c.method));
             kvs.insert(c.kv);
@@ -695,7 +697,7 @@ mod tests {
             assert!(c.m >= c.min_m() && c.m <= c.max_m(), "m in range for {c:?}");
             assert!(c.n <= MAX_N);
         }
-        assert_eq!(methods.len(), 6, "{methods:?}");
+        assert_eq!(methods.len(), 7, "{methods:?}");
         assert_eq!(kvs.len(), 2);
         assert_eq!(scheds.len(), 6, "{scheds:?}");
     }
@@ -736,11 +738,11 @@ mod tests {
 
     #[test]
     fn small_smoke_run_is_clean() {
-        // 72 iterations walk one full schedule rotation (ix/12 cycles through
+        // 84 iterations walk one full schedule rotation (ix/14 cycles through
         // sequential, parallel, and all four adversarial flavors), so this
         // smoke test exercises the adversarial executor, not just seq/par.
-        let report = fuzz(72, 1234, |_, _| {});
-        assert_eq!(report.iters_run, 72);
+        let report = fuzz(84, 1234, |_, _| {});
+        assert_eq!(report.iters_run, 84);
         assert!(
             report.failure.is_none(),
             "smoke fuzz must be clean: {:?}",

@@ -266,6 +266,39 @@ impl TileStates {
         prefix
     }
 
+    /// Device-side counted read of tile `t`'s resolved record: the
+    /// per-row *inclusive* prefixes it published. Bills exactly one
+    /// counted record-sized `device_gather` per row group — the same
+    /// deterministic charge [`resolve_rows`](Self::resolve_rows) uses for
+    /// its look-back read — so a kernel that reads predecessor records
+    /// (the onesweep scatter pass) keeps schedule-independent stats.
+    ///
+    /// The record must already be INCLUSIVE (e.g. published by an earlier
+    /// launch; a launch boundary is a device-wide barrier). This does not
+    /// spin: reading an unresolved record is a caller bug, caught by the
+    /// debug assertion.
+    pub fn read_record(&self, w: &WarpCtx, t: usize) -> Vec<u32> {
+        let rows = self.rows;
+        let mut vals = vec![0u32; rows];
+        for g in 0..self.row_groups() {
+            let (rec, mask) = self.group_record(t, g);
+            let words = w.device_gather(&self.state, rec, mask);
+            let base = g * WARP_SIZE;
+            let cnt = (rows - base).min(WARP_SIZE);
+            for l in 0..cnt {
+                let (value, flag) = unpack(words[l]);
+                debug_assert_eq!(
+                    flag,
+                    FLAG_INCLUSIVE,
+                    "read_record requires a resolved record (tile {t} row {})",
+                    base + l
+                );
+                vals[base + l] = value;
+            }
+        }
+        vals
+    }
+
     /// Host-side read of one row's grand total (the last tile's inclusive
     /// value). Only valid after the kernel has completed.
     pub fn total(&self, row: usize) -> u32 {
@@ -276,6 +309,16 @@ impl TileStates {
             "last tile must have resolved its inclusive prefix"
         );
         value
+    }
+
+    /// Host-side read of every row's grand total — the last tile's
+    /// inclusive record. This is the readback that lets a single-pass
+    /// kernel drop its separate global-totals buffer: the chained
+    /// protocol's final record *is* the per-bucket total count. Uncounted
+    /// host reads, matching the uncounted `totals.get(b)` convention of
+    /// the two-launch paths.
+    pub fn row_totals(&self) -> Vec<u32> {
+        (0..self.rows).map(|r| self.total(r)).collect()
     }
 }
 
@@ -451,6 +494,55 @@ mod tests {
         assert_eq!(
             runs[0], runs[1],
             "resolve and resolve_rows must bill rows = 1 identically"
+        );
+    }
+
+    /// A second launch can read back predecessors' resolved records with
+    /// the same per-group counted charge the walk uses; values match the
+    /// host reference (inclusive prefixes) and billing is
+    /// schedule-independent.
+    #[test]
+    fn read_record_returns_inclusive_prefixes_with_counted_billing() {
+        let (tiles, rows) = (23usize, 40usize);
+        let agg = |t: usize, r: usize| ((t * 11 + r * 3) % 19) as u32;
+        let mut stats = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let states = TileStates::new(tiles, rows);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            dev.launch("readback-resolve", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                let a: Vec<u32> = (0..rows).map(|r| agg(t, r)).collect();
+                states.resolve_rows(&w, t, &a);
+            });
+            // Launch boundary: every record is INCLUSIVE, no spinning.
+            let out = simt::GlobalBuffer::<u32>::zeroed(tiles * rows);
+            dev.launch("readback-read", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = blk.block_id;
+                let rec = states.read_record(&w, t);
+                for (r, &v) in rec.iter().enumerate() {
+                    out.set(t * rows + r, v);
+                }
+            });
+            let got = out.to_vec();
+            for t in 0..tiles {
+                for r in 0..rows {
+                    let expect: u32 = (0..=t).map(|p| agg(p, r)).sum();
+                    assert_eq!(got[t * rows + r], expect, "tile {t} row {r}");
+                }
+            }
+            assert_eq!(
+                states.row_totals(),
+                (0..rows)
+                    .map(|r| (0..tiles).map(|p| agg(p, r)).sum::<u32>())
+                    .collect::<Vec<_>>()
+            );
+            stats.push(dev.records()[1].stats);
+        }
+        assert_eq!(
+            stats[0], stats[1],
+            "record readback must bill schedule-independently"
         );
     }
 

@@ -177,6 +177,12 @@ pub struct GlobalBuffer<T: Scalar> {
     /// Per-element race-detector marks: `(epoch << 32) | writer_block`,
     /// recording who last wrote each element and in which kernel epoch.
     marks: Option<Box<[AtomicU64]>>,
+    /// Counted read sectors attributed to *this* buffer across its lifetime
+    /// (warp-wide `gather`/`gather_cached` only). `BlockStats` aggregates
+    /// sectors per launch with no per-buffer attribution; claims like "the
+    /// key buffer is read once" need the traffic split by buffer instead.
+    /// Only counted read paths bump it, so it is schedule-independent.
+    read_sectors: AtomicU64,
     _elem: std::marker::PhantomData<T>,
 }
 
@@ -186,6 +192,7 @@ impl<T: Scalar> GlobalBuffer<T> {
         Self {
             words: data.iter().map(|v| AtomicU64::new(v.to_bits())).collect(),
             marks: None,
+            read_sectors: AtomicU64::new(0),
             _elem: std::marker::PhantomData,
         }
     }
@@ -230,6 +237,14 @@ impl<T: Scalar> GlobalBuffer<T> {
             .iter()
             .map(|w| T::from_bits(w.load(Ordering::Relaxed)))
             .collect()
+    }
+
+    /// Total 32 B sectors billed to counted warp-wide *reads* of this
+    /// buffer (`gather` + `gather_cached`) since allocation. Device-scope
+    /// ops and host access are excluded: they are the communication /
+    /// inspection channels, not the bulk data stream this attributes.
+    pub fn read_sectors(&self) -> u64 {
+        self.read_sectors.load(Ordering::Relaxed)
     }
 
     /// Host-side single element read (no transaction accounting).
@@ -302,7 +317,8 @@ impl<T: Scalar> GlobalBuffer<T> {
                 out[lane] = T::from_bits(self.words[idx[lane]].load(Ordering::Relaxed));
             }
         }
-        self.account(stats, &idx, mask);
+        let sectors = self.account(stats, &idx, mask);
+        self.read_sectors.fetch_add(sectors, Ordering::Relaxed);
         out
     }
 
@@ -332,6 +348,8 @@ impl<T: Scalar> GlobalBuffer<T> {
             StatCells::bump(&stats.useful_bytes, bytes);
             StatCells::bump(&stats.global_requests, 1);
             StatCells::bump(&stats.lane_ops, active);
+            self.read_sectors
+                .fetch_add(bytes.div_ceil(SECTOR_BYTES), Ordering::Relaxed);
         }
         out
     }
@@ -386,9 +404,9 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// this is precisely the cost the paper's shared-memory reordering
     /// eliminates (same addresses, lane-contiguous order).
     #[allow(clippy::needless_range_loop)] // lane-indexed loops are the warp idiom
-    fn account(&self, stats: &StatCells, idx: &Lanes<usize>, mask: u32) {
+    fn account(&self, stats: &StatCells, idx: &Lanes<usize>, mask: u32) -> u64 {
         if mask == 0 {
-            return;
+            return 0;
         }
         let mut sectors = [0u64; WARP_SIZE];
         let mut n = 0usize;
@@ -419,6 +437,7 @@ impl<T: Scalar> GlobalBuffer<T> {
         StatCells::bump(&stats.global_requests, 1);
         StatCells::bump(&stats.replays, replays.saturating_sub(1));
         StatCells::bump(&stats.lane_ops, active);
+        n as u64
     }
 }
 

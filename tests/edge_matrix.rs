@@ -1,7 +1,7 @@
 //! Degenerate-input matrix (ISSUE 5 satellite): zero-length,
 //! single-element, and all-one-bucket inputs across every public entry
 //! point — host-slice multisplit and multisplit_kv, multisplit_device for
-//! all six methods, the compaction primitives, and both scan strategies —
+//! all seven methods, the compaction primitives, and both scan strategies —
 //! on parallel, sequential, and adversarial devices alike.
 
 use multisplit::{
@@ -11,13 +11,14 @@ use multisplit::{
 use primitives::ScanStrategy;
 use simt::{AdvSchedule, Device, GlobalBuffer, K40C};
 
-const METHODS: [Method; 6] = [
+const METHODS: [Method; 7] = [
     Method::Direct,
     Method::WarpLevel,
     Method::BlockLevel,
     Method::LargeM,
     Method::Fused,
     Method::FusedLargeM,
+    Method::Onesweep,
 ];
 
 /// One device of each schedule kind; every check below runs on all three.
