@@ -32,7 +32,8 @@ pub use radix_sort::{radix_sort, radix_sort_by_bits, RADIX_BITS_PER_PASS};
 pub use randomized::{randomized_multisplit, RandomizedConfig};
 pub use reduced_bit::{
     label_bits, reduced_bit_multisplit, reduced_bit_multisplit_kv,
-    reduced_bit_multisplit_kv_by_index,
+    reduced_bit_multisplit_kv_by_index, reduced_bit_strategy, with_reduced_bit_strategy,
+    ReducedBitStrategy,
 };
 pub use scan_split::{recursive_scan_multisplit, scan_based_split};
 pub use thread_level::{multisplit_thread_level, THREAD_COARSENING};

@@ -1,8 +1,8 @@
 //! Reduced-bit sort (paper §3.4): the best sort-based multisplit.
 //!
 //! Rather than sorting full 32-bit keys, generate each key's bucket label
-//! and radix-sort only the `⌈log2 m⌉` label bits, permuting the original
-//! data as the sort's payload:
+//! and sort only the `⌈log2 m⌉` label bits, permuting the original data
+//! as the sort's payload:
 //!
 //! * **key-only** — sort (label, key) pairs by label; the payload keys
 //!   come out multisplit-ordered.
@@ -11,8 +11,20 @@
 //!   beats the (label, index)+manual-gather alternative, whose random
 //!   gathers get worse with `m`; the ablation bench compares both.
 //!
+//! The label sort itself is pluggable ([`ReducedBitStrategy`]): the
+//!   default routes through `ms_sort` — fused single-pass multisplit
+//!   digits, so `⌈log2 m⌉ ≤ 8` label bits cost **one** pass with no
+//!   histogram-matrix round-trip — while [`ReducedBitStrategy::Legacy`]
+//!   keeps the original hand-rolled `radix_sort_by_bits` pipeline
+//!   (5-bit three-kernel passes) selectable for the bench comparison.
+//!   The index variant ([`reduced_bit_multisplit_kv_by_index`]) now rides
+//!   [`ms_sort::argsort_by_bits`]: labels and original indices packed into
+//!   a *single* `u32`, payloads permuted once through the sorted indices.
+//!
 //! The extra label/pack/unpack passes are the method's overhead — visible
 //! as the "Labeling" and "(un)Packing" rows of Table 4.
+
+use std::cell::Cell;
 
 use simt::{blocks_for, lanes_from_fn, Device, GlobalBuffer, WARP_SIZE};
 
@@ -20,6 +32,42 @@ use multisplit::BucketFn;
 use primitives::tail_mask;
 
 use crate::radix_sort::radix_sort_by_bits;
+
+/// Which pipeline sorts the labels in `reduced_bit_multisplit{,_kv}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReducedBitStrategy {
+    /// Labels sorted by `ms_sort` fused multisplit digits (default:
+    /// one fused pass for `m <= 256`, no histogram-matrix round-trip).
+    #[default]
+    MsSort,
+    /// The original hand-rolled pipeline over
+    /// [`radix_sort_by_bits`] (5-bit three-kernel passes). Kept
+    /// selectable as the bench comparison point.
+    Legacy,
+}
+
+thread_local! {
+    static STRATEGY: Cell<ReducedBitStrategy> = const { Cell::new(ReducedBitStrategy::MsSort) };
+}
+
+/// The label-sort pipeline currently selected (per host thread).
+pub fn reduced_bit_strategy() -> ReducedBitStrategy {
+    STRATEGY.with(Cell::get)
+}
+
+/// Run `f` with the reduced-bit label sort pinned to `s`, restoring the
+/// previous strategy on the way out — including on panic (RAII drop
+/// guard, like `multisplit::with_pipeline`).
+pub fn with_reduced_bit_strategy<R>(s: ReducedBitStrategy, f: impl FnOnce() -> R) -> R {
+    struct Restore(ReducedBitStrategy);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            STRATEGY.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(STRATEGY.with(|c| c.replace(s)));
+    f()
+}
 
 /// Bits needed to sort `m` labels.
 pub fn label_bits(m: u32) -> u32 {
@@ -68,43 +116,14 @@ fn offsets_from_labels(labels: &[u32], m: usize) -> Vec<u32> {
     offsets
 }
 
-/// Key-only reduced-bit multisplit. Stable.
-pub fn reduced_bit_multisplit<B: BucketFn + ?Sized>(
-    dev: &Device,
-    keys: &GlobalBuffer<u32>,
-    n: usize,
-    bucket: &B,
-    wpb: usize,
-) -> (GlobalBuffer<u32>, Vec<u32>) {
-    let m = bucket.num_buckets();
-    let labels = GlobalBuffer::<u32>::zeroed(n);
-    write_labels(dev, "reduced/label", keys, &labels, n, bucket, wpb);
-    let (sorted_labels, out_keys) = radix_sort_by_bits(
-        dev,
-        "reduced/sort",
-        &labels,
-        Some(keys),
-        n,
-        label_bits(m),
-        wpb,
-    );
-    (
-        out_keys.expect("payload present"),
-        offsets_from_labels(&sorted_labels.to_vec(), m as usize),
-    )
-}
-
-/// Key–value reduced-bit multisplit via 64-bit packing. Stable.
-pub fn reduced_bit_multisplit_kv<B: BucketFn + ?Sized>(
+/// Kernel: packed[i] = (keys[i] << 32) | values[i].
+fn pack_kv(
     dev: &Device,
     keys: &GlobalBuffer<u32>,
     values: &GlobalBuffer<u32>,
     n: usize,
-    bucket: &B,
     wpb: usize,
-) -> (GlobalBuffer<u32>, GlobalBuffer<u32>, Vec<u32>) {
-    let m = bucket.num_buckets();
-    // Pack (key, value) into u64.
+) -> GlobalBuffer<u64> {
     let packed = GlobalBuffer::<u64>::zeroed(n);
     dev.launch("reduced/pack", blocks_for(n, wpb), wpb, |blk| {
         for w in blk.warps() {
@@ -125,19 +144,16 @@ pub fn reduced_bit_multisplit_kv<B: BucketFn + ?Sized>(
             );
         }
     });
-    let labels = GlobalBuffer::<u32>::zeroed(n);
-    write_labels(dev, "reduced/label", keys, &labels, n, bucket, wpb);
-    let (sorted_labels, sorted_packed) = radix_sort_by_bits(
-        dev,
-        "reduced/sort",
-        &labels,
-        Some(&packed),
-        n,
-        label_bits(m),
-        wpb,
-    );
-    let sorted_packed = sorted_packed.expect("payload present");
-    // Unpack.
+    packed
+}
+
+/// Kernel: split packed u64 words back into (keys, values).
+fn unpack_kv(
+    dev: &Device,
+    packed: &GlobalBuffer<u64>,
+    n: usize,
+    wpb: usize,
+) -> (GlobalBuffer<u32>, GlobalBuffer<u32>) {
     let out_keys = GlobalBuffer::<u32>::zeroed(n);
     let out_values = GlobalBuffer::<u32>::zeroed(n);
     dev.launch("reduced/unpack", blocks_for(n, wpb), wpb, |blk| {
@@ -148,20 +164,101 @@ pub fn reduced_bit_multisplit_kv<B: BucketFn + ?Sized>(
                 continue;
             }
             let idx = lanes_from_fn(|j| if base + j < n { base + j } else { base });
-            let p = w.gather(&sorted_packed, idx, mask);
+            let p = w.gather(packed, idx, mask);
             w.charge(mask.count_ones() as u64);
             w.scatter(&out_keys, idx, lanes_from_fn(|l| (p[l] >> 32) as u32), mask);
             w.scatter(&out_values, idx, lanes_from_fn(|l| p[l] as u32), mask);
         }
     });
-    let offsets = offsets_from_labels(&sorted_labels.to_vec(), m as usize);
-    (out_keys, out_values, offsets)
+    (out_keys, out_values)
+}
+
+/// Key-only reduced-bit multisplit. Stable. The label sort runs on the
+/// pipeline selected by [`reduced_bit_strategy`].
+pub fn reduced_bit_multisplit<B: BucketFn + ?Sized>(
+    dev: &Device,
+    keys: &GlobalBuffer<u32>,
+    n: usize,
+    bucket: &B,
+    wpb: usize,
+) -> (GlobalBuffer<u32>, Vec<u32>) {
+    let m = bucket.num_buckets();
+    let labels = GlobalBuffer::<u32>::zeroed(n);
+    write_labels(dev, "reduced/label", keys, &labels, n, bucket, wpb);
+    match reduced_bit_strategy() {
+        ReducedBitStrategy::MsSort => {
+            // Bucket counts are order-independent, so the offsets come
+            // from the unsorted labels — no extra device pass.
+            let offsets = offsets_from_labels(&labels.to_vec(), m as usize);
+            let (_, out_keys) =
+                ms_sort::sort_pairs_by_bits(dev, &labels, keys, n, label_bits(m), wpb);
+            (out_keys, offsets)
+        }
+        ReducedBitStrategy::Legacy => {
+            let (sorted_labels, out_keys) = radix_sort_by_bits(
+                dev,
+                "reduced/sort",
+                &labels,
+                Some(keys),
+                n,
+                label_bits(m),
+                wpb,
+            );
+            (
+                out_keys.expect("payload present"),
+                offsets_from_labels(&sorted_labels.to_vec(), m as usize),
+            )
+        }
+    }
+}
+
+/// Key–value reduced-bit multisplit via 64-bit packing. Stable. The label
+/// sort runs on the pipeline selected by [`reduced_bit_strategy`].
+pub fn reduced_bit_multisplit_kv<B: BucketFn + ?Sized>(
+    dev: &Device,
+    keys: &GlobalBuffer<u32>,
+    values: &GlobalBuffer<u32>,
+    n: usize,
+    bucket: &B,
+    wpb: usize,
+) -> (GlobalBuffer<u32>, GlobalBuffer<u32>, Vec<u32>) {
+    let m = bucket.num_buckets();
+    let packed = pack_kv(dev, keys, values, n, wpb);
+    let labels = GlobalBuffer::<u32>::zeroed(n);
+    write_labels(dev, "reduced/label", keys, &labels, n, bucket, wpb);
+    match reduced_bit_strategy() {
+        ReducedBitStrategy::MsSort => {
+            let offsets = offsets_from_labels(&labels.to_vec(), m as usize);
+            let (_, sorted_packed) =
+                ms_sort::sort_pairs_by_bits(dev, &labels, &packed, n, label_bits(m), wpb);
+            let (out_keys, out_values) = unpack_kv(dev, &sorted_packed, n, wpb);
+            (out_keys, out_values, offsets)
+        }
+        ReducedBitStrategy::Legacy => {
+            let (sorted_labels, sorted_packed) = radix_sort_by_bits(
+                dev,
+                "reduced/sort",
+                &labels,
+                Some(&packed),
+                n,
+                label_bits(m),
+                wpb,
+            );
+            let sorted_packed = sorted_packed.expect("payload present");
+            let (out_keys, out_values) = unpack_kv(dev, &sorted_packed, n, wpb);
+            let offsets = offsets_from_labels(&sorted_labels.to_vec(), m as usize);
+            (out_keys, out_values, offsets)
+        }
+    }
 }
 
 /// The paper's alternative key–value strategy (§3.4): sort (label, index)
 /// pairs, then gather key–value pairs through the permuted indices. Kept
 /// for the ablation bench — its random gathers lose to packing as `m`
-/// grows, which is why the packed variant above is the default.
+/// grows, which is why the packed variant above is the default. Now rides
+/// [`ms_sort::argsort_by_bits`]: label and original index packed into a
+/// *single* u32 so the sort itself moves one word per element, with one
+/// permute pass per payload after.
 pub fn reduced_bit_multisplit_kv_by_index<B: BucketFn + ?Sized>(
     dev: &Device,
     keys: &GlobalBuffer<u32>,
@@ -173,6 +270,14 @@ pub fn reduced_bit_multisplit_kv_by_index<B: BucketFn + ?Sized>(
     let m = bucket.num_buckets();
     let labels = GlobalBuffer::<u32>::zeroed(n);
     write_labels(dev, "reduced-idx/label", keys, &labels, n, bucket, wpb);
+    if let Some(args) = ms_sort::argsort_by_bits(dev, &labels, n, label_bits(m), wpb) {
+        let out_keys = args.permute(dev, keys, wpb);
+        let out_values = args.permute(dev, values, wpb);
+        let offsets = offsets_from_labels(&labels.to_vec(), m as usize);
+        return (out_keys, out_values, offsets);
+    }
+    // label_bits + index_bits > 32: fall back to carrying the index as a
+    // separate payload word through the legacy pipeline.
     let indices = GlobalBuffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
     let (sorted_labels, perm) = radix_sort_by_bits(
         dev,
@@ -299,10 +404,62 @@ mod tests {
         let dev_i = Device::new(K40C);
         reduced_bit_multisplit_kv_by_index(&dev_i, &keys, &values, n, &bucket, 8);
         let unpack = stage_waste(&dev_p, "reduced/unpack");
-        let permute = stage_waste(&dev_i, "reduced-idx/permute");
+        // The index variant's permute now runs via ms_sort::Argsort.
+        let permute = stage_waste(&dev_i, "ms_sort/permute");
         assert!(
             permute > 10 * unpack.max(1),
             "random permute waste {permute} should dwarf streaming unpack waste {unpack}"
+        );
+    }
+
+    #[test]
+    fn legacy_strategy_still_matches_reference() {
+        // The hand-rolled pipeline stays selectable (and correct) for the
+        // bench comparison against the ms-sort default.
+        let dev = Device::new(K40C);
+        let n = 4000;
+        let bucket = RangeBuckets::new(24);
+        let data = keys_for(n, 3);
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let keys = GlobalBuffer::from_slice(&data);
+        let values = GlobalBuffer::from_slice(&vals);
+        with_reduced_bit_strategy(ReducedBitStrategy::Legacy, || {
+            let (out, offs) = reduced_bit_multisplit(&dev, &keys, n, &bucket, 8);
+            let (expect, expect_offs) = multisplit_ref(&data, &bucket);
+            assert_eq!(out.to_vec(), expect);
+            assert_eq!(offs, expect_offs);
+            // The legacy path actually ran: its three-kernel label sort
+            // leaves "reduced/sort" launch records behind.
+            assert!(dev
+                .records()
+                .iter()
+                .any(|r| r.label.starts_with("reduced/sort")));
+
+            let (ok, ov, offs) = reduced_bit_multisplit_kv(&dev, &keys, &values, n, &bucket, 8);
+            let (ek, ev, eo) = multisplit_kv_ref(&data, Some(&vals), &bucket);
+            assert_eq!(ok.to_vec(), ek);
+            assert_eq!(ov.to_vec(), ev);
+            assert_eq!(offs, eo);
+        });
+        assert_eq!(reduced_bit_strategy(), ReducedBitStrategy::MsSort);
+    }
+
+    #[test]
+    fn mssort_default_skips_the_legacy_sort_kernels() {
+        let dev = Device::new(K40C);
+        let n = 4096;
+        let bucket = RangeBuckets::new(32);
+        let data = keys_for(n, 6);
+        let keys = GlobalBuffer::from_slice(&data);
+        reduced_bit_multisplit(&dev, &keys, n, &bucket, 8);
+        let labels: Vec<_> = dev.records().iter().map(|r| r.label.clone()).collect();
+        assert!(
+            !labels.iter().any(|l| l.starts_with("reduced/sort")),
+            "default route must not touch the legacy pipeline: {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.contains("fused")),
+            "label sort should run on the fused multisplit path: {labels:?}"
         );
     }
 

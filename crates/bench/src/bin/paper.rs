@@ -25,12 +25,18 @@
 //!   onesweep    single-key-pass onesweep MS (chained tile histograms,
 //!               deferred scatter) vs the fused pipeline: key-read vs
 //!               total sector tradeoff, all-scheduler bit-identity
+//!   sort        ms-sort (multisplit-iterated radix sort, crates/sort) vs
+//!               the CUB-like radix baseline: 8/16/32-bit key ranges, key
+//!               & key-value, per-pass sector breakdown, all-scheduler
+//!               bit-identity, reduced-bit strategy delta
+//!   sorttune    digit-width sweep behind ms-sort's DEFAULT_DIGIT_BITS:
+//!               passes and counted sectors for b in 1..=max
 //!   profile     hierarchical scope-tree roll-up with per-block telemetry
 //!               and look-back introspection; writes bench_results/profile.json
 //!   check       compare per-stage sector counts (n=2^16, m=32, plus a
-//!               large-m section at m=64 and an onesweep section at m=32)
-//!               against bench_results/baseline_sectors.json; exits 1 on
-//!               regression
+//!               large-m section at m=64, an onesweep section at m=32 and
+//!               a sort section radix-vs-ms-sort) against
+//!               bench_results/baseline_sectors.json; exits 1 on regression
 //!   fuzz        differential fuzz harness: seeded (n, m, method, distribution,
 //!               schedule) cases across every method, checked against the CPU
 //!               reference with schedule-independence invariants; shrinks the
@@ -45,8 +51,8 @@
 //!   --no-verify    skip CPU-reference verification of every run
 //!   --trials <k>   average over k seeded trials (default 1)
 //!   --json <path>  additionally write every run + report to <path> as JSON
-//!   --snapshot <s> (profile, largem, onesweep) also write a BENCH_<s>.json
-//!                  snapshot at the root
+//!   --snapshot <s> (profile, largem, onesweep, sort) also write a
+//!                  BENCH_<s>.json snapshot at the root
 //!   --update       (check) rewrite the committed baseline from current counts
 //! ```
 
@@ -1531,6 +1537,377 @@ fn onesweep_compare(opts: &Opts) {
     metrics::sink_push("onesweep", doc);
 }
 
+// ====================== ms-sort (iterated multisplit) ======================
+
+/// ms-sort (multisplit-iterated radix sort on the fused pipelines) vs the
+/// CUB-like radix baseline: total counted DRAM sectors for 8-, 16- and
+/// 32-bit key ranges, key-only and key-value, with ms-sort's per-pass
+/// sector breakdown (each digit pass is scoped `ms_sort/passK/...`).
+/// Verifies bit-identity with the host stable sort under sequential,
+/// parallel, and all four adversarial schedulers, and reports the
+/// reduced-bit pipeline's MsSort-vs-Legacy strategy delta.
+fn sort_cmd(opts: &Opts) {
+    use msrng::SmallRng;
+    use simt::{AdvFlavor, AdvSchedule, BlockStats, Device, GlobalBuffer};
+    let n = opts.n;
+    let wpb = 8;
+    let mut out = format!(
+        "ms-sort (multisplit-iterated radix, b = {} bits/pass) vs radix sort\n\
+         n = 2^{}, K40c. Keys are uniform over an 8-, 16- or 32-bit range;\n\
+         the radix baseline always sorts all 32 bits, ms-sort probes the\n\
+         effective width first (one counted reduction, stage `probe`) and\n\
+         runs ceil(eff/{}) fused digit passes over ping-pong buffers.\n\n",
+        ms_sort::DEFAULT_DIGIT_BITS,
+        n.ilog2(),
+        ms_sort::DEFAULT_DIGIT_BITS,
+    );
+    let mut t = Table::new(&[
+        "keys", "kv", "method", "eff", "passes", "probe", "pre", "sweep", "total", "vs-radix", "ms",
+    ]);
+    let mut rows: Vec<Json> = Vec::new();
+    let mut pass_rows: Vec<(u32, Vec<u64>)> = Vec::new();
+    for kv in [false, true] {
+        for key_bits in [8u32, 16, 32] {
+            let mut rng = SmallRng::seed_from_u64(3000 + key_bits as u64);
+            let keys_host: Vec<u32> = (0..n)
+                .map(|_| rng.gen_range(0..(1u64 << key_bits)) as u32)
+                .collect();
+            let values_host = kv.then(|| gen_values(n));
+            let mut expect: Vec<(u32, u32)> = keys_host.iter().copied().zip(0..n as u32).collect();
+            expect.sort_by_key(|&(k, _)| k);
+            let mut radix_total = 0u64;
+            for method in ["radix", "ms-sort"] {
+                let dev = Device::new(K40C);
+                let keys = GlobalBuffer::from_slice(&keys_host);
+                let values = values_host.as_ref().map(|v| GlobalBuffer::from_slice(v));
+                let (sk, sv, eff) = if method == "radix" {
+                    let (k, v) =
+                        baselines::radix_sort(&dev, "radix", &keys, values.as_ref(), n, wpb);
+                    (k, v, 32)
+                } else {
+                    let eff = ms_sort::effective_key_bits(&dev, &keys, n, wpb);
+                    let (k, v) = if let Some(v) = &values {
+                        let (k, v) = ms_sort::sort_pairs(&dev, &keys, v, n, wpb);
+                        (k, Some(v))
+                    } else {
+                        (ms_sort::sort_keys(&dev, &keys, n, wpb), None)
+                    };
+                    (k, v, eff)
+                };
+                if opts.verify {
+                    let ek: Vec<u32> = expect.iter().map(|&(k, _)| k).collect();
+                    assert_eq!(sk.to_vec(), ek, "{method} keys, {key_bits}-bit range");
+                    if method == "ms-sort" {
+                        // ms-sort additionally promises stability.
+                        if let Some(sv) = &sv {
+                            let ev: Vec<u32> = expect.iter().map(|&(_, v)| v).collect();
+                            assert_eq!(sv.to_vec(), ev, "ms-sort stability, {key_bits}-bit");
+                        }
+                    }
+                }
+                let stage = |name: &str| -> u64 {
+                    dev.records()
+                        .iter()
+                        .filter(|rec| stage_of(&rec.label) == name)
+                        .map(|rec| rec.stats.sectors)
+                        .sum()
+                };
+                let total: u64 = dev.records().iter().map(|rec| rec.stats.sectors).sum();
+                // Per-pass sectors from the "ms_sort/passK/" scopes. The
+                // probe runs once (before any pass); ms-sort's effective-
+                // bit pruning is what shrinks this list below 32/b.
+                let passes: Vec<u64> = {
+                    let mut acc: Vec<u64> = Vec::new();
+                    for rec in dev.records() {
+                        if let Some(rest) = rec.label.strip_prefix("ms_sort/pass") {
+                            let k: usize = rest
+                                .split('/')
+                                .next()
+                                .and_then(|s| s.parse().ok())
+                                .expect("pass index in label");
+                            if acc.len() <= k {
+                                acc.resize(k + 1, 0);
+                            }
+                            acc[k] += rec.stats.sectors;
+                        }
+                    }
+                    acc
+                };
+                if method == "radix" {
+                    radix_total = total;
+                } else {
+                    if !kv {
+                        pass_rows.push((key_bits, passes.clone()));
+                    }
+                    // The tentpole claim: fewer total counted sectors than
+                    // the 32-bit radix baseline at every key range.
+                    if n >= 1 << 12 {
+                        assert!(
+                            total < radix_total,
+                            "ms-sort moved {total} sectors vs radix {radix_total} at \
+                             {key_bits}-bit keys, kv={kv}, n={n}"
+                        );
+                    }
+                }
+                let vs = (method == "ms-sort").then(|| 1.0 - total as f64 / radix_total as f64);
+                t.row(vec![
+                    format!("{key_bits}-bit"),
+                    if kv { "kv" } else { "key" }.into(),
+                    method.into(),
+                    if method == "ms-sort" {
+                        eff.to_string()
+                    } else {
+                        "32".into()
+                    },
+                    if method == "ms-sort" {
+                        passes.len().to_string()
+                    } else {
+                        String::new()
+                    },
+                    stage("probe").to_string(),
+                    stage("pre-scan").to_string(),
+                    stage("sweep").to_string(),
+                    total.to_string(),
+                    vs.map(|s| format!("-{:.1}%", 100.0 * s))
+                        .unwrap_or_default(),
+                    ms(dev.total_seconds()),
+                ]);
+                rows.push(Json::Obj(vec![
+                    ("key_bits".into(), Json::int(key_bits as u64)),
+                    ("kv".into(), Json::Bool(kv)),
+                    ("method".into(), Json::Str(method.into())),
+                    ("effective_bits".into(), Json::int(eff as u64)),
+                    (
+                        "passes".into(),
+                        Json::Arr(passes.iter().map(|&s| Json::int(s)).collect()),
+                    ),
+                    ("total_sectors".into(), Json::int(total)),
+                    ("total_seconds".into(), Json::Num(dev.total_seconds())),
+                ]));
+            }
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str("\nper-pass counted sectors (key-only; pass = one fused multisplit):\n");
+    for (key_bits, passes) in &pass_rows {
+        out.push_str(&format!(
+            "  {key_bits:>2}-bit keys: {}\n",
+            passes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("pass{i}={s}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        ));
+    }
+
+    // Scheduler independence: outputs and counted stats must be
+    // bit-identical on all six schedulers (and equal to the host stable
+    // sort — established above for the parallel device).
+    if opts.verify {
+        let sn = n.min(1 << 16);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let keys_host: Vec<u32> = (0..sn)
+            .map(|_| rng.gen_range(0..(1u64 << 16)) as u32)
+            .collect();
+        let values_host = gen_values(sn);
+        let mut runs = Vec::new();
+        let mut sched_names = vec!["parallel".to_string(), "sequential".to_string()];
+        let mut devices = vec![Device::new(K40C), Device::sequential(K40C)];
+        for flavor in AdvFlavor::ALL {
+            sched_names.push(format!("adversarial/{}", flavor.name()));
+            devices.push(Device::adversarial(
+                K40C,
+                AdvSchedule::with_flavor(0xC0FFEE, flavor),
+            ));
+        }
+        for dev in devices {
+            let keys = GlobalBuffer::from_slice(&keys_host);
+            let values = GlobalBuffer::from_slice(&values_host);
+            let (sk, sv) = ms_sort::sort_pairs(&dev, &keys, &values, sn, wpb);
+            let stats = dev
+                .records()
+                .iter()
+                .fold(BlockStats::default(), |mut a, rec| {
+                    a += rec.stats;
+                    a
+                });
+            runs.push((sk.to_vec(), sv.to_vec(), stats));
+        }
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                runs[0], *run,
+                "ms-sort: {} and {} schedulers diverge",
+                sched_names[0], sched_names[i]
+            );
+        }
+        out.push_str(&format!(
+            "\nms-sort outputs, payloads and counted stats verified bit-identical\n\
+             across {} schedulers ({}) and against the host stable sort.\n",
+            sched_names.len(),
+            sched_names.join(", ")
+        ));
+    }
+
+    // The reduced-bit pipeline rides ms-sort by default; the old
+    // label-sort-via-radix pipeline survives as an explicit strategy.
+    {
+        use baselines::{with_reduced_bit_strategy, ReducedBitStrategy};
+        use multisplit::RangeBuckets;
+        let rn = n.min(1 << 18);
+        let m = 32u32;
+        let keys_host = gen_keys(rn, m, Distribution::Uniform, 3000);
+        let values_host = gen_values(rn);
+        let bucket = RangeBuckets::new(m);
+        out.push_str(&format!(
+            "\nreduced-bit multisplit (key-value, m = {m}, n = 2^{}) by strategy:\n",
+            rn.ilog2()
+        ));
+        let mut strat_rows: Vec<Json> = Vec::new();
+        for (strategy, name) in [
+            (ReducedBitStrategy::MsSort, "ms-sort"),
+            (ReducedBitStrategy::Legacy, "legacy"),
+        ] {
+            let dev = Device::new(K40C);
+            let keys = GlobalBuffer::from_slice(&keys_host);
+            let values = GlobalBuffer::from_slice(&values_host);
+            let _ = with_reduced_bit_strategy(strategy, || {
+                baselines::reduced_bit_multisplit_kv(&dev, &keys, &values, rn, &bucket, wpb)
+            });
+            let total: u64 = dev.records().iter().map(|rec| rec.stats.sectors).sum();
+            out.push_str(&format!(
+                "  {name:>8}: {total} sectors, {} ms\n",
+                ms(dev.total_seconds())
+            ));
+            strat_rows.push(Json::Obj(vec![
+                ("strategy".into(), Json::Str(name.into())),
+                ("total_sectors".into(), Json::int(total)),
+                ("total_seconds".into(), Json::Num(dev.total_seconds())),
+            ]));
+        }
+        rows.push(Json::Obj(vec![(
+            "reduced_bit_strategies".into(),
+            Json::Arr(strat_rows),
+        )]));
+    }
+
+    emit("sort", out);
+    let doc = Json::Obj(vec![
+        ("n".into(), Json::int(n as u64)),
+        ("device".into(), Json::Str(K40C.name.into())),
+        (
+            "digit_bits".into(),
+            Json::int(ms_sort::DEFAULT_DIGIT_BITS as u64),
+        ),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    if let Some(name) = &opts.snapshot {
+        let snap = format!("BENCH_{name}.json");
+        match std::fs::write(&snap, doc.pretty() + "\n") {
+            Ok(()) => println!("[saved {snap}]\n"),
+            Err(e) => println!("[warn: could not save {snap}: {e}]\n"),
+        }
+    }
+    metrics::sink_push("sort", doc);
+}
+
+/// Digit-width sweep behind [`ms_sort::DEFAULT_DIGIT_BITS`]: sort 32-bit
+/// keys at every width `b` in `1..=max_digit_bits` and report passes and
+/// counted sectors (key-only and key-value). The committed default must
+/// sit at the key-only sweep's counted-sector minimum.
+fn sorttune_cmd(opts: &Opts) {
+    use msrng::SmallRng;
+    use simt::{Device, GlobalBuffer};
+    let n = opts.n.min(1 << 20);
+    let wpb = 8;
+    let mut rng = SmallRng::seed_from_u64(3000);
+    let keys_host: Vec<u32> = (0..n)
+        .map(|_| rng.gen_range(0..1u64 << 32) as u32)
+        .collect();
+    let values_host = gen_values(n);
+    let mut expect = keys_host.clone();
+    expect.sort_unstable();
+    let max_key = ms_sort::max_digit_bits(wpb, 0);
+    let max_kv = ms_sort::max_digit_bits(wpb, 4);
+    let mut out = format!(
+        "ms-sort digit-width sweep: full 32-bit keys, n = 2^{}, K40c.\n\
+         Wider digits mean fewer passes but a bigger m = 2^b per pass;\n\
+         key-only passes fit up to b = {max_key}, key-value up to b = {max_kv}\n\
+         (payload staging shrinks the fused sweep's shared-memory budget).\n\n",
+        n.ilog2()
+    );
+    let mut t = Table::new(&[
+        "b",
+        "passes",
+        "key sectors",
+        "key ms",
+        "kv sectors",
+        "kv ms",
+    ]);
+    let mut rows: Vec<Json> = Vec::new();
+    let mut best: Option<(u32, u64)> = None;
+    for b in 1..=max_key {
+        let dev = Device::new(K40C);
+        let keys = GlobalBuffer::from_slice(&keys_host);
+        let (sk, _) = ms_sort::sort_by_bit_range_with::<u32>(&dev, &keys, None, n, 0, 32, b, wpb);
+        if opts.verify {
+            assert_eq!(sk.to_vec(), expect, "b={b}");
+        }
+        let total: u64 = dev.records().iter().map(|rec| rec.stats.sectors).sum();
+        let (kv_total, kv_secs) = if b <= max_kv {
+            let kdev = Device::new(K40C);
+            let keys = GlobalBuffer::from_slice(&keys_host);
+            let values = GlobalBuffer::from_slice(&values_host);
+            let _ = ms_sort::sort_by_bit_range_with(&kdev, &keys, Some(&values), n, 0, 32, b, wpb);
+            let kt: u64 = kdev.records().iter().map(|rec| rec.stats.sectors).sum();
+            (Some(kt), Some(kdev.total_seconds()))
+        } else {
+            (None, None)
+        };
+        if best.is_none_or(|(_, s)| total < s) {
+            best = Some((b, total));
+        }
+        t.row(vec![
+            b.to_string(),
+            32u32.div_ceil(b).to_string(),
+            total.to_string(),
+            ms(dev.total_seconds()),
+            kv_total.map(|s| s.to_string()).unwrap_or_default(),
+            kv_secs.map(ms).unwrap_or_default(),
+        ]);
+        rows.push(Json::Obj(vec![
+            ("digit_bits".into(), Json::int(b as u64)),
+            ("passes".into(), Json::int(32u32.div_ceil(b) as u64)),
+            ("key_sectors".into(), Json::int(total)),
+            (
+                "kv_sectors".into(),
+                kv_total.map(Json::int).unwrap_or(Json::Null),
+            ),
+        ]));
+    }
+    out.push_str(&t.render());
+    let (best_b, best_sectors) = best.expect("non-empty sweep");
+    out.push_str(&format!(
+        "\nsweet spot: b = {best_b} ({best_sectors} sectors); the committed default is \
+         b = {}.\n",
+        ms_sort::DEFAULT_DIGIT_BITS
+    ));
+    emit("sorttune", out);
+    assert_eq!(
+        best_b,
+        ms_sort::DEFAULT_DIGIT_BITS,
+        "DEFAULT_DIGIT_BITS no longer sits at the sweep minimum — retune it"
+    );
+    metrics::sink_push(
+        "sorttune",
+        Json::Obj(vec![
+            ("n".into(), Json::int(n as u64)),
+            ("best_digit_bits".into(), Json::int(best_b as u64)),
+            ("rows".into(), Json::Arr(rows)),
+        ]),
+    );
+}
+
 // ====================== Profile (observability) ======================
 
 /// Hierarchical scope-tree roll-up with per-block telemetry and look-back
@@ -1624,9 +2001,11 @@ fn check_cmd(opts: &Opts) {
     let mut current = metrics::sector_baseline_current(n, m);
     let largem_current = metrics::largem_sector_baseline_current(n, largem_m);
     let onesweep_current = metrics::onesweep_sector_baseline_current(n, m);
+    let sort_current = metrics::sort_sector_baseline_current(n, m);
     if let Json::Obj(fields) = &mut current {
         fields.push(("largem".into(), largem_current.clone()));
         fields.push(("onesweep".into(), onesweep_current.clone()));
+        fields.push(("sort".into(), sort_current.clone()));
     }
     if opts.update {
         if let Some(parent) = path.parent() {
@@ -1669,6 +2048,14 @@ fn check_cmd(opts: &Opts) {
         }
         None => failures
             .push("baseline has no `onesweep` section; refresh with `paper check --update`".into()),
+    }
+    match baseline.get("sort") {
+        Some(sort_base) => match metrics::sector_baseline_compare(&sort_current, sort_base, 0.02) {
+            Ok(ns) => notes.extend(ns.into_iter().map(|s| format!("sort: {s}"))),
+            Err(fs) => failures.extend(fs.into_iter().map(|s| format!("sort: {s}"))),
+        },
+        None => failures
+            .push("baseline has no `sort` section; refresh with `paper check --update`".into()),
     }
     if failures.is_empty() {
         for note in &notes {
@@ -1813,6 +2200,8 @@ fn main() {
         "fused" => fused_compare(&opts),
         "largem" => largem_compare(&opts),
         "onesweep" => onesweep_compare(&opts),
+        "sort" => sort_cmd(&opts),
+        "sorttune" => sorttune_cmd(&opts),
         "profile" => profile_cmd(&opts),
         "check" => check_cmd(&opts),
         "all" => {
@@ -1833,9 +2222,11 @@ fn main() {
             fused_compare(&opts);
             largem_compare(&opts);
             onesweep_compare(&opts);
+            sort_cmd(&opts);
+            sorttune_cmd(&opts);
         }
         _ => {
-            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|onesweep|profile|check|fuzz|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
+            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|onesweep|sort|sorttune|profile|check|fuzz|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
             eprintln!("       paper fuzz [--iters K] [--seed S] [--replay TOKEN]");
             std::process::exit(2);
         }

@@ -102,6 +102,12 @@ pub fn stage_of(label: &str) -> &'static str {
         "labeling"
     } else if kernel.contains("pack") {
         "packing"
+    } else if kernel == "bits" {
+        // ms-sort's effective-bit-range probe: one counted reduction.
+        "probe"
+    } else if kernel == "permute" {
+        // Payload gather by a sorted index permutation.
+        "permute"
     } else if label.contains("/sort") || label.contains("/pass") || label.contains("radix") {
         "sorting"
     } else if label.contains("split") {
@@ -160,6 +166,9 @@ pub enum Contender {
     RecursiveSplit,
     /// Full 32-bit radix sort (valid as multisplit for range buckets).
     RadixSort,
+    /// ms-sort: multisplit-iterated radix sort on the fused pipelines,
+    /// with the effective-bit-range fast path (crates/sort).
+    MsSort,
     /// Radix sort on identity buckets (keys are bucket ids; Table 4's
     /// footnoted comparison row).
     IdentitySort,
@@ -179,6 +188,7 @@ impl Contender {
             Contender::ReducedBit => "Reduced-bit sort".into(),
             Contender::RecursiveSplit => "Recursive scan split".into(),
             Contender::RadixSort => "Radix sort (CUB-like)".into(),
+            Contender::MsSort => "ms-sort (fused MS radix)".into(),
             Contender::IdentitySort => "Sort on identity buckets".into(),
             Contender::Randomized(x) => format!("Randomized insertion (x={x})"),
         }
@@ -302,6 +312,29 @@ pub fn run_contender(
                     "radix output must be sorted"
                 );
                 let _ = v;
+            }
+            None
+        }
+        Contender::MsSort => {
+            let (sk, sv) = if let Some(v) = &values {
+                let (k, v) = ms_sort::sort_pairs(&dev, &keys, v, n, wpb);
+                (k, Some(v))
+            } else {
+                (ms_sort::sort_keys(&dev, &keys, n, wpb), None)
+            };
+            if verify {
+                // ms-sort promises bit-identical agreement with a host
+                // stable sort — stronger than the sortedness check the
+                // radix baseline gets.
+                let mut expect: Vec<(u32, u32)> =
+                    keys_host.iter().copied().zip(gen_values(n)).collect();
+                expect.sort_by_key(|&(k, _)| k);
+                let ek: Vec<u32> = expect.iter().map(|&(k, _)| k).collect();
+                assert_eq!(sk.to_vec(), ek, "ms-sort keys mismatch");
+                if let Some(sv) = &sv {
+                    let ev: Vec<u32> = expect.iter().map(|&(_, v)| v).collect();
+                    assert_eq!(sv.to_vec(), ev, "ms-sort stability mismatch");
+                }
             }
             None
         }
@@ -528,6 +561,31 @@ mod tests {
         assert_eq!(stage_of("reduced/sort/pass0/block/pre-scan"), "pre-scan");
         assert_eq!(stage_of("reduced/pack"), "packing");
         assert_eq!(stage_of("recursive-split/round0/split"), "splitting");
+        // ms-sort scopes each digit pass; the kernel segment wins, so
+        // sweeps classify as sweeps even under a "/passK" scope.
+        assert_eq!(stage_of("ms_sort/pass0/fused/pre-scan"), "pre-scan");
+        assert_eq!(stage_of("ms_sort/pass2/fused_large_m/sweep"), "sweep");
+        assert_eq!(stage_of("ms_sort/bits"), "probe");
+        assert_eq!(stage_of("ms_sort/permute"), "permute");
+    }
+
+    #[test]
+    fn ms_sort_contender_runs_and_verifies() {
+        for kv in [false, true] {
+            let o = run_contender(
+                Contender::MsSort,
+                kv,
+                4096,
+                8,
+                Distribution::Uniform,
+                simt::K40C,
+                8,
+                7,
+                true,
+            );
+            assert!(o.stage("sweep") > 0.0, "kv={kv}");
+            assert!(o.stage_sectors("probe") > 0, "kv={kv}: bits probe ran");
+        }
     }
 
     #[test]

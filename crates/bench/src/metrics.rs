@@ -134,6 +134,15 @@ pub const ONESWEEP_CONTENDERS: [(Contender, &str); 2] = [
     (Contender::Onesweep, "onesweep"),
 ];
 
+/// The pair the `sort` section of `paper check` covers: the CUB-like
+/// three-kernel radix sort vs ms-sort (the multisplit-iterated sort on
+/// the fused pipelines). The committed baseline pins ms-sort's lower
+/// total sector count.
+pub const SORT_CONTENDERS: [(Contender, &str); 2] = [
+    (Contender::RadixSort, "radix"),
+    (Contender::MsSort, "ms-sort"),
+];
+
 /// One contender's profile: the outcome plus everything derived from its
 /// per-block launch log.
 pub struct ContenderProfile {
@@ -260,6 +269,12 @@ pub fn largem_sector_baseline_current(n: usize, m: u32) -> Json {
 /// the `"onesweep"` key of the committed baseline.
 pub fn onesweep_sector_baseline_current(n: usize, m: u32) -> Json {
     sector_baseline_for(&ONESWEEP_CONTENDERS, n, m)
+}
+
+/// The sort companion: radix-sort vs ms-sort sector counts, stored under
+/// the `"sort"` key of the committed baseline.
+pub fn sort_sector_baseline_current(n: usize, m: u32) -> Json {
+    sector_baseline_for(&SORT_CONTENDERS, n, m)
 }
 
 fn sector_baseline_for(contenders: &[(Contender, &'static str)], n: usize, m: u32) -> Json {
@@ -679,6 +694,39 @@ mod tests {
             .map(|c| c.get("contender").and_then(Json::as_str).unwrap())
             .collect();
         assert_eq!(names, vec!["fused", "onesweep"]);
+    }
+
+    /// The sort check section: ms-sort's effective-bit pruning plus the
+    /// fused single-pass digit passes must beat the CUB-like radix
+    /// baseline on total counted sectors.
+    #[test]
+    fn sort_baseline_section_roundtrips_and_ms_sort_wins() {
+        let current = sort_sector_baseline_current(1 << 13, 32);
+        let reparsed = Json::parse(&current.pretty()).expect("valid JSON");
+        assert_eq!(
+            sector_baseline_compare(&current, &reparsed, 0.0),
+            Ok(vec![])
+        );
+        let totals: Vec<(String, f64)> = current
+            .get("contenders")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|c| {
+                (
+                    c.get("contender").and_then(Json::as_str).unwrap().into(),
+                    c.get("total_sectors").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(totals[0].0, "radix");
+        assert_eq!(totals[1].0, "ms-sort");
+        assert!(
+            totals[1].1 < totals[0].1,
+            "ms-sort ({}) must move fewer sectors than radix ({})",
+            totals[1].1,
+            totals[0].1
+        );
     }
 
     #[test]

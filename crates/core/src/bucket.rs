@@ -121,6 +121,38 @@ impl BucketFn for LsbBuckets {
     }
 }
 
+/// Bucket = `bits`-wide field of the key starting at bit `shift` — the
+/// digit extractor of the multisplit-iterated radix sort (paper §3.3):
+/// pass `k` of ms-sort runs a multisplit with
+/// `DigitBuckets { shift: k * b, bits: b }`. Generalizes [`LsbBuckets`]
+/// (which is `shift = 0`).
+#[derive(Debug, Clone, Copy)]
+pub struct DigitBuckets {
+    pub shift: u32,
+    pub bits: u32,
+}
+
+impl DigitBuckets {
+    pub fn new(shift: u32, bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "digit width out of range");
+        assert!(shift < 32, "shift past the key width");
+        Self { shift, bits }
+    }
+}
+
+impl BucketFn for DigitBuckets {
+    fn num_buckets(&self) -> u32 {
+        1 << self.bits
+    }
+    #[inline]
+    fn bucket_of(&self, key: u32) -> u32 {
+        (key >> self.shift) & (((1u64 << self.bits) - 1) as u32)
+    }
+    fn eval_cost(&self) -> u64 {
+        1
+    }
+}
+
 /// Figure 1's classifier: bucket 0 = prime, bucket 1 = composite (0 and 1
 /// count as composite for this demo, matching the figure's example set).
 #[derive(Debug, Clone, Copy, Default)]
@@ -240,6 +272,21 @@ mod tests {
         let lsb = LsbBuckets { bits: 3 };
         assert_eq!(lsb.num_buckets(), 8);
         assert_eq!(lsb.bucket_of(0b10110101), 0b101);
+    }
+
+    #[test]
+    fn digit_buckets_extract_shifted_fields() {
+        let d = DigitBuckets::new(0, 3);
+        assert_eq!(d.num_buckets(), 8);
+        assert_eq!(d.bucket_of(0b10110101), 0b101, "shift 0 matches LsbBuckets");
+        let d = DigitBuckets::new(4, 4);
+        assert_eq!(d.bucket_of(0xdead_beef), 0xe);
+        let d = DigitBuckets::new(28, 4);
+        assert_eq!(d.bucket_of(0xdead_beef), 0xd, "top digit");
+        // A digit that spills past bit 31 still masks correctly.
+        let d = DigitBuckets::new(30, 5);
+        assert_eq!(d.num_buckets(), 32);
+        assert_eq!(d.bucket_of(u32::MAX), 0b11);
     }
 
     #[test]

@@ -162,13 +162,64 @@ pub fn multisplit_fused<B: BucketFn + ?Sized, V: Scalar>(
     wpb: usize,
 ) -> DeviceMultisplit<V> {
     let m = bucket.num_buckets();
+    if n == 0 {
+        return empty_result(m as usize, values.is_some());
+    }
+    let out_keys = GlobalBuffer::<u32>::zeroed(n).tracked();
+    let out_values = values.map(|_| GlobalBuffer::<V>::zeroed(n).tracked());
+    let offsets = multisplit_fused_into(
+        dev,
+        keys,
+        values,
+        n,
+        bucket,
+        wpb,
+        &out_keys,
+        out_values.as_ref(),
+    );
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
+}
+
+/// [`multisplit_fused`] writing into **caller-provided** output buffers —
+/// the pass-chaining entry point for ms-sort's ping-pong buffering: pass
+/// `k` scatters directly into pass `k+1`'s input with no copy kernel in
+/// between. Returns the `m + 1` bucket offsets.
+///
+/// The output buffers may be `tracked()`; each launch opens a fresh
+/// race-detector epoch, so reusing them across passes is safe. Contents
+/// beyond `n` are left untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn multisplit_fused_into<B: BucketFn + ?Sized, V: Scalar>(
+    dev: &Device,
+    keys: &GlobalBuffer<u32>,
+    values: Option<&GlobalBuffer<V>>,
+    n: usize,
+    bucket: &B,
+    wpb: usize,
+    out_keys: &GlobalBuffer<u32>,
+    out_values: Option<&GlobalBuffer<V>>,
+) -> Vec<u32> {
+    let m = bucket.num_buckets();
     assert!(
         m <= 32,
         "fused multisplit requires m <= 32 (use the large-m path)"
     );
     assert!(keys.len() >= n, "key buffer shorter than n");
+    assert!(out_keys.len() >= n, "output key buffer shorter than n");
+    assert_eq!(
+        values.is_some(),
+        out_values.is_some(),
+        "value output must be provided exactly when values are"
+    );
+    if let Some(ov) = out_values {
+        assert!(ov.len() >= n, "output value buffer shorter than n");
+    }
     if n == 0 {
-        return empty_result(m as usize, values.is_some());
+        return vec![0; m as usize + 1];
     }
     let mu = m as usize;
     let ipt = fused_items_per_thread(wpb, mu, if values.is_some() { V::BYTES } else { 0 });
@@ -193,8 +244,6 @@ pub fn multisplit_fused<B: BucketFn + ?Sized, V: Scalar>(
     offsets.push(n as u32);
 
     // ====== Pass 2: the fused sweep.
-    let out_keys = GlobalBuffer::<u32>::zeroed(n).tracked();
-    let out_values = values.map(|_| GlobalBuffer::<V>::zeroed(n).tracked());
     let ticket = GlobalBuffer::<u32>::zeroed(1);
     let states = TileStates::new(l, mu);
     dev.launch("fused/sweep", l, wpb, |blk| {
@@ -333,8 +382,8 @@ pub fn multisplit_fused<B: BucketFn + ?Sized, V: Scalar>(
                         .wrapping_add(tid[lane] as u32)
                         .wrapping_sub(bb[lane])) as usize
                 });
-                w.scatter(&out_keys, dest, k2, mask);
-                if let (Some(vs2), Some(vout)) = (&values2_s, &out_values) {
+                w.scatter(out_keys, dest, k2, mask);
+                if let (Some(vs2), Some(vout)) = (&values2_s, out_values) {
                     let v2 = vs2.ld(tid, mask);
                     w.scatter(vout, dest, v2, mask);
                 }
@@ -342,11 +391,7 @@ pub fn multisplit_fused<B: BucketFn + ?Sized, V: Scalar>(
         }
     });
 
-    DeviceMultisplit {
-        keys: out_keys,
-        values: out_values,
-        offsets,
-    }
+    offsets
 }
 
 #[cfg(test)]

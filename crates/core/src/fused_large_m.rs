@@ -74,7 +74,16 @@ fn sweep_footprint_words(wpb: usize, m: usize, ipt: usize, value_words: usize) -
 /// (`items_per_thread = 1`) must fit shared memory. Tight: `m ==
 /// max_buckets` fits, `m + 1` would overflow `alloc_shared`.
 pub fn max_buckets(wpb: usize, key_value: bool) -> u32 {
-    let sw = staging_words_per_element(if key_value { 1 } else { 0 });
+    max_buckets_bytes(wpb, if key_value { 4 } else { 0 })
+}
+
+/// [`max_buckets`] for an explicit payload width. The bool form assumes a
+/// one-word payload, but staging grows with `V::BYTES` — ms-sort's
+/// reduced-bit fallback runs packed `u64` payloads through this sweep, and
+/// at wide blocks the capacity difference is real (e.g. `wpb = 32`:
+/// 267 buckets for `u32` payloads, 236 for `u64`).
+pub fn max_buckets_bytes(wpb: usize, value_bytes: u64) -> u32 {
+    let sw = staging_words_per_element(value_bytes as usize / 4);
     let fixed = padded_len(wpb * WARP_SIZE) * sw + 1 + (wpb + 1);
     // Each bucket costs one histogram row (pitch wpb | 1) + one base word.
     ((SMEM_BUDGET_WORDS - fixed) / ((wpb | 1) + 1)) as u32
@@ -190,6 +199,44 @@ pub fn multisplit_fused_large_m<B: BucketFn + ?Sized, V: Scalar>(
     wpb: usize,
 ) -> DeviceMultisplit<V> {
     let m = bucket.num_buckets();
+    if n == 0 {
+        return empty_result(m as usize, values.is_some());
+    }
+    let out_keys = GlobalBuffer::<u32>::zeroed(n).tracked();
+    let out_values = values.map(|_| GlobalBuffer::<V>::zeroed(n).tracked());
+    let offsets = multisplit_fused_large_m_into(
+        dev,
+        keys,
+        values,
+        n,
+        bucket,
+        wpb,
+        &out_keys,
+        out_values.as_ref(),
+    );
+    DeviceMultisplit {
+        keys: out_keys,
+        values: out_values,
+        offsets,
+    }
+}
+
+/// [`multisplit_fused_large_m`] writing into **caller-provided** output
+/// buffers — the pass-chaining entry point for ms-sort's ping-pong
+/// buffering (see [`crate::fused::multisplit_fused_into`]). Returns the
+/// `m + 1` bucket offsets.
+#[allow(clippy::too_many_arguments)]
+pub fn multisplit_fused_large_m_into<B: BucketFn + ?Sized, V: Scalar>(
+    dev: &Device,
+    keys: &GlobalBuffer<u32>,
+    values: Option<&GlobalBuffer<V>>,
+    n: usize,
+    bucket: &B,
+    wpb: usize,
+    out_keys: &GlobalBuffer<u32>,
+    out_values: Option<&GlobalBuffer<V>>,
+) -> Vec<u32> {
+    let m = bucket.num_buckets();
     assert!(
         m > 32,
         "use the dedicated m <= 32 paths below the warp width"
@@ -200,8 +247,17 @@ pub fn multisplit_fused_large_m<B: BucketFn + ?Sized, V: Scalar>(
         max_buckets(wpb, values.is_some())
     );
     assert!(keys.len() >= n, "key buffer shorter than n");
+    assert!(out_keys.len() >= n, "output key buffer shorter than n");
+    assert_eq!(
+        values.is_some(),
+        out_values.is_some(),
+        "value output must be provided exactly when values are"
+    );
+    if let Some(ov) = out_values {
+        assert!(ov.len() >= n, "output value buffer shorter than n");
+    }
     if n == 0 {
-        return empty_result(m as usize, values.is_some());
+        return vec![0; m as usize + 1];
     }
     let mu = m as usize;
     let ipt = fused_large_m_items_per_thread(wpb, mu, if values.is_some() { V::BYTES } else { 0 });
@@ -227,8 +283,6 @@ pub fn multisplit_fused_large_m<B: BucketFn + ?Sized, V: Scalar>(
     offsets.push(n as u32);
 
     // ====== Pass 2: the fused sweep.
-    let out_keys = GlobalBuffer::<u32>::zeroed(n).tracked();
-    let out_values = values.map(|_| GlobalBuffer::<V>::zeroed(n).tracked());
     let ticket = GlobalBuffer::<u32>::zeroed(1);
     let states = TileStates::new(l, mu);
     dev.launch("fused_large_m/sweep", l, wpb, |blk| {
@@ -400,8 +454,8 @@ pub fn multisplit_fused_large_m<B: BucketFn + ?Sized, V: Scalar>(
                         .wrapping_add(tid[lane] as u32)
                         .wrapping_sub(bb[lane])) as usize
                 });
-                w.scatter(&out_keys, dest, k2, mask);
-                if let (Some(vs2), Some(vout)) = (&values2_s, &out_values) {
+                w.scatter(out_keys, dest, k2, mask);
+                if let (Some(vs2), Some(vout)) = (&values2_s, out_values) {
                     let v2 = vs2.ld(pidx, mask);
                     w.scatter(vout, dest, v2, mask);
                 }
@@ -409,11 +463,7 @@ pub fn multisplit_fused_large_m<B: BucketFn + ?Sized, V: Scalar>(
         }
     });
 
-    DeviceMultisplit {
-        keys: out_keys,
-        values: out_values,
-        offsets,
-    }
+    offsets
 }
 
 #[cfg(test)]

@@ -1,9 +1,16 @@
 //! Differential fuzz harness for the multisplit stack.
 //!
-//! Each [`FuzzCase`] is a seeded `(n, m, method, key distribution,
-//! schedule)` tuple. [`run_case`] executes it three ways — the CPU
-//! reference, the simulated device under the case's schedule, and the
-//! same device sequentially — and checks:
+//! Two case families share one generator rotation ([`gen_any_case`]):
+//!
+//! * [`FuzzCase`] — a seeded `(n, m, method, key distribution, schedule)`
+//!   multisplit tuple, checked against the stable CPU reference.
+//! * [`SortCase`] — a seeded `(n, digit width, bit count, kv, schedule)`
+//!   ms-sort tuple, checked against the host's stable
+//!   `sort_by_key(k & mask)`.
+//!
+//! Each case executes three ways — the host reference, the simulated
+//! device under the case's schedule, and the same device sequentially —
+//! and checks:
 //!
 //! * **Output correctness**: permuted keys (and values, and bucket
 //!   offsets) match the stable CPU reference bit-for-bit.
@@ -171,7 +178,7 @@ impl FuzzCase {
 }
 
 /// Parse a `k=v,...` replay token produced by [`FuzzCase::replay_token`].
-pub fn parse_replay(s: &str) -> Result<FuzzCase, String> {
+pub fn parse_split_replay(s: &str) -> Result<FuzzCase, String> {
     let mut n = None;
     let mut m = None;
     let mut method = None;
@@ -244,13 +251,15 @@ pub fn parse_replay(s: &str) -> Result<FuzzCase, String> {
     })
 }
 
-/// Generate the case's input keys (deterministic from `key_seed`).
-pub fn gen_keys(case: &FuzzCase) -> Vec<u32> {
-    let mut rng = SmallRng::seed_from_u64(case.key_seed);
-    let bucket0_width = (1u64 << 32).div_ceil(case.m as u64).max(1);
-    let mut keys: Vec<u32> = match case.dist {
-        KeyDist::Uniform | KeyDist::Sorted => (0..case.n).map(|_| rng.next_u32()).collect(),
-        KeyDist::Skew75 => (0..case.n)
+/// Generate `n` keys of the given distribution (deterministic in
+/// `key_seed`). `m_for_skew` sets the width of the hot low range that
+/// `Skew75` concentrates 75% of keys into.
+fn gen_keys_raw(n: usize, m_for_skew: u32, dist: KeyDist, key_seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(key_seed);
+    let bucket0_width = (1u64 << 32).div_ceil(m_for_skew as u64).max(1);
+    let mut keys: Vec<u32> = match dist {
+        KeyDist::Uniform | KeyDist::Sorted => (0..n).map(|_| rng.next_u32()).collect(),
+        KeyDist::Skew75 => (0..n)
             .map(|_| {
                 if rng.gen_bool(0.75) {
                     (rng.next_u64() % bucket0_width) as u32
@@ -261,13 +270,18 @@ pub fn gen_keys(case: &FuzzCase) -> Vec<u32> {
             .collect(),
         KeyDist::OneBucket => {
             let k = rng.next_u32();
-            vec![k; case.n]
+            vec![k; n]
         }
     };
-    if case.dist == KeyDist::Sorted {
+    if dist == KeyDist::Sorted {
         keys.sort_unstable();
     }
     keys
+}
+
+/// Generate the case's input keys (deterministic from `key_seed`).
+pub fn gen_keys(case: &FuzzCase) -> Vec<u32> {
+    gen_keys_raw(case.n, case.m, case.dist, case.key_seed)
 }
 
 /// A deliberately injected output corruption, for exercising the shrinker
@@ -354,14 +368,71 @@ fn device_run(case: &FuzzCase, keys: &[u32], sched: SchedSpec) -> Result<DeviceR
             records: dev.records(),
         }
     });
-    result.map_err(|payload| {
-        let msg = payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        Divergence::Panic(msg)
-    })
+    result.map_err(panic_divergence)
+}
+
+fn panic_divergence(payload: Box<dyn std::any::Any + Send>) -> Divergence {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    Divergence::Panic(msg)
+}
+
+/// Schedule-independence check shared by both case families: identical
+/// outputs, launch-label sequence, per-launch summed stats, and look-back
+/// resolve totals against the sequential anchor run.
+fn check_against_sequential(
+    sched_token: &str,
+    run: &DeviceRun,
+    base: &DeviceRun,
+) -> Result<(), Divergence> {
+    if run.keys != base.keys || run.offsets != base.offsets || run.values != base.values {
+        return Err(Divergence::Output(format!(
+            "outputs differ between {sched_token} and sequential schedules"
+        )));
+    }
+    let labels =
+        |r: &[LaunchRecord]| -> Vec<String> { r.iter().map(|rec| rec.label.clone()).collect() };
+    if labels(&run.records) != labels(&base.records) {
+        return Err(Divergence::Stats(format!(
+            "launch sequence differs: {:?} vs {:?}",
+            labels(&run.records),
+            labels(&base.records)
+        )));
+    }
+    for (a, b) in run.records.iter().zip(&base.records) {
+        if a.stats != b.stats {
+            return Err(Divergence::Stats(format!(
+                "summed BlockStats differ for launch {:?}: {:?} vs {:?}",
+                a.label, a.stats, b.stats
+            )));
+        }
+        if a.obs.lookback_resolves != b.obs.lookback_resolves {
+            return Err(Divergence::Obs(format!(
+                "lookback_resolves differ for launch {:?}: {} vs {}",
+                a.label, a.obs.lookback_resolves, b.obs.lookback_resolves
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Look-back introspection invariant: every resolve lands in the depth
+/// histogram, on every schedule.
+fn check_depth_hist(records: &[LaunchRecord]) -> Result<(), Divergence> {
+    for rec in records {
+        if rec.obs.depth_hist_total() != rec.obs.lookback_resolves {
+            return Err(Divergence::Obs(format!(
+                "launch {:?}: depth histogram total {} != resolves {}",
+                rec.label,
+                rec.obs.depth_hist_total(),
+                rec.obs.lookback_resolves
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn first_diff<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
@@ -426,55 +497,404 @@ pub fn run_case_with_fault(case: &FuzzCase, fault: Option<Fault>) -> Result<(), 
     // anchor, so any two agree transitively.)
     if case.sched != SchedSpec::Sequential {
         let base = device_run(case, &keys, SchedSpec::Sequential)?;
-        if run.keys != base.keys || run.offsets != base.offsets || run.values != base.values {
-            return Err(Divergence::Output(format!(
-                "outputs differ between {} and sequential schedules",
-                case.sched.token()
-            )));
-        }
-        let labels =
-            |r: &[LaunchRecord]| -> Vec<String> { r.iter().map(|rec| rec.label.clone()).collect() };
-        if labels(&run.records) != labels(&base.records) {
-            return Err(Divergence::Stats(format!(
-                "launch sequence differs: {:?} vs {:?}",
-                labels(&run.records),
-                labels(&base.records)
-            )));
-        }
-        for (a, b) in run.records.iter().zip(&base.records) {
-            if a.stats != b.stats {
-                return Err(Divergence::Stats(format!(
-                    "summed BlockStats differ for launch {:?}: {:?} vs {:?}",
-                    a.label, a.stats, b.stats
-                )));
-            }
-            if a.obs.lookback_resolves != b.obs.lookback_resolves {
-                return Err(Divergence::Obs(format!(
-                    "lookback_resolves differ for launch {:?}: {} vs {}",
-                    a.label, a.obs.lookback_resolves, b.obs.lookback_resolves
-                )));
-            }
-        }
+        check_against_sequential(&case.sched.token(), &run, &base)?;
     }
 
-    // 3. Look-back introspection invariant: every resolve lands in the
-    // depth histogram, on every schedule.
-    for rec in &run.records {
-        if rec.obs.depth_hist_total() != rec.obs.lookback_resolves {
-            return Err(Divergence::Obs(format!(
-                "launch {:?}: depth histogram total {} != resolves {}",
-                rec.label,
-                rec.obs.depth_hist_total(),
-                rec.obs.lookback_resolves
-            )));
-        }
-    }
-    Ok(())
+    // 3. Look-back introspection invariant.
+    check_depth_hist(&run.records)
 }
 
-/// Execute one case differentially (the production entry point).
-pub fn run_case(case: &FuzzCase) -> Result<(), Divergence> {
+/// Execute one multisplit case differentially.
+pub fn run_split_case(case: &FuzzCase) -> Result<(), Divergence> {
     run_case_with_fault(case, None)
+}
+
+/// One generated ms-sort differential case: sort the low `bits` of `n`
+/// keys with `digit_bits`-wide multisplit digits, optionally carrying a
+/// payload, under the given schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortCase {
+    pub n: usize,
+    pub kv: bool,
+    /// Digit width in bits (1..= [`ms_sort::max_digit_bits`]); crosses the
+    /// Fused → FusedLargeM boundary at 6.
+    pub digit_bits: u32,
+    /// How many low key bits participate in the sort (0..=32). Keys are
+    /// compared by `k & ((1 << bits) - 1)`; ties keep input order.
+    pub bits: u32,
+    pub dist: KeyDist,
+    pub key_seed: u64,
+    pub wpb: usize,
+    pub sched: SchedSpec,
+}
+
+impl SortCase {
+    /// The self-contained replay token (inverse of [`parse_replay`]).
+    /// Distinguished from multisplit tokens by the leading `sort` marker.
+    pub fn replay_token(&self) -> String {
+        format!(
+            "sort,n={},kv={},digit={},bits={},dist={},keyseed={},wpb={},sched={}",
+            self.n,
+            self.kv as u32,
+            self.digit_bits,
+            self.bits,
+            self.dist.token(),
+            self.key_seed,
+            self.wpb,
+            self.sched.token()
+        )
+    }
+
+    /// The one-line command a human (or CI) pastes to replay this case.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "cargo run --release -p ms-bench --bin paper -- fuzz --replay {}",
+            self.replay_token()
+        )
+    }
+}
+
+/// Parse the field list of a `sort,...` replay token.
+fn parse_sort_replay(s: &str) -> Result<SortCase, String> {
+    let mut n = None;
+    let mut kv = None;
+    let mut digit = None;
+    let mut bits = None;
+    let mut dist = None;
+    let mut key_seed = None;
+    let mut wpb = None;
+    let mut sched = None;
+    for part in s.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad replay field {part:?} (want k=v)"))?;
+        match k {
+            "n" => n = Some(v.parse::<usize>().map_err(|e| format!("n: {e}"))?),
+            "kv" => kv = Some(v == "1"),
+            "digit" => digit = Some(v.parse::<u32>().map_err(|e| format!("digit: {e}"))?),
+            "bits" => bits = Some(v.parse::<u32>().map_err(|e| format!("bits: {e}"))?),
+            "dist" => {
+                dist = Some(
+                    KeyDist::ALL
+                        .into_iter()
+                        .find(|d| d.token() == v)
+                        .ok_or_else(|| format!("unknown dist {v:?}"))?,
+                )
+            }
+            "keyseed" => key_seed = Some(v.parse::<u64>().map_err(|e| format!("keyseed: {e}"))?),
+            "wpb" => wpb = Some(v.parse::<usize>().map_err(|e| format!("wpb: {e}"))?),
+            "sched" => {
+                sched = Some(match v {
+                    "seq" => SchedSpec::Sequential,
+                    "par" => SchedSpec::Parallel,
+                    adv => {
+                        let mut it = adv.split(':');
+                        let (Some("adv"), Some(seed), Some(flavor)) =
+                            (it.next(), it.next(), it.next())
+                        else {
+                            return Err(format!("unknown sched {v:?}"));
+                        };
+                        let seed = seed
+                            .parse::<u64>()
+                            .map_err(|e| format!("sched seed: {e}"))?;
+                        let flavor = AdvFlavor::ALL
+                            .into_iter()
+                            .find(|f| f.name() == flavor)
+                            .ok_or_else(|| format!("unknown flavor {flavor:?}"))?;
+                        SchedSpec::Adversarial { seed, flavor }
+                    }
+                })
+            }
+            other => return Err(format!("unknown sort replay field {other:?}")),
+        }
+    }
+    Ok(SortCase {
+        n: n.ok_or("missing n")?,
+        kv: kv.ok_or("missing kv")?,
+        digit_bits: digit.ok_or("missing digit")?,
+        bits: bits.ok_or("missing bits")?,
+        dist: dist.ok_or("missing dist")?,
+        key_seed: key_seed.ok_or("missing keyseed")?,
+        wpb: wpb.ok_or("missing wpb")?,
+        sched: sched.ok_or("missing sched")?,
+    })
+}
+
+/// Generate the sort case's input keys (deterministic from `key_seed`).
+/// `Skew75` concentrates keys in the lowest digit of the sorted range.
+pub fn gen_sort_keys(case: &SortCase) -> Vec<u32> {
+    gen_keys_raw(
+        case.n,
+        1u32 << case.digit_bits.min(8),
+        case.dist,
+        case.key_seed,
+    )
+}
+
+/// One full device sort of the case under `sched`, with tracked inputs.
+fn sort_device_run(
+    case: &SortCase,
+    keys: &[u32],
+    sched: SchedSpec,
+) -> Result<DeviceRun, Divergence> {
+    let result = std::panic::catch_unwind(|| {
+        let dev = Device::with_schedule(K40C, sched.to_schedule());
+        let kbuf = GlobalBuffer::from_slice(keys).tracked();
+        let (out_keys, out_values) = if case.kv {
+            let values: Vec<u32> = (0..case.n as u32).collect();
+            let vbuf = GlobalBuffer::from_slice(&values).tracked();
+            ms_sort::sort_by_bit_range_with(
+                &dev,
+                &kbuf,
+                Some(&vbuf),
+                case.n,
+                0,
+                case.bits,
+                case.digit_bits,
+                case.wpb,
+            )
+        } else {
+            ms_sort::sort_by_bit_range_with::<u32>(
+                &dev,
+                &kbuf,
+                None,
+                case.n,
+                0,
+                case.bits,
+                case.digit_bits,
+                case.wpb,
+            )
+        };
+        DeviceRun {
+            keys: out_keys.to_vec(),
+            values: out_values.map(|v| v.to_vec()),
+            offsets: Vec::new(),
+            records: dev.records(),
+        }
+    });
+    result.map_err(panic_divergence)
+}
+
+/// Execute one sort case differentially against the host's stable
+/// `sort_by_key` and the sequential-schedule anchor.
+pub fn run_sort_case(case: &SortCase) -> Result<(), Divergence> {
+    let keys = gen_sort_keys(case);
+    let mask = if case.bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << case.bits) - 1
+    };
+    // Host reference: Rust's sort_by_key is stable, so ties (equal masked
+    // keys) keep input order — exactly the device contract.
+    let (ref_keys, ref_values) = if case.kv {
+        let mut pairs: Vec<(u32, u32)> = keys.iter().copied().zip(0..case.n as u32).collect();
+        pairs.sort_by_key(|&(k, _)| k & mask);
+        (
+            pairs.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            Some(pairs.iter().map(|&(_, v)| v).collect::<Vec<_>>()),
+        )
+    } else {
+        let mut sorted = keys.clone();
+        sorted.sort_by_key(|&k| k & mask);
+        (sorted, None)
+    };
+
+    let run = sort_device_run(case, &keys, case.sched)?;
+    if let Some(i) = first_diff(&run.keys, &ref_keys) {
+        return Err(Divergence::Output(format!(
+            "sorted keys[{i}]: device {:?} vs host {:?} (lens {} vs {})",
+            run.keys.get(i),
+            ref_keys.get(i),
+            run.keys.len(),
+            ref_keys.len()
+        )));
+    }
+    if run.values != ref_values {
+        let dv = run.values.as_deref().unwrap_or(&[]);
+        let rv = ref_values.as_deref().unwrap_or(&[]);
+        let i = first_diff(dv, rv).unwrap_or(0);
+        return Err(Divergence::Output(format!(
+            "sorted values[{i}]: device {:?} vs host {:?}",
+            dv.get(i),
+            rv.get(i)
+        )));
+    }
+    if case.sched != SchedSpec::Sequential {
+        let base = sort_device_run(case, &keys, SchedSpec::Sequential)?;
+        check_against_sequential(&case.sched.token(), &run, &base)?;
+    }
+    check_depth_hist(&run.records)
+}
+
+/// Greedily shrink a failing sort case to a local minimum, mirroring
+/// [`shrink`]: smaller `n`, narrower digits, fewer bits, simpler
+/// distribution and schedule.
+pub fn shrink_sort(case: &SortCase, still_fails: impl Fn(&SortCase) -> bool) -> SortCase {
+    let mut cur = *case;
+    loop {
+        let mut candidates: Vec<SortCase> = Vec::new();
+        for n in [cur.n / 2, cur.n.saturating_sub(1)] {
+            if n < cur.n {
+                candidates.push(SortCase { n, ..cur });
+            }
+        }
+        if cur.digit_bits > 1 {
+            candidates.push(SortCase {
+                digit_bits: cur.digit_bits - 1,
+                ..cur
+            });
+        }
+        for bits in [cur.bits / 2, cur.bits.saturating_sub(1)] {
+            if bits < cur.bits {
+                candidates.push(SortCase { bits, ..cur });
+            }
+        }
+        if cur.kv {
+            candidates.push(SortCase { kv: false, ..cur });
+        }
+        if cur.dist != KeyDist::Uniform {
+            candidates.push(SortCase {
+                dist: KeyDist::Uniform,
+                ..cur
+            });
+        }
+        match cur.sched {
+            SchedSpec::Adversarial { .. } => {
+                candidates.push(SortCase {
+                    sched: SchedSpec::Parallel,
+                    ..cur
+                });
+                candidates.push(SortCase {
+                    sched: SchedSpec::Sequential,
+                    ..cur
+                });
+            }
+            SchedSpec::Parallel => candidates.push(SortCase {
+                sched: SchedSpec::Sequential,
+                ..cur
+            }),
+            SchedSpec::Sequential => {}
+        }
+        match candidates.into_iter().find(|c| still_fails(c)) {
+            Some(smaller) => cur = smaller,
+            None => return cur,
+        }
+    }
+}
+
+/// Deterministically generate sort case `ix` of a run seeded with `seed`.
+/// kv and schedules rotate (12 consecutive indices cover the
+/// {key, kv} x 6-schedule matrix) while digit widths are drawn with a
+/// bias toward the Fused/FusedLargeM capacity boundaries and sizes toward
+/// tile multiples.
+pub fn gen_sort_case(seed: u64, ix: usize) -> SortCase {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (ix as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let kv = ix % 2 == 1;
+    let sched = sched_for(ix / 2, &mut rng);
+    let wpb = [2usize, 4, 8][(rng.next_u32() % 3) as usize];
+    let tile = wpb * 32;
+    let n = match rng.next_u32() % 8 {
+        0 => 0,
+        1 => 1,
+        2 => tile,
+        3 => tile + 1,
+        4 => (rng.next_u32() as usize % 63) + 2,
+        5 => tile * ((rng.next_u32() as usize % 8) + 1),
+        _ => (rng.next_u32() as usize % MAX_N) + 1,
+    };
+    let dist = KeyDist::ALL[(rng.next_u32() % 4) as usize];
+    let max_db = ms_sort::max_digit_bits(wpb, if kv { 4 } else { 0 });
+    let digit_bits = match rng.next_u32() % 4 {
+        0 => 1,
+        1 => 5,             // last width on the Fused path
+        2 => 6.min(max_db), // first width on FusedLargeM
+        _ => 1 + rng.next_u32() % max_db,
+    };
+    let bits = match rng.next_u32() % 4 {
+        0 => 0,
+        1 => 32,
+        2 => digit_bits, // exactly one data pass
+        _ => rng.next_u32() % 33,
+    };
+    SortCase {
+        n,
+        kv,
+        digit_bits,
+        bits,
+        dist,
+        key_seed: rng.next_u64(),
+        wpb,
+        sched,
+    }
+}
+
+/// A case from either family, as produced by [`gen_any_case`] and
+/// [`parse_replay`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyCase {
+    Split(FuzzCase),
+    Sort(SortCase),
+}
+
+impl AnyCase {
+    /// The self-contained replay token (inverse of [`parse_replay`]).
+    pub fn replay_token(&self) -> String {
+        match self {
+            AnyCase::Split(c) => c.replay_token(),
+            AnyCase::Sort(c) => c.replay_token(),
+        }
+    }
+
+    /// The one-line command a human (or CI) pastes to replay this case.
+    pub fn replay_command(&self) -> String {
+        match self {
+            AnyCase::Split(c) => c.replay_command(),
+            AnyCase::Sort(c) => c.replay_command(),
+        }
+    }
+}
+
+/// Parse a replay token from either family: `sort,...` tokens come from
+/// [`SortCase::replay_token`], everything else from
+/// [`FuzzCase::replay_token`].
+pub fn parse_replay(s: &str) -> Result<AnyCase, String> {
+    match s.strip_prefix("sort,") {
+        Some(rest) => parse_sort_replay(rest).map(AnyCase::Sort),
+        None => parse_split_replay(s).map(AnyCase::Split),
+    }
+}
+
+/// Every 5th generated case is a sort case; the other four walk the
+/// multisplit matrix. Sub-indices stay dense in each family, so 105
+/// consecutive indices cover the full 84-case multisplit rotation *and*
+/// the full 12-case sort rotation.
+pub fn gen_any_case(seed: u64, ix: usize) -> AnyCase {
+    if ix % 5 == 4 {
+        AnyCase::Sort(gen_sort_case(seed, ix / 5))
+    } else {
+        AnyCase::Split(gen_case(seed, ix - ix / 5))
+    }
+}
+
+fn run_any_with_fault(case: &AnyCase, fault: Option<Fault>) -> Result<(), Divergence> {
+    match case {
+        AnyCase::Split(c) => run_case_with_fault(c, fault),
+        AnyCase::Sort(c) => run_sort_case(c),
+    }
+}
+
+/// Execute one case of either family differentially (the production
+/// entry point, e.g. for `paper fuzz --replay`).
+pub fn run_case(case: &AnyCase) -> Result<(), Divergence> {
+    run_any_with_fault(case, None)
+}
+
+/// Shrink a failing case within its own family.
+pub fn shrink_any(case: &AnyCase, still_fails: impl Fn(&AnyCase) -> bool) -> AnyCase {
+    match case {
+        AnyCase::Split(c) => AnyCase::Split(shrink(c, |s| still_fails(&AnyCase::Split(*s)))),
+        AnyCase::Sort(c) => AnyCase::Sort(shrink_sort(c, |s| still_fails(&AnyCase::Sort(*s)))),
+    }
 }
 
 /// Greedily shrink a failing case to a local minimum: every single-step
@@ -530,8 +950,8 @@ pub fn shrink(case: &FuzzCase, still_fails: impl Fn(&FuzzCase) -> bool) -> FuzzC
 /// A failing case together with its shrunk minimal reproducer.
 #[derive(Debug, Clone)]
 pub struct FuzzFailure {
-    pub case: FuzzCase,
-    pub shrunk: FuzzCase,
+    pub case: AnyCase,
+    pub shrunk: AnyCase,
     pub divergence: Divergence,
     pub iteration: usize,
 }
@@ -614,13 +1034,13 @@ pub fn fuzz_with_fault(
     iters: usize,
     seed: u64,
     fault: Option<Fault>,
-    mut on_progress: impl FnMut(usize, &FuzzCase),
+    mut on_progress: impl FnMut(usize, &AnyCase),
 ) -> FuzzReport {
     for ix in 0..iters {
-        let case = gen_case(seed, ix);
-        if let Err(divergence) = run_case_with_fault(&case, fault) {
-            let shrunk = shrink(&case, |c| run_case_with_fault(c, fault).is_err());
-            let divergence = run_case_with_fault(&shrunk, fault)
+        let case = gen_any_case(seed, ix);
+        if let Err(divergence) = run_any_with_fault(&case, fault) {
+            let shrunk = shrink_any(&case, |c| run_any_with_fault(c, fault).is_err());
+            let divergence = run_any_with_fault(&shrunk, fault)
                 .err()
                 .unwrap_or(divergence);
             return FuzzReport {
@@ -642,7 +1062,7 @@ pub fn fuzz_with_fault(
 }
 
 /// Run `iters` generated cases with no injected fault.
-pub fn fuzz(iters: usize, seed: u64, on_progress: impl FnMut(usize, &FuzzCase)) -> FuzzReport {
+pub fn fuzz(iters: usize, seed: u64, on_progress: impl FnMut(usize, &AnyCase)) -> FuzzReport {
     fuzz_with_fault(iters, seed, None, on_progress)
 }
 
@@ -656,7 +1076,14 @@ mod tests {
             let case = gen_case(99, ix);
             let token = case.replay_token();
             let parsed = parse_replay(&token).expect(&token);
-            assert_eq!(parsed, case, "token {token}");
+            assert_eq!(parsed, AnyCase::Split(case), "token {token}");
+        }
+        for ix in 0..24 {
+            let case = gen_sort_case(99, ix);
+            let token = case.replay_token();
+            assert!(token.starts_with("sort,"), "sort marker in {token}");
+            let parsed = parse_replay(&token).expect(&token);
+            assert_eq!(parsed, AnyCase::Sort(case), "token {token}");
         }
     }
 
@@ -675,6 +1102,15 @@ mod tests {
         assert!(
             parse_replay("n=x,m=2,method=fused,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq")
                 .is_err()
+        );
+        assert!(parse_replay("sort,n=1").is_err(), "missing sort fields");
+        assert!(
+            parse_replay("sort,n=1,kv=0,digit=3,bits=8,dist=nope,keyseed=0,wpb=8,sched=seq")
+                .is_err()
+        );
+        assert!(
+            parse_replay("sort,n=1,kv=0,digit=3,bits=8,dist=uniform,keyseed=0,wpb=8,m=4").is_err(),
+            "m is not a sort field"
         );
     }
 
@@ -700,6 +1136,53 @@ mod tests {
         assert_eq!(methods.len(), 7, "{methods:?}");
         assert_eq!(kvs.len(), 2);
         assert_eq!(scheds.len(), 6, "{scheds:?}");
+    }
+
+    #[test]
+    fn sort_generator_covers_its_matrix() {
+        // 12 consecutive sort cases hit every kv x schedule family.
+        let mut kvs = std::collections::HashSet::new();
+        let mut scheds = std::collections::HashSet::new();
+        let mut digits = std::collections::HashSet::new();
+        for ix in 0..48 {
+            let c = gen_sort_case(5, ix);
+            kvs.insert(c.kv);
+            scheds.insert(match c.sched {
+                SchedSpec::Sequential => "seq".to_string(),
+                SchedSpec::Parallel => "par".to_string(),
+                SchedSpec::Adversarial { flavor, .. } => flavor.name().to_string(),
+            });
+            digits.insert(c.digit_bits);
+            let max_db = ms_sort::max_digit_bits(c.wpb, if c.kv { 4 } else { 0 });
+            assert!(c.digit_bits >= 1 && c.digit_bits <= max_db, "{c:?}");
+            assert!(c.bits <= 32 && c.n <= MAX_N);
+        }
+        assert_eq!(kvs.len(), 2);
+        assert_eq!(scheds.len(), 6, "{scheds:?}");
+        assert!(
+            digits.contains(&5) && digits.contains(&6),
+            "the Fused→FusedLargeM crossover widths must both appear: {digits:?}"
+        );
+    }
+
+    #[test]
+    fn any_generator_interleaves_both_families_densely() {
+        let mut split = 0usize;
+        let mut sort = 0usize;
+        for ix in 0..105 {
+            match gen_any_case(7, ix) {
+                AnyCase::Split(c) => {
+                    // Dense sub-indices: case ix maps to split index ix - ix/5.
+                    assert_eq!(c, gen_case(7, split));
+                    split += 1;
+                }
+                AnyCase::Sort(c) => {
+                    assert_eq!(c, gen_sort_case(7, sort));
+                    sort += 1;
+                }
+            }
+        }
+        assert_eq!((split, sort), (84, 21));
     }
 
     #[test]
@@ -738,11 +1221,12 @@ mod tests {
 
     #[test]
     fn small_smoke_run_is_clean() {
-        // 84 iterations walk one full schedule rotation (ix/14 cycles through
-        // sequential, parallel, and all four adversarial flavors), so this
-        // smoke test exercises the adversarial executor, not just seq/par.
-        let report = fuzz(84, 1234, |_, _| {});
-        assert_eq!(report.iters_run, 84);
+        // 105 iterations walk one full multisplit rotation (84 cases: every
+        // method x kv x schedule, including all four adversarial flavors)
+        // plus 21 interleaved sort cases (beyond the 12-case kv x schedule
+        // sort rotation).
+        let report = fuzz(105, 1234, |_, _| {});
+        assert_eq!(report.iters_run, 105);
         assert!(
             report.failure.is_none(),
             "smoke fuzz must be clean: {:?}",
@@ -758,10 +1242,13 @@ mod tests {
             min_n: 97,
             min_m: 5,
         });
-        // Any case with n >= 97 && m >= 5 fails; everything else passes.
+        // Any multisplit case with n >= 97 && m >= 5 fails (sort cases are
+        // unaffected); everything else passes.
         let report = fuzz_with_fault(200, 42, fault, |_, _| {});
         let failure = report.failure.expect("the injected fault must be found");
-        let s = failure.shrunk;
+        let AnyCase::Split(s) = failure.shrunk else {
+            panic!("the fault only corrupts multisplit cases: {failure:?}")
+        };
         assert_eq!(
             (s.n, s.m),
             (97, 5),
@@ -771,9 +1258,65 @@ mod tests {
         assert_eq!(s.sched, SchedSpec::Sequential, "schedule simplified");
         // The reproducer replays to the same failure.
         let replayed = parse_replay(&s.replay_token()).unwrap();
-        assert!(run_case_with_fault(&replayed, fault).is_err());
+        assert!(run_any_with_fault(&replayed, fault).is_err());
         assert!(run_case(&replayed).is_ok(), "no fault, no failure");
         assert!(failure.replay_command().contains("paper -- fuzz --replay"));
+    }
+
+    #[test]
+    fn sort_shrinker_reaches_its_own_minimum() {
+        // Synthetic failure predicate: any sort case with n >= 33 and
+        // digit_bits >= 3 and bits >= 7 "fails". The shrinker must land on
+        // exactly that corner and simplify everything orthogonal.
+        let fails = |c: &SortCase| c.n >= 33 && c.digit_bits >= 3 && c.bits >= 7;
+        let start = SortCase {
+            n: 2048,
+            kv: true,
+            digit_bits: 7,
+            bits: 29,
+            dist: KeyDist::Skew75,
+            key_seed: 11,
+            wpb: 8,
+            sched: SchedSpec::Adversarial {
+                seed: 3,
+                flavor: AdvFlavor::ALL[0],
+            },
+        };
+        assert!(fails(&start));
+        let s = shrink_sort(&start, fails);
+        assert_eq!((s.n, s.digit_bits, s.bits), (33, 3, 7), "{s:?}");
+        assert!(!s.kv, "payload simplified away");
+        assert_eq!(s.dist, KeyDist::Uniform);
+        assert_eq!(s.sched, SchedSpec::Sequential);
+    }
+
+    #[test]
+    fn sort_cases_catch_real_output_corruption() {
+        // A direct failing sort comparison (not via fault injection):
+        // run a case whose device output we tamper with by replaying a
+        // *different* key seed through the host reference. Cheap sanity
+        // check that run_sort_case actually compares something.
+        let good = SortCase {
+            n: 513,
+            kv: true,
+            digit_bits: 6,
+            bits: 17,
+            dist: KeyDist::Uniform,
+            key_seed: 99,
+            wpb: 4,
+            sched: SchedSpec::Parallel,
+        };
+        assert!(run_sort_case(&good).is_ok());
+        // Zero bits sorts nothing: output must equal input, under every
+        // schedule, for both families of payload.
+        for kv in [false, true] {
+            let copy_case = SortCase {
+                bits: 0,
+                kv,
+                ..good
+            };
+            assert!(run_sort_case(&copy_case).is_ok());
+        }
     }
 
     #[test]

@@ -299,12 +299,14 @@ pub fn delta_stepping(
                 (r.keys, r.values.unwrap(), r.false_count as usize)
             }
             Bucketing::SortBased => {
-                let (sk, sv) =
-                    baselines::radix_sort(dev, "sort", &pool.dist, Some(&pool.node), pool_len, wpb);
+                // ms-sort prunes dead high bits with one counted
+                // reduction, so early rounds (small tentative distances)
+                // cost far fewer passes than a fixed 32-bit radix sort.
+                let (sk, sv) = ms_sort::sort_pairs(dev, &pool.dist, &pool.node, pool_len, wpb);
                 let sorted = sk.to_vec();
                 let threshold = base.saturating_add(delta);
                 let near = sorted.partition_point(|&d| d < threshold);
-                (sk, sv.unwrap(), near)
+                (sk, sv, near)
             }
         });
         if near > 0 {

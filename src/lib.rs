@@ -8,11 +8,14 @@
 //! * [`primitives`] — device-wide scan / reduce / histogram / split.
 //! * [`multisplit`] — the paper's contribution (Direct, Warp-level,
 //!   Block-level, and `m > 32` multisplit).
+//! * [`ms_sort`] — the multisplit-iterated LSB radix sort built on the
+//!   fused pipelines.
 //! * [`baselines`] — radix sort, reduced-bit sort, scan-based splits,
 //!   randomized insertion.
 //! * [`sssp`] — delta-stepping SSSP, the motivating application.
 
 pub use baselines;
+pub use ms_sort;
 pub use multisplit;
 pub use primitives;
 pub use simt;
