@@ -33,6 +33,11 @@
 //!               passes and counted sectors for b in 1..=max
 //!   profile     hierarchical scope-tree roll-up with per-block telemetry
 //!               and look-back introspection; writes bench_results/profile.json
+//!   trace       flight-recorder causal analysis: tile dependency DAG and
+//!               exact critical path per look-back launch (vs the modeled
+//!               launch_report estimate), per-launch slack; writes a
+//!               chrome trace with per-tile slices and publisher→resolver
+//!               flow arrows to bench_results/trace_chrome.json
 //!   check       compare per-stage sector counts (n=2^16, m=32, plus a
 //!               large-m section at m=64, an onesweep section at m=32 and
 //!               a sort section radix-vs-ms-sort) against
@@ -123,10 +128,12 @@ fn avg(opts: &Opts, f: impl Fn(u64) -> Outcome) -> Outcome {
     let mut stages: Vec<(&'static str, f64)> = Vec::new();
     let mut sectors: Vec<(&'static str, u64)> = Vec::new();
     let mut records = Vec::new();
+    let mut buffer_reads = Vec::new();
     for t in 0..opts.trials {
         let mut o = f(t);
         if t == 0 {
             records = std::mem::take(&mut o.records);
+            buffer_reads = std::mem::take(&mut o.buffer_reads);
         }
         total += o.total;
         for (k, v) in o.stages {
@@ -151,6 +158,7 @@ fn avg(opts: &Opts, f: impl Fn(u64) -> Outcome) -> Outcome {
             .map(|(s, v)| (s, v / opts.trials.max(1)))
             .collect(),
         records,
+        buffer_reads,
     }
 }
 
@@ -1979,6 +1987,127 @@ fn profile_cmd(opts: &Opts) {
     metrics::sink_push("profile", doc);
 }
 
+// ====================== Trace (flight recorder) ======================
+
+/// Causal tracing from the flight recorder: run the three single-pass
+/// look-back contenders (fused, fused-large-m, onesweep) on the
+/// sequential scheduler with per-block telemetry, derive each look-back
+/// launch's tile dependency DAG and **exact** critical path from the
+/// recorded event stream, and compare against `launch_report`'s modeled
+/// estimate. Writes `bench_results/trace_chrome.json` — a chrome trace
+/// (load in `chrome://tracing` or https://ui.perfetto.dev) with one
+/// slice per tile and flow arrows along every stalled publisher →
+/// resolver edge.
+fn trace_cmd(opts: &Opts) {
+    let n = opts.n.min(1 << 20);
+    let runs: [(Contender, &'static str, u32); 3] = [
+        (Contender::Fused, "fused", 32),
+        (Contender::FusedLargeM, "fused-large-m", 64),
+        (Contender::Onesweep, "onesweep", 32),
+    ];
+    let mut out = format!(
+        "Trace: flight-recorder causal analysis, n = 2^{}, seed {}, sequential schedule\n\
+         (exact critical path = launch overhead + longest stall-edge chain of modeled\n\
+          block times; under the sequential schedule no resolve ever spins, so the\n\
+          exact path must equal the launch_report estimate)\n",
+        n.ilog2(),
+        metrics::PROFILE_SEED
+    );
+    let mut all_records = Vec::new();
+    let mut contender_docs = Vec::new();
+    for &(c, name, m) in &runs {
+        let outcome = msbench::with_run_schedule(simt::Schedule::Sequential, || {
+            simt::with_telemetry(simt::Telemetry::PerBlock, || {
+                run_contender(
+                    c,
+                    false,
+                    n,
+                    m,
+                    Distribution::Uniform,
+                    K40C,
+                    8,
+                    metrics::PROFILE_SEED,
+                    opts.verify,
+                )
+            })
+        });
+        out.push_str(&format!("\n== {name} (m = {m}) ==\n"));
+        let mut t = Table::new(&[
+            "launch", "tiles", "edges", "stalls", "depth", "exact ms", "model ms", "delta %",
+            "slack ms",
+        ]);
+        let mut launch_docs = Vec::new();
+        for rec in &outcome.records {
+            let Some(a) = simt::flight_analyze(rec, &K40C) else {
+                continue;
+            };
+            if a.tiles == 0 {
+                continue;
+            }
+            let report = simt::launch_report(rec, &K40C);
+            let sum = report.as_ref().map(|r| r.sum_seconds).unwrap_or(0.0);
+            // Work the DAG leaves off the critical path: total modeled
+            // block time minus the path's share — the launch's headroom
+            // for more parallelism.
+            let slack = (sum + K40C.launch_overhead_us * 1e-6 - a.critical_path_seconds).max(0.0);
+            let delta = if a.modeled_critical_path_seconds > 0.0 {
+                (a.critical_path_seconds / a.modeled_critical_path_seconds - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            t.row(vec![
+                a.label.clone(),
+                a.tiles.to_string(),
+                a.edges.to_string(),
+                a.stall_edges.to_string(),
+                a.max_depth.to_string(),
+                format!("{:.4}", a.critical_path_seconds * 1e3),
+                format!("{:.4}", a.modeled_critical_path_seconds * 1e3),
+                format!("{delta:+.2}"),
+                format!("{:.4}", slack * 1e3),
+            ]);
+            if a.truncated {
+                out.push_str(&format!(
+                    "warn: {} flight ring overflowed ({} dropped) — DAG is partial; \
+                     re-run with a larger capacity\n",
+                    a.label,
+                    rec.flight.as_ref().map(|f| f.dropped).unwrap_or(0)
+                ));
+            }
+            let mut fields = match a.to_json() {
+                Json::Obj(f) => f,
+                _ => unreachable!(),
+            };
+            fields.push(("sum_seconds".into(), Json::Num(sum)));
+            fields.push(("slack_seconds".into(), Json::Num(slack)));
+            launch_docs.push(Json::Obj(fields));
+        }
+        out.push_str(&t.render());
+        contender_docs.push(Json::Obj(vec![
+            ("contender".into(), Json::Str(name.into())),
+            ("m".into(), Json::int(m as u64)),
+            ("launches".into(), Json::Arr(launch_docs)),
+        ]));
+        all_records.extend(outcome.records);
+    }
+    emit("trace", out);
+    let doc = Json::Obj(vec![
+        ("n".into(), Json::int(n as u64)),
+        ("seed".into(), Json::int(metrics::PROFILE_SEED)),
+        ("device".into(), Json::Str(K40C.name.into())),
+        ("contenders".into(), Json::Arr(contender_docs)),
+    ]);
+    let path = std::path::Path::new("bench_results/trace_chrome.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match simt::write_chrome_trace_with_tiles(&all_records, &K40C, path) {
+        Ok(()) => println!("[saved {}]\n", path.display()),
+        Err(e) => println!("[warn: could not save trace_chrome.json: {e}]\n"),
+    }
+    metrics::sink_push("trace", doc);
+}
+
 // ====================== Check (sector regression gate) ======================
 
 /// Compare the four `m <= 32` contenders' per-stage sector counts at
@@ -2203,6 +2332,7 @@ fn main() {
         "sort" => sort_cmd(&opts),
         "sorttune" => sorttune_cmd(&opts),
         "profile" => profile_cmd(&opts),
+        "trace" => trace_cmd(&opts),
         "check" => check_cmd(&opts),
         "all" => {
             table1(&opts);
@@ -2226,7 +2356,7 @@ fn main() {
             sorttune_cmd(&opts);
         }
         _ => {
-            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|onesweep|sort|sorttune|profile|check|fuzz|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
+            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|onesweep|sort|sorttune|profile|trace|check|fuzz|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
             eprintln!("       paper fuzz [--iters K] [--seed S] [--replay TOKEN]");
             std::process::exit(2);
         }

@@ -15,7 +15,33 @@ use msrng::SmallRng;
 use multisplit::{
     check_multisplit, multisplit_device, multisplit_kv_ref, BucketFn, Method, RangeBuckets,
 };
-use simt::{Device, DeviceProfile, GlobalBuffer};
+use simt::{Device, DeviceProfile, GlobalBuffer, Schedule};
+
+thread_local! {
+    static RUN_SCHEDULE: std::cell::Cell<Schedule> =
+        const { std::cell::Cell::new(Schedule::Parallel) };
+}
+
+/// The block schedule contender runners use for their devices (default
+/// [`Schedule::Parallel`], matching `Device::new`).
+pub fn run_schedule() -> Schedule {
+    RUN_SCHEDULE.with(std::cell::Cell::get)
+}
+
+/// Run `f` with every contender launched under `schedule` on this host
+/// thread (RAII restore, like `simt::with_telemetry`). `paper trace`
+/// uses this to rerun pipelines sequentially, where the flight
+/// recorder's exact critical path must equal the modeled one.
+pub fn with_run_schedule<R>(schedule: Schedule, f: impl FnOnce() -> R) -> R {
+    struct Restore(Schedule);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            RUN_SCHEDULE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(RUN_SCHEDULE.with(|c| c.replace(schedule)));
+    f()
+}
 
 /// Initial key distribution over buckets (paper §6.5 / Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,6 +228,10 @@ pub struct Outcome {
     pub total: f64,
     pub stages: Vec<(&'static str, f64)>,
     pub sectors: Vec<(&'static str, u64)>,
+    /// Per-input-buffer DRAM read sectors (`GlobalBuffer::read_sectors`):
+    /// how often the run actually touched its key/value inputs — the
+    /// counter behind the paper's "reads the keys once vs twice" claims.
+    pub buffer_reads: Vec<(&'static str, u64)>,
     pub records: Vec<simt::LaunchRecord>,
 }
 
@@ -252,7 +282,7 @@ pub fn run_contender(
     };
     let values_host = key_value.then(|| gen_values(n));
     let bucket = RangeBuckets::new(m);
-    let dev = Device::new(profile);
+    let dev = Device::with_schedule(profile, run_schedule());
     let keys = GlobalBuffer::from_slice(&keys_host);
     let values = values_host.as_ref().map(|v| GlobalBuffer::from_slice(v));
 
@@ -368,10 +398,15 @@ pub fn run_contender(
         }
     }
 
+    let mut buffer_reads = vec![("keys", keys.read_sectors())];
+    if let Some(v) = &values {
+        buffer_reads.push(("values", v.read_sectors()));
+    }
     let outcome = Outcome {
         total: dev.total_seconds(),
         stages: stage_seconds(&dev),
         sectors: stage_sector_counts(&dev),
+        buffer_reads,
         records: dev.take_records(),
     };
     if metrics::sink_active() {
@@ -403,7 +438,7 @@ pub fn run_scan_split(
 ) -> Outcome {
     let keys_host = gen_keys(n, 2, Distribution::Uniform, seed);
     let bucket = RangeBuckets::new(2);
-    let dev = Device::new(profile);
+    let dev = Device::with_schedule(profile, run_schedule());
     let keys = GlobalBuffer::from_slice(&keys_host);
     let values_host = key_value.then(|| gen_values(n));
     let values = values_host.as_ref().map(|v| GlobalBuffer::from_slice(v));
@@ -412,10 +447,15 @@ pub fn run_scan_split(
             bucket.bucket_of(k) == 1
         });
     check_multisplit(&keys_host, &out.to_vec(), &offs, &bucket).expect("scan split invalid");
+    let mut buffer_reads = vec![("keys", keys.read_sectors())];
+    if let Some(v) = &values {
+        buffer_reads.push(("values", v.read_sectors()));
+    }
     let outcome = Outcome {
         total: dev.total_seconds(),
         stages: stage_seconds(&dev),
         sectors: stage_sector_counts(&dev),
+        buffer_reads,
         records: dev.take_records(),
     };
     if metrics::sink_active() {

@@ -104,8 +104,21 @@ pub(crate) fn run_entry(
         ("total_seconds".into(), Json::Num(outcome.total)),
         ("stage_seconds".into(), stage_seconds),
         ("stage_sectors".into(), stage_sectors),
+        ("buffer_read_sectors".into(), buffer_reads_json(outcome)),
         ("launches".into(), simt::obs::records_json(&outcome.records)),
     ])
+}
+
+/// Per-input-buffer DRAM read sectors as a JSON object
+/// (`{"keys": …, "values": …}`) — PR 6's counters, surfaced.
+pub(crate) fn buffer_reads_json(outcome: &Outcome) -> Json {
+    Json::Obj(
+        outcome
+            .buffer_reads
+            .iter()
+            .map(|(k, v)| ((*k).into(), Json::int(*v)))
+            .collect(),
+    )
 }
 
 /// The contenders `paper profile` / `paper check` cover, with the short
@@ -182,6 +195,10 @@ impl ContenderProfile {
             ("total_seconds".into(), Json::Num(self.outcome.total)),
             ("stage_seconds".into(), stage_seconds),
             ("stage_sectors".into(), stage_sectors),
+            (
+                "buffer_read_sectors".into(),
+                buffer_reads_json(&self.outcome),
+            ),
             ("scope_tree".into(), self.tree().to_json()),
             (
                 "launch_reports".into(),

@@ -45,7 +45,7 @@
 //! one output slot — the classic symptom of a wrong scatter base — panics
 //! instead of silently producing a permutation-shaped wrong answer.
 
-use simt::{lanes_from_fn, Device, GlobalBuffer, Scalar, WARP_SIZE};
+use simt::{lanes_from_fn, Device, EventKind, GlobalBuffer, Scalar, WARP_SIZE};
 
 use primitives::{
     lookback::TileStates, low_lanes_mask, multi_exclusive_scan_across_cols,
@@ -270,6 +270,8 @@ pub fn multisplit_fused_into<B: BucketFn + ?Sized, V: Scalar>(
         {
             let w = blk.warp(0);
             tile_id.set(0, w.device_fetch_add(&ticket, 0, 1));
+            w.obs()
+                .flight_emit(EventKind::TicketClaim, tile_id.get(0), 0, 0);
         }
         blk.sync();
         let t = tile_id.get(0) as usize;
@@ -389,6 +391,9 @@ pub fn multisplit_fused_into<B: BucketFn + ?Sized, V: Scalar>(
                 }
             }
         }
+        blk.stats()
+            .obs
+            .flight_emit(EventKind::ScatterComplete, t as u32, 0, 0);
     });
 
     offsets

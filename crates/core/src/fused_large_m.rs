@@ -46,7 +46,9 @@
 //! Output buffers are allocated with the write-race detector enabled
 //! ([`simt::GlobalBuffer::tracked`]), as in `fused.rs`.
 
-use simt::{lanes_from_fn, padded_index, padded_len, Device, GlobalBuffer, Scalar, WARP_SIZE};
+use simt::{
+    lanes_from_fn, padded_index, padded_len, Device, EventKind, GlobalBuffer, Scalar, WARP_SIZE,
+};
 
 use primitives::{block_exclusive_scan_shared, lookback::TileStates, low_lanes_mask, tail_mask};
 
@@ -307,6 +309,8 @@ pub fn multisplit_fused_large_m_into<B: BucketFn + ?Sized, V: Scalar>(
         {
             let w = blk.warp(0);
             tile_id.set(0, w.device_fetch_add(&ticket, 0, 1));
+            w.obs()
+                .flight_emit(EventKind::TicketClaim, tile_id.get(0), 0, 0);
         }
         blk.sync();
         let t = tile_id.get(0) as usize;
@@ -461,6 +465,9 @@ pub fn multisplit_fused_large_m_into<B: BucketFn + ?Sized, V: Scalar>(
                 }
             }
         }
+        blk.stats()
+            .obs
+            .flight_emit(EventKind::ScatterComplete, t as u32, 0, 0);
     });
 
     offsets

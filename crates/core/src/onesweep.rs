@@ -44,7 +44,9 @@
 //! detector epochs, so the cross-launch staging flow is checked, not
 //! exempted.
 
-use simt::{lanes_from_fn, padded_index, padded_len, Device, GlobalBuffer, Scalar, WARP_SIZE};
+use simt::{
+    lanes_from_fn, padded_index, padded_len, Device, EventKind, GlobalBuffer, Scalar, WARP_SIZE,
+};
 
 use primitives::{
     lookback::TileStates, low_lanes_mask, multi_exclusive_scan_across_cols, tail_mask, warp_scan,
@@ -139,6 +141,8 @@ pub fn multisplit_onesweep<B: BucketFn + ?Sized, V: Scalar>(
         {
             let w = blk.warp(0);
             tile_id.set(0, w.device_fetch_add(&ticket, 0, 1));
+            w.obs()
+                .flight_emit(EventKind::TicketClaim, tile_id.get(0), 0, 0);
         }
         blk.sync();
         let t = tile_id.get(0) as usize;
@@ -247,6 +251,9 @@ pub fn multisplit_onesweep<B: BucketFn + ?Sized, V: Scalar>(
                 }
             }
         }
+        blk.stats()
+            .obs
+            .flight_emit(EventKind::ScatterComplete, t as u32, 0, 0);
     });
 
     // ====== Host: the last tile's inclusive record *is* the global
@@ -333,6 +340,9 @@ pub fn multisplit_onesweep<B: BucketFn + ?Sized, V: Scalar>(
                 }
             }
         }
+        blk.stats()
+            .obs
+            .flight_emit(EventKind::ScatterComplete, t as u32, 0, 0);
     });
 
     DeviceMultisplit {

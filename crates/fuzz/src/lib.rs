@@ -97,14 +97,21 @@ pub enum SchedSpec {
     Adversarial { seed: u64, flavor: AdvFlavor },
 }
 
+/// Spin budget armed on every adversarial fuzz case. Fuzz inputs stay
+/// small (n ≤ 2^15), where a healthy look-back never spins more than a
+/// few thousand polls on one target — a streak of 200k means livelock,
+/// and the watchdog turns what used to be a CI hang into a panic
+/// divergence with a wait-for-graph dump in the reproducer.
+pub const FUZZ_SPIN_BUDGET: u64 = 200_000;
+
 impl SchedSpec {
     pub fn to_schedule(self) -> Schedule {
         match self {
             SchedSpec::Sequential => Schedule::Sequential,
             SchedSpec::Parallel => Schedule::Parallel,
-            SchedSpec::Adversarial { seed, flavor } => {
-                Schedule::Adversarial(AdvSchedule::with_flavor(seed, flavor))
-            }
+            SchedSpec::Adversarial { seed, flavor } => Schedule::Adversarial(
+                AdvSchedule::with_flavor(seed, flavor).with_spin_budget(FUZZ_SPIN_BUDGET),
+            ),
         }
     }
 
@@ -1327,5 +1334,23 @@ mod tests {
         assert!(Divergence::Stats("x".into()).to_string().contains("stats"));
         assert!(Divergence::Obs("x".into()).to_string().contains("obs"));
         assert!(Divergence::Panic("x".into()).to_string().contains("panic"));
+    }
+
+    /// Every adversarial fuzz case runs with the stall watchdog armed: a
+    /// livelocked look-back becomes a bounded panic divergence (with a
+    /// wait-for-graph dump) instead of a CI hang.
+    #[test]
+    fn adversarial_cases_arm_the_watchdog() {
+        let spec = SchedSpec::Adversarial {
+            seed: 7,
+            flavor: AdvFlavor::Straggler,
+        };
+        match spec.to_schedule() {
+            Schedule::Adversarial(adv) => {
+                assert_eq!(adv.spin_budget, FUZZ_SPIN_BUDGET);
+                assert_ne!(adv.spin_budget, 0, "budget 0 would disarm the watchdog");
+            }
+            other => panic!("expected adversarial schedule, got {other:?}"),
+        }
     }
 }

@@ -37,7 +37,9 @@
 //! fused large-m multisplit) simply span multiple groups; `rows <= 32`
 //! is one group and reproduces the chained scan's billing bit-for-bit.
 
-use simt::{lanes_from_fn, GlobalBuffer, Lanes, ObsCells, WarpCtx, WARP_SIZE};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use simt::{lanes_from_fn, EventKind, GlobalBuffer, Lanes, ObsCells, WarpCtx, WARP_SIZE};
 
 use crate::block_scan::low_lanes_mask;
 
@@ -66,18 +68,30 @@ pub fn unpack(word: u64) -> (u32, u64) {
 /// iterations go to the uncounted `obs` side-channel — they depend on
 /// thread interleaving, so they are exported for inspection but never
 /// priced or compared for equality.
-fn spin_wait_published(state: &GlobalBuffer<u64>, idx: usize, obs: &ObsCells) -> u64 {
+/// Returns the published word and how many polls found it EMPTY (the
+/// spin count, already fed to `obs.record_spins`; callers aggregate it
+/// into the flight recorder's `Resolve` event).
+fn spin_wait_published(
+    state: &GlobalBuffer<u64>,
+    idx: usize,
+    waiting_on: usize,
+    obs: &ObsCells,
+) -> (u64, u64) {
     let mut spins = 0u64;
+    let mut last_word = u64::MAX;
     loop {
         // Adversarial yield point, marking this block as *waiting on
-        // another tile's published state* (the straggler policy's release
-        // condition); a no-op on the parallel/sequential executors.
-        simt::sched::spin_yield();
+        // tile `waiting_on`'s published state* (the straggler policy's
+        // release condition, and the stall watchdog's target); a no-op on
+        // the parallel/sequential executors. `last_word` lets a watchdog
+        // diagnosis report exactly what the waiter last saw.
+        simt::sched::spin_yield_waiting(waiting_on as u32, last_word);
         let word = state.device_peek(idx);
         if word & 3 != FLAG_EMPTY {
             obs.record_spins(spins);
-            return word;
+            return (word, spins);
         }
+        last_word = word;
         spins += 1;
         if spins.is_multiple_of(64) {
             std::thread::yield_now();
@@ -96,6 +110,10 @@ fn spin_wait_published(state: &GlobalBuffer<u64>, idx: usize, obs: &ObsCells) ->
 pub struct TileStates {
     state: GlobalBuffer<u64>,
     rows: usize,
+    /// Test-only fault: this tile's `resolve_rows` returns without
+    /// publishing anything (`usize::MAX` = no fault). Lets tests prove
+    /// the stall watchdog converts a real livelock into a diagnosis.
+    stall_tile: AtomicUsize,
 }
 
 impl TileStates {
@@ -109,7 +127,18 @@ impl TileStates {
         Self {
             state: GlobalBuffer::zeroed(tiles * rows),
             rows,
+            stall_tile: AtomicUsize::new(usize::MAX),
         }
+    }
+
+    /// **Test-only fault injection**: make tile `t`'s `resolve_rows`
+    /// return immediately without publishing AGGREGATE or INCLUSIVE —
+    /// every successor's look-back walk then spins on EMPTY words
+    /// forever. Under an adversarial schedule the stall watchdog must
+    /// convert that livelock into a structured abort; that conversion is
+    /// exactly what the injected-stall tests assert.
+    pub fn inject_publish_stall(&self, t: usize) {
+        self.stall_tile.store(t, Ordering::Relaxed);
     }
 
     pub fn rows(&self) -> usize {
@@ -180,6 +209,11 @@ impl TileStates {
         let rows = self.rows;
         assert_eq!(aggregate.len(), rows, "one aggregate per row");
         let groups = self.row_groups();
+        if self.stall_tile.load(Ordering::Relaxed) == t {
+            // Injected fault (see `inject_publish_stall`): hang this
+            // tile's publishes forever. Successors now spin on EMPTY.
+            return vec![0; rows];
+        }
         if t == 0 {
             for g in 0..groups {
                 let (rec, mask) = self.group_record(0, g);
@@ -195,6 +229,9 @@ impl TileStates {
                 // `lookback_resolves == tiles * row_groups()`, a
                 // schedule-independent total.
                 w.obs().record_lookback(0);
+                w.obs()
+                    .flight_emit(EventKind::PublishInclusive, 0, g as u32, 0);
+                w.obs().flight_emit(EventKind::Resolve, 0, 0, 0);
             }
             return vec![0; rows];
         }
@@ -208,6 +245,8 @@ impl TileStates {
                 lanes_from_fn(|l| pack(aggregate[base + l.min(cnt - 1)], FLAG_AGGREGATE)),
                 mask,
             );
+            w.obs()
+                .flight_emit(EventKind::PublishAggregate, t as u32, g as u32, 0);
         }
         let mut prefix = vec![0u32; rows];
         for g in 0..groups {
@@ -221,6 +260,7 @@ impl TileStates {
             let mut done = [false; WARP_SIZE];
             let mut remaining = cnt;
             let mut p = t;
+            let mut group_spins = 0u64;
             while remaining > 0 {
                 debug_assert!(p > 0, "tile 0 always publishes INCLUSIVE");
                 p -= 1;
@@ -228,11 +268,10 @@ impl TileStates {
                     if done[r] {
                         continue;
                     }
-                    let (value, flag) = unpack(spin_wait_published(
-                        &self.state,
-                        p * rows + base + r,
-                        w.obs(),
-                    ));
+                    let (word, spins) =
+                        spin_wait_published(&self.state, p * rows + base + r, p, w.obs());
+                    group_spins += spins;
+                    let (value, flag) = unpack(word);
                     prefix[base + r] = prefix[base + r].wrapping_add(value);
                     if flag == FLAG_INCLUSIVE {
                         done[r] = true;
@@ -246,12 +285,24 @@ impl TileStates {
             // (sequential execution always stops after one hop, parallel
             // depends on timing).
             w.obs().record_lookback((t - p) as u64);
+            // Flight event: the causal edge `t -> p` this walk bound, plus
+            // how hard it stalled getting there. One Resolve per group, so
+            // per-kind event counts stay schedule-independent even though
+            // the depth/spin payloads are not.
+            w.obs().flight_emit(
+                EventKind::Resolve,
+                t as u32,
+                (t - p) as u32,
+                group_spins.min(u32::MAX as u64) as u32,
+            );
             // Charge the look-back deterministically: one counted
             // record-sized read per tile per group. How many extra hops the
             // walk took depends on scheduling — charging them would break
             // schedule independence.
             let (prev, mask) = self.group_record(t - 1, g);
             w.device_gather(&self.state, prev, mask);
+            w.obs()
+                .flight_emit(EventKind::LookbackRead, t as u32, g as u32, 0);
             let (rec, mask) = self.group_record(t, g);
             w.device_scatter(
                 &self.state,
@@ -262,6 +313,8 @@ impl TileStates {
                 }),
                 mask,
             );
+            w.obs()
+                .flight_emit(EventKind::PublishInclusive, t as u32, g as u32, 0);
         }
         prefix
     }
@@ -283,6 +336,8 @@ impl TileStates {
         for g in 0..self.row_groups() {
             let (rec, mask) = self.group_record(t, g);
             let words = w.device_gather(&self.state, rec, mask);
+            w.obs()
+                .flight_emit(EventKind::LookbackRead, t as u32, g as u32, 0);
             let base = g * WARP_SIZE;
             let cnt = (rows - base).min(WARP_SIZE);
             for l in 0..cnt {

@@ -91,8 +91,15 @@ impl BlockCtx {
 
     /// Retire the block: counted stats plus the uncounted introspection
     /// snapshot (kept separate so obs can never leak into the cost model).
-    pub(crate) fn into_parts(self) -> (BlockStats, crate::obs::ObsStats) {
-        (self.stats.snapshot(), self.stats.obs.snapshot())
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        BlockStats,
+        crate::obs::ObsStats,
+        (Vec<crate::flight::FlightEvent>, u64),
+    ) {
+        let flight = self.stats.obs.take_flight();
+        (self.stats.snapshot(), self.stats.obs.snapshot(), flight)
     }
 }
 

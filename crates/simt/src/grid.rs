@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::block::BlockCtx;
+use crate::flight::{FlightEvent, FlightLog};
 use crate::obs::{telemetry, ObsStats, Telemetry};
 use crate::profile::DeviceProfile;
 use crate::sched::{self, AdvCore, AdvSchedule, Schedule, ScheduleAborted, ADV_WORKERS};
@@ -144,6 +145,9 @@ impl Device {
     {
         let label = format!("{}{}", lock_unpoisoned(&self.scope), label);
         let per_block_wanted = telemetry() == Telemetry::PerBlock;
+        // Flight-recorder capacity is a thread-local of the *calling*
+        // thread; read it once here so worker threads see the same value.
+        let flight_cap = crate::flight::flight_capacity();
         if num_blocks == 0 {
             return LaunchRecord {
                 label,
@@ -152,6 +156,7 @@ impl Device {
                 stats: BlockStats::default(),
                 obs: ObsStats::default(),
                 per_block: per_block_wanted.then(Vec::new),
+                flight: (flight_cap > 0).then(FlightLog::default),
                 seconds: 0.0,
             };
         }
@@ -160,14 +165,20 @@ impl Device {
         // launches (already ordered by the launch sync point) never read as
         // same-epoch hazards, while intra-launch cross-block traffic does.
         let epoch = crate::memory::fresh_epoch();
-        let run_block = |b: usize| -> (BlockStats, ObsStats) {
+        let run_block = |b: usize| -> (BlockStats, ObsStats, Vec<FlightEvent>, u64) {
             // Attribute every tracked memory access in this block to block
             // id `b` (the read-write hazard detector names reader/writer).
             let _blk_guard = crate::memory::enter_block(b);
             let _epoch_pin = crate::memory::enter_epoch(epoch);
             let blk = BlockCtx::new(b, num_blocks, warps_per_block);
+            blk.stats().obs.set_flight_capacity(flight_cap);
             kernel(&blk);
-            blk.into_parts()
+            let (bs, bo, (mut fl, dropped)) = blk.into_parts();
+            // The ring doesn't know its block; stamp events at retirement.
+            for e in &mut fl {
+                e.block = b as u32;
+            }
+            (bs, bo, fl, dropped)
         };
         let launch_ix = self.launch_counter.fetch_add(1, Ordering::Relaxed);
         // Each worker accumulates locally (no locks on the hot path) and
@@ -176,7 +187,7 @@ impl Device {
         // so the retained order is deterministic whatever the claim order.
         let parallel_wanted =
             self.schedule == Schedule::Parallel && num_blocks >= PARALLEL_GRID_THRESHOLD;
-        let (stats, obs, per_block) = if let Schedule::Adversarial(adv) = self.schedule {
+        let (stats, obs, per_block, flight) = if let Schedule::Adversarial(adv) = self.schedule {
             // Adversarial executor: dynamic self-scheduling like the
             // parallel path, but exactly one worker runs at a time and the
             // seeded policy picks who at every yield point. Each launch
@@ -185,7 +196,7 @@ impl Device {
             // staying deterministic (launch order is program order).
             let workers = num_blocks.min(ADV_WORKERS);
             let seed = adv.seed ^ launch_ix.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let core = Arc::new(AdvCore::new(adv.flavor, seed, workers));
+            let core = Arc::new(AdvCore::new(adv.flavor, seed, workers, adv.spin_budget));
             let next = AtomicUsize::new(0);
             let next = &next;
             let run_block = &run_block;
@@ -210,20 +221,27 @@ impl Device {
                             let mut acc = BlockStats::default();
                             let mut obs = ObsStats::default();
                             let mut kept: Vec<(usize, BlockStats)> = Vec::new();
+                            let mut fl: Vec<FlightEvent> = Vec::new();
+                            let mut fl_dropped = 0u64;
                             loop {
                                 sched::yield_block_start();
                                 let b = next.fetch_add(1, Ordering::Relaxed);
                                 if b >= num_blocks {
                                     break;
                                 }
-                                let (bs, bo) = run_block(b);
+                                // Tell the watchdog which block this worker
+                                // runs, for its wait-for diagnosis.
+                                sched::note_block(b);
+                                let (bs, bo, f, d) = run_block(b);
                                 acc += bs;
                                 obs += bo;
+                                fl.extend(f);
+                                fl_dropped += d;
                                 if per_block_wanted {
                                     kept.push((b, bs));
                                 }
                             }
-                            (acc, obs, kept)
+                            (acc, obs, kept, fl, fl_dropped)
                         })
                     })
                     .collect();
@@ -231,14 +249,18 @@ impl Device {
                 let mut obs = ObsStats::default();
                 let mut per_block =
                     per_block_wanted.then(|| vec![BlockStats::default(); num_blocks]);
+                let mut fl: Vec<FlightEvent> = Vec::new();
+                let mut fl_dropped = 0u64;
                 // Re-raise the *original* panic; workers torn down with the
                 // `ScheduleAborted` marker were collateral, not the bug.
                 let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
                 for h in handles {
                     match h.join() {
-                        Ok((s, o, kept)) => {
+                        Ok((s, o, kept, f, d)) => {
                             acc += s;
                             obs += o;
+                            fl.extend(f);
+                            fl_dropped += d;
                             if let Some(pb) = per_block.as_mut() {
                                 for (b, bs) in kept {
                                     pb[b] = bs;
@@ -255,7 +277,7 @@ impl Device {
                 if let Some(payload) = first_panic {
                     std::panic::resume_unwind(payload);
                 }
-                (acc, obs, per_block)
+                (acc, obs, per_block, (fl, fl_dropped))
             })
         } else if parallel_wanted {
             let workers = std::thread::available_parallelism()
@@ -269,19 +291,23 @@ impl Device {
                             let mut acc = BlockStats::default();
                             let mut obs = ObsStats::default();
                             let mut kept: Vec<(usize, BlockStats)> = Vec::new();
+                            let mut fl: Vec<FlightEvent> = Vec::new();
+                            let mut fl_dropped = 0u64;
                             loop {
                                 let b = next.fetch_add(1, Ordering::Relaxed);
                                 if b >= num_blocks {
                                     break;
                                 }
-                                let (bs, bo) = run_block(b);
+                                let (bs, bo, f, d) = run_block(b);
                                 acc += bs;
                                 obs += bo;
+                                fl.extend(f);
+                                fl_dropped += d;
                                 if per_block_wanted {
                                     kept.push((b, bs));
                                 }
                             }
-                            (acc, obs, kept)
+                            (acc, obs, kept, fl, fl_dropped)
                         })
                     })
                     .collect();
@@ -289,11 +315,15 @@ impl Device {
                 let mut obs = ObsStats::default();
                 let mut per_block =
                     per_block_wanted.then(|| vec![BlockStats::default(); num_blocks]);
+                let mut fl: Vec<FlightEvent> = Vec::new();
+                let mut fl_dropped = 0u64;
                 for h in handles {
                     match h.join() {
-                        Ok((s, o, kept)) => {
+                        Ok((s, o, kept, f, d)) => {
                             acc += s;
                             obs += o;
+                            fl.extend(f);
+                            fl_dropped += d;
                             if let Some(pb) = per_block.as_mut() {
                                 for (b, bs) in kept {
                                     pb[b] = bs;
@@ -303,22 +333,30 @@ impl Device {
                         Err(payload) => std::panic::resume_unwind(payload),
                     }
                 }
-                (acc, obs, per_block)
+                (acc, obs, per_block, (fl, fl_dropped))
             })
         } else {
             let mut acc = BlockStats::default();
             let mut obs = ObsStats::default();
             let mut per_block = per_block_wanted.then(|| Vec::with_capacity(num_blocks));
+            let mut fl: Vec<FlightEvent> = Vec::new();
+            let mut fl_dropped = 0u64;
             for b in 0..num_blocks {
-                let (bs, bo) = run_block(b);
+                let (bs, bo, f, d) = run_block(b);
                 acc += bs;
                 obs += bo;
+                fl.extend(f);
+                fl_dropped += d;
                 if let Some(pb) = per_block.as_mut() {
                     pb.push(bs);
                 }
             }
-            (acc, obs, per_block)
+            (acc, obs, per_block, (fl, fl_dropped))
         };
+        // Merge every block's ring into one stream sorted by (block, seq):
+        // deterministic whatever order workers retired blocks in.
+        let (mut fl_events, fl_dropped) = flight;
+        fl_events.sort_by_key(|e| (e.block, e.seq));
         let record = LaunchRecord {
             label,
             blocks: num_blocks,
@@ -326,6 +364,10 @@ impl Device {
             stats,
             obs,
             per_block,
+            flight: (flight_cap > 0).then_some(FlightLog {
+                events: fl_events,
+                dropped: fl_dropped,
+            }),
             seconds: self.profile.estimate(&stats),
         };
         lock_unpoisoned(&self.records).push(record.clone());

@@ -51,6 +51,7 @@
 //! ```
 
 pub mod block;
+pub mod flight;
 pub mod grid;
 pub mod json;
 pub mod lanes;
@@ -64,6 +65,10 @@ pub mod trace;
 pub mod warp;
 
 pub use block::{BlockCtx, SMEM_CAPACITY_BYTES};
+pub use flight::{
+    analyze as flight_analyze, flight_capacity, with_flight_capacity, EventKind, FlightAnalysis,
+    FlightEvent, FlightLog, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use grid::{blocks_for, Device};
 pub use json::Json;
 pub use lanes::{
@@ -76,8 +81,11 @@ pub use obs::{
     ObsStats, ScopeNode, Telemetry,
 };
 pub use profile::{DeviceProfile, GTX750TI, K40C};
-pub use sched::{AdvFlavor, AdvSchedule, Schedule, ADV_WORKERS};
+pub use sched::{AdvFlavor, AdvSchedule, Schedule, ADV_WORKERS, DEFAULT_SPIN_BUDGET};
 pub use shared::{padded_index, padded_len, SharedBuf, SMEM_BANKS};
 pub use stats::{BlockStats, LaunchRecord, StatCells};
-pub use trace::{chrome_trace_json, write_chrome_trace};
+pub use trace::{
+    chrome_trace_json, chrome_trace_json_with_tiles, write_chrome_trace,
+    write_chrome_trace_with_tiles,
+};
 pub use warp::WarpCtx;

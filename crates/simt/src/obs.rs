@@ -28,6 +28,7 @@
 use std::cell::Cell;
 use std::ops::AddAssign;
 
+use crate::flight::{EventKind, FlightEvent};
 use crate::json::Json;
 use crate::profile::DeviceProfile;
 use crate::stats::{BlockStats, LaunchRecord};
@@ -86,6 +87,12 @@ pub struct ObsCells {
     lookback_depth_total: Cell<u64>,
     lookback_depth_hist: [Cell<u64>; LOOKBACK_DEPTH_BUCKETS],
     spin_polls: Cell<u64>,
+    // Flight-recorder ring (see `crate::flight`): bounded, uncounted,
+    // armed per block by `Device::launch` from the thread-local capacity.
+    flight_cap: Cell<usize>,
+    flight_seq: Cell<u32>,
+    flight_dropped: Cell<u64>,
+    flight_events: std::cell::RefCell<Vec<FlightEvent>>,
 }
 
 impl ObsCells {
@@ -108,6 +115,49 @@ impl ObsCells {
     /// Record `n` spin-poll iterations of an uncounted `device_peek` wait.
     pub fn record_spins(&self, n: u64) {
         self.spin_polls.set(self.spin_polls.get() + n);
+    }
+
+    /// Arm (or, with `cap == 0`, disarm) this block's flight ring.
+    /// `Device::launch` calls this with the host thread's
+    /// [`crate::flight::flight_capacity`] before the kernel runs.
+    pub fn set_flight_capacity(&self, cap: usize) {
+        self.flight_cap.set(cap);
+    }
+
+    /// Append a flight event to the ring. No-op when disarmed; when the
+    /// ring is full the event is dropped and counted (truncation is
+    /// flagged, never silent) while `seq` still advances, so a gap-free
+    /// sequence certifies completeness. The `block` field is stamped
+    /// later by `Device::launch` — emitters pass only the ticket and
+    /// kind-specific payloads.
+    pub fn flight_emit(&self, kind: EventKind, ticket: u32, a: u32, b: u32) {
+        let cap = self.flight_cap.get();
+        if cap == 0 {
+            return;
+        }
+        let seq = self.flight_seq.get();
+        self.flight_seq.set(seq.wrapping_add(1));
+        let mut events = self.flight_events.borrow_mut();
+        if events.len() < cap {
+            events.push(FlightEvent {
+                kind,
+                block: 0,
+                ticket,
+                a,
+                b,
+                seq,
+            });
+        } else {
+            self.flight_dropped.set(self.flight_dropped.get() + 1);
+        }
+    }
+
+    /// Drain the ring when the block retires: `(events, dropped)`.
+    pub(crate) fn take_flight(&self) -> (Vec<FlightEvent>, u64) {
+        (
+            std::mem::take(&mut *self.flight_events.borrow_mut()),
+            self.flight_dropped.get(),
+        )
     }
 
     /// Fold the cells into a plain value (when the block retires).
@@ -449,6 +499,17 @@ pub fn record_json(rec: &LaunchRecord) -> Json {
             Json::Arr(per_block.iter().map(stats_json).collect()),
         ));
     }
+    // Flight log: summary only — full event streams belong in the chrome
+    // trace, not in every JSON export.
+    if let Some(flight) = &rec.flight {
+        fields.push((
+            "flight".into(),
+            Json::Obj(vec![
+                ("events".into(), Json::int(flight.events.len() as u64)),
+                ("dropped".into(), Json::int(flight.dropped)),
+            ]),
+        ));
+    }
     Json::Obj(fields)
 }
 
@@ -535,6 +596,7 @@ mod tests {
             },
             obs: ObsStats::default(),
             per_block: None,
+            flight: None,
             seconds,
         }
     }

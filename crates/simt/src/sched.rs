@@ -87,11 +87,27 @@ impl Schedule {
     }
 }
 
+/// Default stall-watchdog budget: consecutive spin polls on the *same*
+/// ticket before the watchdog declares a livelock. Legitimate waits at
+/// any size this repo runs top out around tens of thousands of polls
+/// (bounded by the predecessor chain's remaining work divided among
+/// [`ADV_WORKERS`]), so a million-poll streak on one unpublished word is
+/// conclusively stuck — while still aborting a true livelock in well
+/// under a second.
+pub const DEFAULT_SPIN_BUDGET: u64 = 1_000_000;
+
 /// A seeded adversarial scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdvSchedule {
     pub seed: u64,
     pub flavor: AdvFlavor,
+    /// Stall-watchdog budget: abort the launch with a wait-for-graph
+    /// diagnosis once any worker spin-polls the same ticket this many
+    /// times in a row without any other event in between. `0` disarms
+    /// the watchdog. Armed at [`DEFAULT_SPIN_BUDGET`] by every
+    /// constructor, so adversarial runs self-diagnose livelocks instead
+    /// of hanging.
+    pub spin_budget: u64,
 }
 
 impl AdvSchedule {
@@ -104,12 +120,22 @@ impl AdvSchedule {
             2 => AdvFlavor::Straggler,
             _ => AdvFlavor::BoundedPreempt,
         };
-        Self { seed, flavor }
+        Self::with_flavor(seed, flavor)
     }
 
     /// An explicit flavor with its own seed.
     pub fn with_flavor(seed: u64, flavor: AdvFlavor) -> Self {
-        Self { seed, flavor }
+        Self {
+            seed,
+            flavor,
+            spin_budget: DEFAULT_SPIN_BUDGET,
+        }
+    }
+
+    /// Override the stall-watchdog budget (`0` disarms it).
+    pub fn with_spin_budget(mut self, budget: u64) -> Self {
+        self.spin_budget = budget;
+        self
     }
 }
 
@@ -171,7 +197,10 @@ pub(crate) enum Ev {
     Op,
     /// A look-back spin-poll iteration: the worker is *waiting* on a
     /// predecessor's published state (the straggler release condition).
-    Spin,
+    /// Carries the awaited ticket and the last state word the waiter
+    /// polled (`u32::MAX` / `u64::MAX` when unknown) so the stall
+    /// watchdog can name exactly what never arrived.
+    Spin { waiting_on: u32, last_word: u64 },
     /// A device `fetch_add` returned this previous value — for the
     /// kernels' tile-ticket counters this is the claimed ticket, which
     /// the reverse-ticket and straggler policies key on.
@@ -193,6 +222,13 @@ struct Inner {
     status: Vec<WStatus>,
     /// Ticket each worker's *current block* claimed (None before claim).
     ticket: Vec<Option<u32>>,
+    /// Block id each worker is currently running (None between blocks).
+    block: Vec<Option<usize>>,
+    /// What each spinning worker waits on: `(ticket, last polled word)`.
+    spin_target: Vec<Option<(u32, u64)>>,
+    /// Consecutive spin polls on the same target with no other event in
+    /// between — the quantity the stall watchdog budgets.
+    spin_streak: Vec<u64>,
     /// The straggler policy's parked worker, if any.
     parked: Option<usize>,
     /// Set once the straggler has been parked and released; never park twice.
@@ -208,6 +244,8 @@ struct Inner {
 /// over at yield points under a seeded policy.
 pub(crate) struct AdvCore {
     flavor: AdvFlavor,
+    /// Stall-watchdog budget (0 = disarmed); see [`AdvSchedule::spin_budget`].
+    spin_budget: u64,
     inner: Mutex<Inner>,
     cv: Condvar,
 }
@@ -217,12 +255,16 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl AdvCore {
-    pub(crate) fn new(flavor: AdvFlavor, seed: u64, workers: usize) -> Self {
+    pub(crate) fn new(flavor: AdvFlavor, seed: u64, workers: usize, spin_budget: u64) -> Self {
         Self {
             flavor,
+            spin_budget,
             inner: Mutex::new(Inner {
                 status: vec![WStatus::Ready; workers],
                 ticket: vec![None; workers],
+                block: vec![None; workers],
+                spin_target: vec![None; workers],
+                spin_streak: vec![0; workers],
                 parked: None,
                 straggler_done: false,
                 running: 0,
@@ -245,13 +287,43 @@ impl AdvCore {
         match ev {
             Ev::BlockStart => {
                 g.ticket[w] = None;
+                g.block[w] = None;
                 g.status[w] = WStatus::Ready;
+                g.spin_target[w] = None;
+                g.spin_streak[w] = 0;
             }
-            Ev::Op => g.status[w] = WStatus::Ready,
-            Ev::Spin => g.status[w] = WStatus::Spinning,
+            Ev::Op => {
+                g.status[w] = WStatus::Ready;
+                // Any non-spin event is progress: the streak resets.
+                g.spin_target[w] = None;
+                g.spin_streak[w] = 0;
+            }
+            Ev::Spin {
+                waiting_on,
+                last_word,
+            } => {
+                g.status[w] = WStatus::Spinning;
+                let same_target = matches!(g.spin_target[w], Some((t, _)) if t == waiting_on);
+                g.spin_streak[w] = if same_target { g.spin_streak[w] + 1 } else { 1 };
+                g.spin_target[w] = Some((waiting_on, last_word));
+                if self.spin_budget > 0 && g.spin_streak[w] > self.spin_budget {
+                    // Stall watchdog: this worker has polled the same
+                    // unpublished word past any plausible legitimate wait.
+                    // Snapshot the wait-for graph, tear the launch down via
+                    // the ScheduleAborted path, and surface the diagnosis
+                    // as this worker's panic payload.
+                    let msg = self.stall_diagnosis(&g, w);
+                    g.aborted = true;
+                    self.cv.notify_all();
+                    drop(g);
+                    std::panic::panic_any(msg);
+                }
+            }
             Ev::Ticket(t) => {
                 g.ticket[w] = Some(t);
                 g.status[w] = WStatus::Ready;
+                g.spin_target[w] = None;
+                g.spin_streak[w] = 0;
                 if t == 0
                     && self.flavor == AdvFlavor::Straggler
                     && !g.straggler_done
@@ -285,6 +357,15 @@ impl AdvCore {
     /// Retire worker `w` (normal exit or unwind) and hand the token on.
     pub(crate) fn finish(&self, w: usize, aborting: bool) {
         let mut g = lock_unpoisoned(&self.inner);
+        if aborting && !g.aborted {
+            // First failure in this launch (watchdog aborts set the flag
+            // before panicking, so this is a *kernel* panic): dump the
+            // wait-for snapshot post-mortem before tearing everyone down.
+            eprintln!(
+                "adversarial worker {w} panicked; post-mortem {}",
+                wait_graph_string(&g)
+            );
+        }
         g.status[w] = WStatus::Done;
         if aborting {
             g.aborted = true;
@@ -294,6 +375,66 @@ impl AdvCore {
             g.running = next;
         }
         self.cv.notify_all();
+    }
+
+    /// Record which block worker `w` is running (no yield; the claim
+    /// itself already yielded via [`Ev::BlockStart`]).
+    pub(crate) fn set_block(&self, w: usize, b: usize) {
+        lock_unpoisoned(&self.inner).block[w] = Some(b);
+    }
+
+    /// Build the watchdog's structured diagnosis for breaching worker `w`:
+    /// the headline "tile T in block B waiting on ticket K, published=…"
+    /// line, the full wait-for graph, and a cycle / starvation analysis.
+    fn stall_diagnosis(&self, g: &Inner, w: usize) -> String {
+        let (waited, last_word) = g.spin_target[w].unwrap_or((u32::MAX, u64::MAX));
+        let tile = opt_str(g.ticket[w]);
+        let block = opt_str(g.block[w]);
+        let mut out = format!(
+            "lookback stall watchdog: tile {tile} in block {block} waiting on ticket {}, \
+             published={} — {} consecutive spin polls exceeded the budget of {}\n",
+            ticket_str(waited),
+            describe_word(last_word),
+            g.spin_streak[w],
+            self.spin_budget,
+        );
+        out.push_str(&wait_graph_string(g));
+        // Who owns the awaited ticket? Follow worker → awaited ticket →
+        // owning worker to classify the stall.
+        let owner_of = |t: u32| -> Option<usize> {
+            (0..g.status.len()).find(|&i| g.ticket[i] == Some(t) && g.status[i] != WStatus::Done)
+        };
+        let mut path = vec![w];
+        let mut cur = w;
+        while let Some((t, _)) = g.spin_target[cur] {
+            let Some(next) = owner_of(t) else {
+                out.push_str(&format!(
+                    "starvation: ticket {} has no live owner (its worker retired \
+                     without publishing, or the ticket was never claimed)\n",
+                    ticket_str(t),
+                ));
+                break;
+            };
+            if let Some(pos) = path.iter().position(|&p| p == next) {
+                let cycle: Vec<String> = path[pos..]
+                    .iter()
+                    .map(|&p| format!("worker {p} (ticket {})", opt_str(g.ticket[p])))
+                    .collect();
+                out.push_str(&format!("cycle detected: {} -> back\n", cycle.join(" -> ")));
+                break;
+            }
+            if g.status[next] != WStatus::Spinning && g.parked != Some(next) {
+                out.push_str(&format!(
+                    "no cycle: worker {next} (ticket {}) is runnable — \
+                     the scheduler simply never let it publish\n",
+                    opt_str(g.ticket[next]),
+                ));
+                break;
+            }
+            path.push(next);
+            cur = next;
+        }
+        out
     }
 
     /// Choose the next token holder. Must be called with the lock held;
@@ -370,6 +511,59 @@ impl AdvCore {
     }
 }
 
+fn opt_str<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "?".into(), |t| t.to_string())
+}
+
+fn ticket_str(t: u32) -> String {
+    if t == u32::MAX {
+        "?".into()
+    } else {
+        t.to_string()
+    }
+}
+
+/// Decode a look-back state word for the diagnosis (the packed
+/// `value << 2 | flag` convention of `primitives::lookback`).
+fn describe_word(word: u64) -> String {
+    if word == u64::MAX {
+        return "unknown".into();
+    }
+    match word & 3 {
+        0 => "EMPTY (never published)".into(),
+        1 => format!("AGGREGATE({})", word >> 2),
+        2 => format!("INCLUSIVE({})", word >> 2),
+        _ => format!("invalid ({word:#x})"),
+    }
+}
+
+/// Render every worker's state as a wait-for graph snapshot.
+fn wait_graph_string(g: &Inner) -> String {
+    let mut out = String::from("wait-for graph:\n");
+    for i in 0..g.status.len() {
+        let role = match g.status[i] {
+            WStatus::Done => "done".to_string(),
+            _ if g.parked == Some(i) => "parked (straggler)".to_string(),
+            WStatus::Spinning => match g.spin_target[i] {
+                Some((t, word)) => format!(
+                    "spinning on ticket {} (last word {}, streak {})",
+                    ticket_str(t),
+                    describe_word(word),
+                    g.spin_streak[i],
+                ),
+                None => "spinning".to_string(),
+            },
+            WStatus::Ready => "runnable".to_string(),
+        };
+        out.push_str(&format!(
+            "  worker {i}: block {} ticket {} — {role}\n",
+            opt_str(g.block[i]),
+            opt_str(g.ticket[i]),
+        ));
+    }
+    out
+}
+
 thread_local! {
     /// The adversarial core (and this thread's worker id) while a worker
     /// is executing blocks; `None` on every other thread, which makes all
@@ -418,16 +612,39 @@ pub(crate) fn yield_block_start() {
     }
 }
 
+/// Non-yielding hook: the grid executor reports which block this worker
+/// just claimed, so watchdog diagnoses can name blocks, not just workers.
+pub(crate) fn note_block(b: usize) {
+    if let Some((core, w)) = active() {
+        core.set_block(w, b);
+    }
+}
+
 /// Public yield hook for spin-wait loops: marks the current worker as
 /// *waiting on another block's published state*. `primitives::lookback`
 /// calls this once per spin-poll iteration, which is both how the
 /// adversarial scheduler preempts a spinning block and how the straggler
 /// policy knows when every other block has hit its look-back spin.
+/// `waiting_on` names the awaited tile ticket and `last_word` the most
+/// recently polled state word (`u32::MAX` / `u64::MAX` when unknown) —
+/// the stall watchdog reports both when the spin budget is breached.
 /// No-op outside adversarial launches.
-pub fn spin_yield() {
+pub fn spin_yield_waiting(waiting_on: u32, last_word: u64) {
     if let Some((core, w)) = active() {
-        core.yield_event(w, Ev::Spin);
+        core.yield_event(
+            w,
+            Ev::Spin {
+                waiting_on,
+                last_word,
+            },
+        );
     }
+}
+
+/// [`spin_yield_waiting`] without a named target, for spin loops that
+/// don't know (or don't care) what they wait on.
+pub fn spin_yield() {
+    spin_yield_waiting(u32::MAX, u64::MAX);
 }
 
 #[cfg(test)]

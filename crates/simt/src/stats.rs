@@ -143,6 +143,11 @@ pub struct LaunchRecord {
     /// Every block's own event counts, indexed by block id — retained only
     /// under [`crate::obs::Telemetry::PerBlock`], `None` otherwise.
     pub per_block: Option<Vec<BlockStats>>,
+    /// Merged flight-recorder event stream, sorted by `(block, seq)` —
+    /// `Some` whenever the recorder was armed
+    /// ([`crate::flight::flight_capacity`] > 0), `None` when disabled.
+    /// Rides the uncounted channel: never affects `stats` or `seconds`.
+    pub flight: Option<crate::flight::FlightLog>,
     /// Estimated execution time in seconds (model, not wall clock).
     pub seconds: f64,
 }

@@ -15,6 +15,7 @@
 use std::io::Write;
 
 use crate::json::escape;
+use crate::profile::DeviceProfile;
 use crate::stats::LaunchRecord;
 
 /// The top-level scope of a label: everything before the first `/`
@@ -23,8 +24,27 @@ fn top_scope(label: &str) -> &str {
     label.split('/').next().unwrap_or(label)
 }
 
+/// Cap on per-tile slices per record: beyond this a tile timeline stops
+/// being readable (and the trace file balloons), so larger launches keep
+/// only their kernel-level "X" event.
+const MAX_TILE_SLICES: usize = 1024;
+
 /// Serialize launch records as a Chrome trace (JSON array format).
 pub fn chrome_trace_json(records: &[LaunchRecord]) -> String {
+    build_trace(records, None)
+}
+
+/// [`chrome_trace_json`] plus, for records carrying both a flight log
+/// and per-block stats (≤ [`MAX_TILE_SLICES`] tiles), a reconstructed
+/// per-tile timeline: one `"X"` slice per tile laid out on first-fit
+/// lanes from the stall DAG, with `ph:"s"`/`ph:"f"` flow arrows from
+/// each stalled publisher to its resolver. The `profile` weights tiles
+/// by modeled block time, exactly as [`crate::flight::analyze`] does.
+pub fn chrome_trace_json_with_tiles(records: &[LaunchRecord], profile: &DeviceProfile) -> String {
+    build_trace(records, Some(profile))
+}
+
+fn build_trace(records: &[LaunchRecord], profile: Option<&DeviceProfile>) -> String {
     let mut out = String::from("[\n");
     if records.is_empty() {
         out.push(']');
@@ -47,6 +67,8 @@ pub fn chrome_trace_json(records: &[LaunchRecord]) -> String {
         ));
     }
     let mut t_us = 0.0f64;
+    let mut lanes_used = 0usize;
+    let mut flow_id = 0u64;
     for r in records {
         let dur = r.seconds * 1e6;
         let tid = scopes
@@ -101,7 +123,24 @@ pub fn chrome_trace_json(records: &[LaunchRecord]) -> String {
             "{{\"name\":\"waste bytes\",\"ph\":\"C\",\"pid\":1,\"ts\":{t_us:.3},\"args\":{{\"value\":{}}}}}",
             s.wasted_bytes(),
         ));
+        if let Some(p) = profile {
+            emit_tile_events(
+                r,
+                p,
+                t_us,
+                scopes.len(),
+                &mut lanes_used,
+                &mut flow_id,
+                &mut events,
+            );
+        }
         t_us += dur;
+    }
+    for lane in 0..lanes_used {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"tile lane {lane}\"}}}}",
+            scopes.len() + 1 + lane,
+        ));
     }
     // Close both counter tracks at the end of the timeline.
     for name in ["DRAM GB/s", "waste bytes"] {
@@ -114,10 +153,88 @@ pub fn chrome_trace_json(records: &[LaunchRecord]) -> String {
     out
 }
 
+/// Emit one record's tile timeline: per-tile `"X"` slices on first-fit
+/// lanes plus flow arrows along the stall edges. No-op unless the record
+/// carries a flight log and per-block stats with a workable tile count.
+fn emit_tile_events(
+    r: &LaunchRecord,
+    profile: &DeviceProfile,
+    t_us: f64,
+    scope_tracks: usize,
+    lanes_used: &mut usize,
+    flow_id: &mut u64,
+    events: &mut Vec<String>,
+) {
+    let Some((tiles, stall_edges)) = crate::flight::tile_schedule(r, profile) else {
+        return;
+    };
+    if tiles.is_empty() || tiles.len() > MAX_TILE_SLICES {
+        return;
+    }
+    // Tile spans start after the launch overhead, inside the record's
+    // own [t_us, t_us + dur] window (the exact critical path is bounded
+    // by the sum-based duration).
+    let base_us = t_us + profile.launch_overhead_us;
+    // First-fit lane assignment over (start, finish) intervals; tiles
+    // arrive sorted by start.
+    let mut lane_free_at: Vec<f64> = Vec::new();
+    let mut placed: std::collections::BTreeMap<u32, (usize, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for &(ticket, start, finish) in &tiles {
+        let lane = match lane_free_at.iter().position(|&f| f <= start) {
+            Some(l) => l,
+            None => {
+                lane_free_at.push(0.0);
+                lane_free_at.len() - 1
+            }
+        };
+        lane_free_at[lane] = finish.max(start);
+        placed.insert(ticket, (lane, start, finish));
+        let tid = scope_tracks + 1 + lane;
+        events.push(format!(
+            "{{\"name\":\"tile {ticket}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"ticket\":{ticket}}}}}",
+            base_us + start * 1e6,
+            (finish - start) * 1e6,
+        ));
+    }
+    *lanes_used = (*lanes_used).max(lane_free_at.len());
+    // Flow arrows publisher → resolver along the stall edges: `ph:"s"`
+    // where the predecessor finished, `ph:"f"` (binding point "e") where
+    // the stalled tile finally started.
+    for &(pred, tile) in &stall_edges {
+        let (Some(&(pl, _, pf)), Some(&(tl, ts, _))) = (placed.get(&pred), placed.get(&tile))
+        else {
+            continue;
+        };
+        *flow_id += 1;
+        let id = *flow_id;
+        events.push(format!(
+            "{{\"name\":\"lookback\",\"cat\":\"lookback\",\"ph\":\"s\",\"id\":{id},\"pid\":1,\"tid\":{},\"ts\":{:.3}}}",
+            scope_tracks + 1 + pl,
+            base_us + pf * 1e6,
+        ));
+        events.push(format!(
+            "{{\"name\":\"lookback\",\"cat\":\"lookback\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"pid\":1,\"tid\":{},\"ts\":{:.3}}}",
+            scope_tracks + 1 + tl,
+            base_us + ts * 1e6,
+        ));
+    }
+}
+
 /// Write the trace to a file.
 pub fn write_chrome_trace(records: &[LaunchRecord], path: &std::path::Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(chrome_trace_json(records).as_bytes())
+}
+
+/// Write the tile-timeline variant ([`chrome_trace_json_with_tiles`]).
+pub fn write_chrome_trace_with_tiles(
+    records: &[LaunchRecord],
+    profile: &DeviceProfile,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json_with_tiles(records, profile).as_bytes())
 }
 
 #[cfg(test)]
@@ -139,6 +256,7 @@ mod tests {
             },
             obs: ObsStats::default(),
             per_block: None,
+            flight: None,
             seconds,
         }
     }

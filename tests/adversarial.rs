@@ -260,3 +260,92 @@ fn per_block_telemetry_is_schedule_independent_up_to_block_order() {
     ));
     assert_eq!(seq, adv);
 }
+
+/// ISSUE 8 acceptance: a *real* livelock — tile 1's publish suppressed via
+/// `TileStates::inject_publish_stall` — must terminate through the stall
+/// watchdog with a structured diagnosis naming the blocked ticket, instead
+/// of hanging the process. The panic payload is the watchdog's diagnosis
+/// string: headline plus wait-for-graph snapshot.
+#[test]
+fn injected_publish_stall_trips_the_watchdog_with_a_diagnosis() {
+    use simt::{lanes_from_fn, splat};
+    let blocks = 8usize;
+    let states = primitives::TileStates::new(blocks, 1);
+    states.inject_publish_stall(1);
+    let ticket = GlobalBuffer::<u32>::zeroed(1);
+    let dev = Device::adversarial(
+        K40C,
+        AdvSchedule::with_flavor(0x57A11, AdvFlavor::Random).with_spin_budget(5_000),
+    );
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dev.launch("stall/kernel", blocks, 1, |blk| {
+            for w in blk.warps() {
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                let _ = states.resolve(&w, t, splat(1));
+                let _ = lanes_from_fn(|l| l); // keep lane helpers exercised
+            }
+        });
+    }))
+    .expect_err("an unpublishable predecessor must abort, not hang");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("watchdog panics carry a String diagnosis");
+    assert!(
+        msg.contains("stall watchdog"),
+        "diagnosis must identify the watchdog: {msg}"
+    );
+    assert!(
+        msg.contains("waiting on ticket 1"),
+        "diagnosis must name the blocked ticket: {msg}"
+    );
+    assert!(
+        msg.contains("EMPTY (never published)"),
+        "diagnosis must report the last word the waiter saw: {msg}"
+    );
+    assert!(
+        msg.contains("wait-for graph"),
+        "diagnosis must include the wait-for-graph snapshot: {msg}"
+    );
+}
+
+/// The same injected fault on every other flavor (and several seeds) still
+/// terminates via the watchdog — no flavor's release heuristic can save a
+/// predecessor that never publishes, and none may hang.
+#[test]
+fn injected_stall_terminates_under_every_flavor() {
+    for flavor in [
+        AdvFlavor::Random,
+        AdvFlavor::ReverseTicket,
+        AdvFlavor::Straggler,
+        AdvFlavor::BoundedPreempt,
+    ] {
+        use simt::splat;
+        let blocks = 4usize;
+        let states = primitives::TileStates::new(blocks, 1);
+        states.inject_publish_stall(0);
+        let ticket = GlobalBuffer::<u32>::zeroed(1);
+        let dev = Device::adversarial(
+            K40C,
+            AdvSchedule::with_flavor(0xD06, flavor).with_spin_budget(2_000),
+        );
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch("stall/flavors", blocks, 1, |blk| {
+                for w in blk.warps() {
+                    let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                    let _ = states.resolve(&w, t, splat(1));
+                }
+            });
+        }))
+        .expect_err("livelock must abort under every flavor");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("waiting on ticket 0"),
+            "{flavor:?}: diagnosis must name ticket 0: {msg}"
+        );
+    }
+}
