@@ -39,15 +39,30 @@
 //!               chrome trace with per-tile slices and publisher→resolver
 //!               flow arrows to bench_results/trace_chrome.json
 //!   check       compare per-stage sector counts (n=2^16, m=32, plus a
-//!               large-m section at m=64, an onesweep section at m=32 and
-//!               a sort section radix-vs-ms-sort) against
+//!               large-m section at m=64, an onesweep section at m=32, a
+//!               sort section radix-vs-ms-sort and a serve section
+//!               naive-vs-coalesced) against
 //!               bench_results/baseline_sectors.json; exits 1 on regression
 //!   fuzz        differential fuzz harness: seeded (n, m, method, distribution,
-//!               schedule) cases across every method, checked against the CPU
-//!               reference with schedule-independence invariants; shrinks the
+//!               schedule) cases across every method, interleaved with ms-sort
+//!               cases (`sort,` tokens) and segmented batches (`seg,` tokens —
+//!               random segment counts/sizes/bucket mixes through one
+//!               multisplit_segmented call, shrunk to the minimal failing
+//!               segment set), checked against the CPU reference with
+//!               schedule-independence invariants; shrinks the
 //!               first failure to a minimal reproducer and exits 1.
 //!               own options: --iters K (default 200), --seed S (default 5000),
 //!               --replay TOKEN (re-run one shrunk case verbatim)
+//!   serve       batched serving front-end: thousands of small independent
+//!               requests coalesced into segmented launches over a pooled
+//!               arena, sharded across simulated devices, vs one standalone
+//!               launch pair per request — modeled requests/s, p50/p99
+//!               latency, counted sectors, bit-identity verification.
+//!               own options: --requests K (default 4096), --n N (keys per
+//!               request, default 1024), --m M (max buckets, default 32),
+//!               --devices D (default 4), --batch B (default 256),
+//!               --seed S (default 9000), --no-verify, --json PATH,
+//!               --snapshot NAME (write BENCH_<NAME>.json)
 //!   all         everything above (except profile/check/fuzz)
 //!
 //! options:
@@ -2131,10 +2146,12 @@ fn check_cmd(opts: &Opts) {
     let largem_current = metrics::largem_sector_baseline_current(n, largem_m);
     let onesweep_current = metrics::onesweep_sector_baseline_current(n, m);
     let sort_current = metrics::sort_sector_baseline_current(n, m);
+    let serve_current = metrics::serve_sector_baseline_current();
     if let Json::Obj(fields) = &mut current {
         fields.push(("largem".into(), largem_current.clone()));
         fields.push(("onesweep".into(), onesweep_current.clone()));
         fields.push(("sort".into(), sort_current.clone()));
+        fields.push(("serve".into(), serve_current.clone()));
     }
     if opts.update {
         if let Some(parent) = path.parent() {
@@ -2185,6 +2202,16 @@ fn check_cmd(opts: &Opts) {
         },
         None => failures
             .push("baseline has no `sort` section; refresh with `paper check --update`".into()),
+    }
+    match baseline.get("serve") {
+        Some(serve_base) => {
+            match metrics::sector_baseline_compare(&serve_current, serve_base, 0.02) {
+                Ok(ns) => notes.extend(ns.into_iter().map(|s| format!("serve: {s}"))),
+                Err(fs) => failures.extend(fs.into_iter().map(|s| format!("serve: {s}"))),
+            }
+        }
+        None => failures
+            .push("baseline has no `serve` section; refresh with `paper check --update`".into()),
     }
     if failures.is_empty() {
         for note in &notes {
@@ -2298,13 +2325,85 @@ fn fuzz_cmd(args: &[String]) {
     }
 }
 
+// ====================== Serve (batched front-end) ======================
+
+/// The PR-9 tentpole claim under test: coalescing thousands of small
+/// independent multisplit requests into segmented launches (one
+/// pre-scan + sweep pair per batch, pooled arena, no per-request
+/// allocation) beats one standalone launch pair per request by >= 5x in
+/// modeled throughput while staying within 5% of the naive executor's
+/// counted DRAM sectors, with every answer bit-identical to its
+/// standalone `Method::auto` run.
+///
+/// Parsed here (not via `parse_opts`) because the options differ.
+fn serve_cmd(args: &[String]) {
+    let mut cfg = serve::ServeConfig::default();
+    let mut json: Option<String> = None;
+    let mut snapshot: Option<String> = None;
+    fn num(it: &mut std::slice::Iter<'_, String>, what: &str) -> u64 {
+        it.next()
+            .unwrap_or_else(|| panic!("{what} needs a value"))
+            .parse()
+            .unwrap_or_else(|_| panic!("bad {what}"))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--requests" => cfg.requests = num(&mut it, "--requests") as usize,
+            "--n" => cfg.n = num(&mut it, "--n") as usize,
+            "--m" => cfg.m_max = num(&mut it, "--m") as u32,
+            "--devices" => cfg.devices = (num(&mut it, "--devices") as usize).max(1),
+            "--batch" => cfg.batch = (num(&mut it, "--batch") as usize).max(1),
+            "--seed" => cfg.seed = num(&mut it, "--seed"),
+            "--no-verify" => cfg.verify = false,
+            "--json" => json = Some(it.next().expect("--json needs a path").clone()),
+            "--snapshot" => snapshot = Some(it.next().expect("--snapshot needs a name").clone()),
+            other => panic!("unknown serve option {other}"),
+        }
+    }
+    assert!(
+        cfg.m_max <= 32,
+        "serve coalesces the m <= 32 fused path; got --m {}",
+        cfg.m_max
+    );
+    if json.is_some() {
+        metrics::sink_begin();
+    }
+    let report = serve::run_serve(&cfg);
+    emit("serve", serve::render(&cfg, &report));
+    let doc = serve::report_json(&cfg, &report);
+    if let Some(name) = &snapshot {
+        let snap = format!("BENCH_{name}.json");
+        match std::fs::write(&snap, doc.pretty() + "\n") {
+            Ok(()) => println!("[saved {snap}]\n"),
+            Err(e) => println!("[warn: could not save {snap}: {e}]\n"),
+        }
+    }
+    metrics::sink_push("serve", doc);
+    if let Some(path) = &json {
+        if let Some(sink) = metrics::sink_take() {
+            match sink.write(std::path::Path::new(path)) {
+                Ok(()) => println!("[json written to {path}]"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
-    // `fuzz` owns its argument set; dispatch before parse_opts (which
-    // rejects unknown options).
+    // `fuzz` and `serve` own their argument sets; dispatch before
+    // parse_opts (which rejects unknown options).
     if cmd == "fuzz" {
         fuzz_cmd(&args[1..]);
+        return;
+    }
+    if cmd == "serve" {
+        serve_cmd(&args[1..]);
         return;
     }
     let opts = parse_opts(&args[1.min(args.len())..]);
@@ -2356,8 +2455,9 @@ fn main() {
             sorttune_cmd(&opts);
         }
         _ => {
-            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|onesweep|sort|sorttune|profile|trace|check|fuzz|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
+            eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|onesweep|sort|sorttune|profile|trace|check|fuzz|serve|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
             eprintln!("       paper fuzz [--iters K] [--seed S] [--replay TOKEN]");
+            eprintln!("       paper serve [--requests K] [--n N] [--m M] [--devices D] [--batch B] [--seed S] [--no-verify] [--json PATH] [--snapshot NAME]");
             std::process::exit(2);
         }
     }

@@ -9,6 +9,7 @@
 
 pub mod metrics;
 pub mod microbench;
+pub mod serve;
 
 use msrng::SmallRng;
 

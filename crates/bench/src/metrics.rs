@@ -294,6 +294,58 @@ pub fn sort_sector_baseline_current(n: usize, m: u32) -> Json {
     sector_baseline_for(&SORT_CONTENDERS, n, m)
 }
 
+/// The serve companion: naive per-request vs coalesced segmented serving
+/// sector counts at a small fixed config, stored under the `"serve"` key
+/// of the committed baseline. Same shape as [`sector_baseline_current`]
+/// (its `n`/`m` header fields are the per-request size and `m_max`), so
+/// [`sector_baseline_compare`] gates it unchanged; verification of every
+/// answer against its standalone `Method::auto` run rides along.
+pub fn serve_sector_baseline_current() -> Json {
+    let cfg = crate::serve::ServeConfig {
+        requests: 32,
+        n: 256,
+        m_max: 16,
+        devices: 2,
+        batch: 16,
+        seed: PROFILE_SEED,
+        verify: true,
+        ..Default::default()
+    };
+    let report = crate::serve::run_serve(&cfg);
+    let contender = |name: &str, e: &crate::serve::ExecStats| {
+        Json::Obj(vec![
+            ("contender".into(), Json::Str(name.into())),
+            ("total_sectors".into(), Json::int(e.total_sectors)),
+            (
+                "stages".into(),
+                Json::Arr(
+                    e.stage_sectors
+                        .iter()
+                        .map(|(k, v)| {
+                            Json::Obj(vec![
+                                ("stage".into(), Json::Str((*k).into())),
+                                ("sectors".into(), Json::int(*v)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    };
+    Json::Obj(vec![
+        ("n".into(), Json::int(cfg.n as u64)),
+        ("m".into(), Json::int(cfg.m_max as u64)),
+        ("seed".into(), Json::int(PROFILE_SEED)),
+        (
+            "contenders".into(),
+            Json::Arr(vec![
+                contender("serve-naive", &report.naive),
+                contender("serve-coalesced", &report.coalesced),
+            ]),
+        ),
+    ])
+}
+
 fn sector_baseline_for(contenders: &[(Contender, &'static str)], n: usize, m: u32) -> Json {
     let contenders = profile_data_for(contenders, n, m, false)
         .iter()

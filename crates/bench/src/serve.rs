@@ -1,0 +1,476 @@
+//! Serving front-end for batched multisplit (PR 9 tentpole).
+//!
+//! Models a service that receives thousands of small, independent
+//! multisplit requests (each with its own `n` and `m`) and answers them
+//! on a pool of simulated devices. Two executors are compared:
+//!
+//! * **naive** — every request becomes its own standalone
+//!   [`Method::auto`]-selected run (one `GlobalBuffer` allocation and a
+//!   full pre-scan + sweep launch pair per request), sharded round-robin
+//!   across the devices;
+//! * **coalesced** — requests are sharded the same way, then each
+//!   device's queue is chopped into batches that run as **one**
+//!   [`multisplit_segmented_into`] launch pair over a pooled arena
+//!   ([`simt::BufferPool`] — no per-request allocation; segments are
+//!   packed at sector-aligned offsets so coalescing costs no extra
+//!   DRAM traffic).
+//!
+//! All requests arrive at t = 0; a request's modeled latency is its
+//! device's cumulative [`Device::total_seconds`] when the launch (or
+//! batch) containing it retires. Throughput is `requests / max` over the
+//! devices' completion times. Everything is counted, not timed: the
+//! numbers are deterministic for a given config.
+
+use crate::{gen_keys, run_schedule, stage_sector_counts, Distribution, Table};
+use msrng::SmallRng;
+use multisplit::{
+    multisplit_device, multisplit_segmented_into, no_values, Method, RangeBuckets, SegmentSpec,
+};
+use simt::{BufferPool, Device, DeviceProfile, GlobalBuffer, Json, K40C};
+
+/// One serve benchmark configuration.
+#[derive(Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of client requests (all arriving at t = 0).
+    pub requests: usize,
+    /// Keys per request.
+    pub n: usize,
+    /// Per-request bucket counts are drawn uniformly from `1..=m_max`.
+    pub m_max: u32,
+    /// Simulated devices the service shards across.
+    pub devices: usize,
+    /// Max requests coalesced into one segmented launch.
+    pub batch: usize,
+    /// Seed for request generation (keys and per-request `m`).
+    pub seed: u64,
+    pub profile: DeviceProfile,
+    pub wpb: usize,
+    /// Check every coalesced answer bit-for-bit against its standalone
+    /// `Method::auto` run.
+    pub verify: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            requests: 4096,
+            n: 1 << 10,
+            m_max: 32,
+            devices: 4,
+            batch: 256,
+            seed: 9000,
+            profile: K40C,
+            wpb: 8,
+            verify: true,
+        }
+    }
+}
+
+/// A generated client request.
+pub struct Request {
+    pub keys: Vec<u32>,
+    pub m: u32,
+}
+
+/// One request's answer (either executor).
+#[derive(PartialEq)]
+struct Answer {
+    keys: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+/// Aggregate outcome of one executor over the whole request set.
+pub struct ExecStats {
+    /// Completion time of the busiest device (all requests arrive at 0).
+    pub wall_s: f64,
+    pub requests_per_s: f64,
+    /// Modeled per-request latency percentiles, microseconds.
+    pub p50_us: f64,
+    pub p99_us: f64,
+    /// Total launches across all devices.
+    pub launches: usize,
+    /// Counted DRAM sectors across all devices.
+    pub total_sectors: u64,
+    /// Per-stage sector split (merged across devices).
+    pub stage_sectors: Vec<(&'static str, u64)>,
+}
+
+/// The serve benchmark's result: both executors plus the comparison the
+/// acceptance gate reads.
+pub struct ServeReport {
+    pub naive: ExecStats,
+    pub coalesced: ExecStats,
+    /// `naive.wall_s / coalesced.wall_s` (the ≥ 5x acceptance number).
+    pub speedup: f64,
+    /// `coalesced.total_sectors / naive.total_sectors` (must stay ≤ 1.05).
+    pub sector_ratio: f64,
+    /// Arena allocations vs shelf reuses across every device's pool.
+    pub pool_allocs: u64,
+    pub pool_reuses: u64,
+    /// Requests bit-checked against standalone `Method::auto` runs.
+    pub verified: usize,
+}
+
+/// Deterministically generate the request set for a config.
+pub fn gen_requests(cfg: &ServeConfig) -> Vec<Request> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.requests)
+        .map(|i| {
+            let m = rng.gen_range(1..=cfg.m_max);
+            Request {
+                keys: gen_keys(cfg.n, m, Distribution::Uniform, cfg.seed ^ (i as u64 + 1)),
+                m,
+            }
+        })
+        .collect()
+}
+
+fn fresh_devices(cfg: &ServeConfig) -> Vec<Device> {
+    (0..cfg.devices)
+        .map(|_| Device::with_schedule(cfg.profile, run_schedule()))
+        .collect()
+}
+
+/// Latency percentile (nearest-rank) in microseconds.
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] * 1e6
+}
+
+fn exec_stats(devs: &[Device], mut latencies: Vec<f64>) -> ExecStats {
+    let wall = devs.iter().map(Device::total_seconds).fold(0.0, f64::max);
+    let launches = devs.iter().map(|d| d.records().len()).sum();
+    let total_sectors = devs
+        .iter()
+        .flat_map(|d| d.records())
+        .map(|r| r.stats.sectors)
+        .sum();
+    let mut stages: Vec<(&'static str, u64)> = Vec::new();
+    for dev in devs {
+        for (k, v) in stage_sector_counts(dev) {
+            match stages.iter_mut().find(|(s, _)| *s == k) {
+                Some((_, c)) => *c += v,
+                None => stages.push((k, v)),
+            }
+        }
+    }
+    let n = latencies.len();
+    latencies.sort_by(f64::total_cmp);
+    ExecStats {
+        wall_s: wall,
+        requests_per_s: if wall > 0.0 { n as f64 / wall } else { 0.0 },
+        p50_us: percentile_us(&latencies, 50.0),
+        p99_us: percentile_us(&latencies, 99.0),
+        launches,
+        total_sectors,
+        stage_sectors: stages,
+    }
+}
+
+/// Per-device round-robin shards: request `i` goes to device `i % D`,
+/// keeping arrival order within each shard.
+fn shards(requests: usize, devices: usize) -> Vec<Vec<usize>> {
+    let mut shards = vec![Vec::new(); devices.max(1)];
+    for i in 0..requests {
+        shards[i % devices.max(1)].push(i);
+    }
+    shards
+}
+
+/// The naive executor: one standalone `Method::auto` run per request.
+fn run_naive(cfg: &ServeConfig, reqs: &[Request]) -> (ExecStats, Vec<Answer>) {
+    let devs = fresh_devices(cfg);
+    let mut latencies = vec![0.0; reqs.len()];
+    let mut answers: Vec<Option<Answer>> = reqs.iter().map(|_| None).collect();
+    for (d, shard) in shards(reqs.len(), cfg.devices).iter().enumerate() {
+        let dev = &devs[d];
+        for &i in shard {
+            let r = &reqs[i];
+            let keys = GlobalBuffer::from_slice(&r.keys);
+            let bucket = RangeBuckets::new(r.m);
+            let method = Method::auto_for(r.m, false, cfg.wpb);
+            let out = multisplit_device(
+                dev,
+                method,
+                &keys,
+                no_values(),
+                r.keys.len(),
+                &bucket,
+                cfg.wpb,
+            );
+            latencies[i] = dev.total_seconds();
+            answers[i] = Some(Answer {
+                keys: out.keys.to_vec(),
+                offsets: out.offsets,
+            });
+        }
+    }
+    let answers = answers.into_iter().map(Option::unwrap).collect();
+    (exec_stats(&devs, latencies), answers)
+}
+
+/// The coalescing executor: each device's shard runs in batches of
+/// `cfg.batch`, one segmented launch pair per batch, over a pooled arena.
+fn run_coalesced(cfg: &ServeConfig, reqs: &[Request]) -> (ExecStats, Vec<Answer>, (u64, u64)) {
+    let devs = fresh_devices(cfg);
+    let pools: Vec<BufferPool> = (0..cfg.devices).map(|_| BufferPool::new()).collect();
+    let mut latencies = vec![0.0; reqs.len()];
+    let mut answers: Vec<Option<Answer>> = reqs.iter().map(|_| None).collect();
+    for (d, shard) in shards(reqs.len(), cfg.devices).iter().enumerate() {
+        let dev = &devs[d];
+        let pool = &pools[d];
+        for batch in shard.chunks(cfg.batch.max(1)) {
+            // Pack the batch's segments at sector-aligned (8-word)
+            // offsets: a misaligned segment would make every warp-wide
+            // access straddle two sectors and show up as ~20% extra
+            // traffic against the standalone baseline.
+            let mut seg_off = Vec::with_capacity(batch.len());
+            let mut flat_len = 0usize;
+            for &i in batch {
+                seg_off.push(flat_len);
+                flat_len += reqs[i].keys.len();
+                flat_len = (flat_len + 7) & !7;
+            }
+            // Provision for a full batch even when the tail batch is
+            // short, so every checkout hits the same pool size class and
+            // the arena is reused instead of re-allocated.
+            let arena_len = (cfg.batch * ((cfg.n + 7) & !7)).max(flat_len).max(1);
+            let arena_in = pool.acquire(arena_len);
+            let arena_out = pool.acquire(arena_len);
+            for (&i, &off) in batch.iter().zip(&seg_off) {
+                for (j, &k) in reqs[i].keys.iter().enumerate() {
+                    arena_in.set(off + j, k);
+                }
+            }
+            let buckets: Vec<RangeBuckets> = batch
+                .iter()
+                .map(|&i| RangeBuckets::new(reqs[i].m))
+                .collect();
+            let specs: Vec<SegmentSpec> = batch
+                .iter()
+                .zip(&seg_off)
+                .zip(&buckets)
+                .map(|((&i, &offset), bucket)| SegmentSpec {
+                    offset,
+                    n: reqs[i].keys.len(),
+                    bucket,
+                })
+                .collect();
+            let offsets = multisplit_segmented_into(
+                dev,
+                &arena_in,
+                no_values(),
+                &specs,
+                cfg.wpb,
+                &arena_out,
+                None,
+            );
+            let done = dev.total_seconds();
+            let flat = arena_out.to_vec();
+            for ((&i, &off), o) in batch.iter().zip(&seg_off).zip(offsets) {
+                latencies[i] = done;
+                answers[i] = Some(Answer {
+                    keys: flat[off..off + reqs[i].keys.len()].to_vec(),
+                    offsets: o,
+                });
+            }
+        }
+    }
+    let allocs = pools.iter().map(BufferPool::allocs).sum();
+    let reuses = pools.iter().map(BufferPool::reuses).sum();
+    let answers = answers.into_iter().map(Option::unwrap).collect();
+    (exec_stats(&devs, latencies), answers, (allocs, reuses))
+}
+
+/// Run both executors over the same deterministic request set and
+/// compare them. With `cfg.verify`, every coalesced answer is checked
+/// bit-for-bit against its standalone `Method::auto` run (the naive
+/// executor doubles as the reference).
+pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
+    let reqs = gen_requests(cfg);
+    let (naive, naive_answers) = run_naive(cfg, &reqs);
+    let (coalesced, coalesced_answers, (pool_allocs, pool_reuses)) = run_coalesced(cfg, &reqs);
+    let mut verified = 0;
+    if cfg.verify {
+        for (i, (a, b)) in naive_answers.iter().zip(&coalesced_answers).enumerate() {
+            assert_eq!(
+                a.keys, b.keys,
+                "request {i}: coalesced keys diverge from the standalone Method::auto run"
+            );
+            assert_eq!(a.offsets, b.offsets, "request {i}: offsets diverge");
+            verified += 1;
+        }
+    }
+    ServeReport {
+        speedup: if coalesced.wall_s > 0.0 {
+            naive.wall_s / coalesced.wall_s
+        } else {
+            0.0
+        },
+        sector_ratio: if naive.total_sectors > 0 {
+            coalesced.total_sectors as f64 / naive.total_sectors as f64
+        } else {
+            0.0
+        },
+        naive,
+        coalesced,
+        pool_allocs,
+        pool_reuses,
+        verified,
+    }
+}
+
+/// Console rendering of a report (the `paper serve` table).
+pub fn render(cfg: &ServeConfig, r: &ServeReport) -> String {
+    let mut out = format!(
+        "serve: {} requests of n = {} (m <= {}), {} devices, batch = {}, seed {}, {}\n\n",
+        cfg.requests, cfg.n, cfg.m_max, cfg.devices, cfg.batch, cfg.seed, cfg.profile.name
+    );
+    let mut t = Table::new(&[
+        "Executor",
+        "Launches",
+        "Wall (ms)",
+        "Req/s",
+        "p50 (us)",
+        "p99 (us)",
+        "DRAM sectors",
+    ]);
+    for (name, e) in [("per-request", &r.naive), ("coalesced", &r.coalesced)] {
+        t.row(vec![
+            name.into(),
+            e.launches.to_string(),
+            format!("{:.3}", e.wall_s * 1e3),
+            format!("{:.0}", e.requests_per_s),
+            format!("{:.2}", e.p50_us),
+            format!("{:.2}", e.p99_us),
+            e.total_sectors.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nthroughput speedup {:.1}x; coalesced sectors / naive sectors = {:.4}\n\
+         arena: {} allocations, {} pooled reuses\n",
+        r.speedup, r.sector_ratio, r.pool_allocs, r.pool_reuses
+    ));
+    if cfg.verify {
+        out.push_str(&format!(
+            "{} / {} answers verified bit-identical to standalone Method::auto runs\n",
+            r.verified, cfg.requests
+        ));
+    }
+    out
+}
+
+fn exec_json(e: &ExecStats) -> Json {
+    Json::Obj(vec![
+        ("wall_s".into(), Json::Num(e.wall_s)),
+        ("requests_per_s".into(), Json::Num(e.requests_per_s)),
+        ("p50_us".into(), Json::Num(e.p50_us)),
+        ("p99_us".into(), Json::Num(e.p99_us)),
+        ("launches".into(), Json::int(e.launches as u64)),
+        ("total_sectors".into(), Json::int(e.total_sectors)),
+        (
+            "stages".into(),
+            Json::Arr(
+                e.stage_sectors
+                    .iter()
+                    .map(|(k, v)| {
+                        Json::Obj(vec![
+                            ("stage".into(), Json::Str((*k).into())),
+                            ("sectors".into(), Json::int(*v)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// JSON document for `--json` / `--snapshot` (BENCH_PR9.json).
+pub fn report_json(cfg: &ServeConfig, r: &ServeReport) -> Json {
+    Json::Obj(vec![
+        ("requests".into(), Json::int(cfg.requests as u64)),
+        ("n".into(), Json::int(cfg.n as u64)),
+        ("m_max".into(), Json::int(cfg.m_max as u64)),
+        ("devices".into(), Json::int(cfg.devices as u64)),
+        ("batch".into(), Json::int(cfg.batch as u64)),
+        ("seed".into(), Json::int(cfg.seed)),
+        ("device".into(), Json::Str(cfg.profile.name.into())),
+        ("naive".into(), exec_json(&r.naive)),
+        ("coalesced".into(), exec_json(&r.coalesced)),
+        ("speedup".into(), Json::Num(r.speedup)),
+        ("sector_ratio".into(), Json::Num(r.sector_ratio)),
+        ("pool_allocs".into(), Json::int(r.pool_allocs)),
+        ("pool_reuses".into(), Json::int(r.pool_reuses)),
+        ("verified".into(), Json::int(r.verified as u64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServeConfig {
+        ServeConfig {
+            requests: 24,
+            n: 128,
+            m_max: 8,
+            devices: 2,
+            batch: 8,
+            seed: 42,
+            profile: K40C,
+            wpb: 8,
+            verify: true,
+        }
+    }
+
+    #[test]
+    fn coalescing_beats_per_request_launches_and_stays_bit_identical() {
+        let cfg = small();
+        let r = run_serve(&cfg);
+        assert_eq!(r.verified, cfg.requests, "every answer bit-checked");
+        // 2 launches per request vs 2 per batch: 12 requests per device
+        // become batches of 8 + 4, so 2 devices x 2 batches x 2 launches.
+        assert_eq!(r.naive.launches, 2 * cfg.requests);
+        assert_eq!(r.coalesced.launches, 8);
+        assert!(
+            r.speedup >= 5.0,
+            "launch-overhead amortization must reach 5x at n = 128 (got {:.2})",
+            r.speedup
+        );
+        assert!(
+            r.sector_ratio <= 1.05,
+            "coalescing must cost <= 5% extra DRAM traffic (got {:.4})",
+            r.sector_ratio
+        );
+        // The arena really pools: each device allocates its in/out pair
+        // once (same size class) and reuses it for later batches.
+        assert!(r.pool_reuses > 0, "later batches must reuse the arena");
+        assert!(r.pool_allocs <= 2 * cfg.devices as u64 + 2);
+    }
+
+    #[test]
+    fn report_is_deterministic_for_a_config() {
+        let cfg = ServeConfig {
+            requests: 8,
+            n: 96,
+            m_max: 5,
+            devices: 2,
+            batch: 4,
+            seed: 7,
+            ..small()
+        };
+        let a = run_serve(&cfg);
+        let b = run_serve(&cfg);
+        assert_eq!(a.naive.total_sectors, b.naive.total_sectors);
+        assert_eq!(a.coalesced.total_sectors, b.coalesced.total_sectors);
+        assert_eq!(a.naive.launches, b.naive.launches);
+        assert_eq!(
+            report_json(&cfg, &a).pretty(),
+            report_json(&cfg, &b).pretty()
+        );
+    }
+}

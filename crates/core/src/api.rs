@@ -149,6 +149,26 @@ impl Method {
         }
     }
 
+    /// The segmented-aware face of [`Method::auto_for`]: the method a
+    /// segment of `m` buckets runs under **inside one segmented launch**
+    /// (`crate::segmented`), or `None` when the segment must fall back
+    /// to its own standalone launches. Only the two fused bodies are
+    /// inlined in the segmented sweep, so anything `auto_for` would
+    /// route elsewhere — past fused large-m capacity, or a pinned
+    /// [`Pipeline::ThreeKernel`] — is not coalesced; large-m segments
+    /// additionally need the sweep's shared footprint to fit alongside
+    /// the tile descriptor
+    /// ([`crate::segmented::segment_fits_sweep`]).
+    pub fn auto_for_segmented(m: u32, key_value: bool, wpb: usize) -> Option<Method> {
+        match Method::auto_for(m, key_value, wpb) {
+            Method::Fused => Some(Method::Fused),
+            Method::FusedLargeM if crate::segmented::segment_fits_sweep(m, key_value, wpb) => {
+                Some(Method::FusedLargeM)
+            }
+            _ => None,
+        }
+    }
+
     /// Human-readable name matching the paper's terminology.
     pub fn name(&self) -> &'static str {
         match self {

@@ -66,7 +66,7 @@ use crate::warp_ops::{warp_histogram_multi, warp_offsets};
 /// scan. This is *the* budget function — [`max_buckets`] and
 /// [`fused_large_m_items_per_thread`] both derive from it, so they can
 /// never disagree with the kernel's actual allocations.
-fn sweep_footprint_words(wpb: usize, m: usize, ipt: usize, value_words: usize) -> usize {
+pub(crate) fn sweep_footprint_words(wpb: usize, m: usize, ipt: usize, value_words: usize) -> usize {
     let ncolp = (wpb * ipt) | 1;
     let tile = wpb * WARP_SIZE * ipt;
     m * ncolp + m + padded_len(tile) * staging_words_per_element(value_words) + 1 + (wpb + 1)

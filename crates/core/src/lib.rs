@@ -55,6 +55,7 @@ pub mod fused;
 pub mod fused_large_m;
 pub mod large_m;
 pub mod onesweep;
+pub mod segmented;
 pub mod warp_level;
 pub mod warp_ops;
 
@@ -78,6 +79,10 @@ pub use fused_large_m::{
 };
 pub use large_m::{max_buckets, multisplit_large_m};
 pub use onesweep::{multisplit_onesweep, onesweep_items_per_thread};
+pub use segmented::{
+    multisplit_segmented, multisplit_segmented_into, segment_fits_sweep, SegmentSpec,
+    SegmentedMultisplit,
+};
 pub use warp_level::multisplit_warp_level;
 // Observability knob: callers profile multisplit runs by wrapping them in
 // `with_telemetry(Telemetry::PerBlock, ..)`, like `with_pipeline` above.

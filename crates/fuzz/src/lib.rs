@@ -1,12 +1,18 @@
 //! Differential fuzz harness for the multisplit stack.
 //!
-//! Two case families share one generator rotation ([`gen_any_case`]):
+//! Three case families share one generator rotation ([`gen_any_case`]):
 //!
 //! * [`FuzzCase`] — a seeded `(n, m, method, key distribution, schedule)`
 //!   multisplit tuple, checked against the stable CPU reference.
 //! * [`SortCase`] — a seeded `(n, digit width, bit count, kv, schedule)`
 //!   ms-sort tuple, checked against the host's stable
 //!   `sort_by_key(k & mask)`.
+//! * [`SegCase`] — a seeded batch of independent segments (random count,
+//!   sizes, and per-segment bucket counts spanning both sweep classes and
+//!   the fallback path) run through one `multisplit_segmented` call and
+//!   checked segment-by-segment against the CPU reference; its shrinker
+//!   additionally drops whole segments, so reproducers name the minimal
+//!   failing segment *set*. Replay tokens carry a `seg,` marker.
 //!
 //! Each case executes three ways — the host reference, the simulated
 //! device under the case's schedule, and the same device sequentially —
@@ -33,7 +39,7 @@
 use msrng::SmallRng;
 use multisplit::{
     fused_max_buckets, max_buckets as large_m_max_buckets, multisplit_device, multisplit_kv_ref,
-    multisplit_ref, no_values, Method, RangeBuckets,
+    multisplit_ref, multisplit_segmented, no_values, Method, RangeBuckets, SegmentSpec,
 };
 use simt::{AdvFlavor, AdvSchedule, Device, GlobalBuffer, LaunchRecord, Schedule, K40C};
 
@@ -835,12 +841,391 @@ pub fn gen_sort_case(seed: u64, ix: usize) -> SortCase {
     }
 }
 
-/// A case from either family, as produced by [`gen_any_case`] and
+/// Max segments a generated [`SegCase`] carries (fixed-size arrays keep
+/// the case `Copy` for the shrinker; real batches are far larger, but six
+/// segments already cover every class mix and both look-back window
+/// boundaries).
+pub const MAX_SEGS: usize = 6;
+
+/// One generated segmented-multisplit differential case: `nsegs`
+/// independent segments with their own sizes and bucket counts, packed at
+/// sector-aligned offsets into one flat buffer and run through a single
+/// [`multisplit_segmented`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegCase {
+    pub nsegs: usize,
+    /// Per-segment key counts (entries past `nsegs` are zero).
+    pub ns: [usize; MAX_SEGS],
+    /// Per-segment bucket counts (entries past `nsegs` are zero).
+    pub ms: [u32; MAX_SEGS],
+    pub kv: bool,
+    pub dist: KeyDist,
+    pub key_seed: u64,
+    pub wpb: usize,
+    pub sched: SchedSpec,
+}
+
+impl SegCase {
+    /// The self-contained replay token (inverse of [`parse_replay`]).
+    /// Distinguished by the leading `seg` marker; the segment lists are
+    /// `+`-separated (`ns=128+0+4096`), empty for a zero-segment batch.
+    pub fn replay_token(&self) -> String {
+        let ns: Vec<String> = self.ns[..self.nsegs]
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        let ms: Vec<String> = self.ms[..self.nsegs]
+            .iter()
+            .map(|m| m.to_string())
+            .collect();
+        format!(
+            "seg,ns={},ms={},kv={},dist={},keyseed={},wpb={},sched={}",
+            ns.join("+"),
+            ms.join("+"),
+            self.kv as u32,
+            self.dist.token(),
+            self.key_seed,
+            self.wpb,
+            self.sched.token()
+        )
+    }
+
+    /// The one-line command a human (or CI) pastes to replay this case.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "cargo run --release -p ms-bench --bin paper -- fuzz --replay {}",
+            self.replay_token()
+        )
+    }
+}
+
+/// Parse the field list of a `seg,...` replay token.
+fn parse_seg_replay(s: &str) -> Result<SegCase, String> {
+    fn list<T: std::str::FromStr>(v: &str, what: &str) -> Result<Vec<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        if v.is_empty() {
+            return Ok(Vec::new());
+        }
+        v.split('+')
+            .map(|p| p.parse::<T>().map_err(|e| format!("{what}: {e}")))
+            .collect()
+    }
+    let mut ns: Option<Vec<usize>> = None;
+    let mut ms: Option<Vec<u32>> = None;
+    let mut kv = None;
+    let mut dist = None;
+    let mut key_seed = None;
+    let mut wpb = None;
+    let mut sched = None;
+    for part in s.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad replay field {part:?} (want k=v)"))?;
+        match k {
+            "ns" => ns = Some(list(v, "ns")?),
+            "ms" => ms = Some(list(v, "ms")?),
+            "kv" => kv = Some(v == "1"),
+            "dist" => {
+                dist = Some(
+                    KeyDist::ALL
+                        .into_iter()
+                        .find(|d| d.token() == v)
+                        .ok_or_else(|| format!("unknown dist {v:?}"))?,
+                )
+            }
+            "keyseed" => key_seed = Some(v.parse::<u64>().map_err(|e| format!("keyseed: {e}"))?),
+            "wpb" => wpb = Some(v.parse::<usize>().map_err(|e| format!("wpb: {e}"))?),
+            "sched" => {
+                sched = Some(match v {
+                    "seq" => SchedSpec::Sequential,
+                    "par" => SchedSpec::Parallel,
+                    adv => {
+                        let mut it = adv.split(':');
+                        let (Some("adv"), Some(seed), Some(flavor)) =
+                            (it.next(), it.next(), it.next())
+                        else {
+                            return Err(format!("unknown sched {v:?}"));
+                        };
+                        let seed = seed
+                            .parse::<u64>()
+                            .map_err(|e| format!("sched seed: {e}"))?;
+                        let flavor = AdvFlavor::ALL
+                            .into_iter()
+                            .find(|f| f.name() == flavor)
+                            .ok_or_else(|| format!("unknown flavor {flavor:?}"))?;
+                        SchedSpec::Adversarial { seed, flavor }
+                    }
+                })
+            }
+            other => return Err(format!("unknown seg replay field {other:?}")),
+        }
+    }
+    let ns_list = ns.ok_or("missing ns")?;
+    let ms_list = ms.ok_or("missing ms")?;
+    if ns_list.len() != ms_list.len() {
+        return Err(format!(
+            "ns has {} entries but ms has {}",
+            ns_list.len(),
+            ms_list.len()
+        ));
+    }
+    if ns_list.len() > MAX_SEGS {
+        return Err(format!(
+            "at most {MAX_SEGS} segments, got {}",
+            ns_list.len()
+        ));
+    }
+    let mut case = SegCase {
+        nsegs: ns_list.len(),
+        ns: [0; MAX_SEGS],
+        ms: [0; MAX_SEGS],
+        kv: kv.ok_or("missing kv")?,
+        dist: dist.ok_or("missing dist")?,
+        key_seed: key_seed.ok_or("missing keyseed")?,
+        wpb: wpb.ok_or("missing wpb")?,
+        sched: sched.ok_or("missing sched")?,
+    };
+    case.ns[..case.nsegs].copy_from_slice(&ns_list);
+    case.ms[..case.nsegs].copy_from_slice(&ms_list);
+    Ok(case)
+}
+
+/// Sector-aligned (8-word) segment offsets plus the flat buffer length.
+fn seg_layout(case: &SegCase) -> (Vec<usize>, usize) {
+    let mut offs = Vec::with_capacity(case.nsegs);
+    let mut len = 0usize;
+    for i in 0..case.nsegs {
+        offs.push(len);
+        len += case.ns[i];
+        len = (len + 7) & !7;
+    }
+    (offs, len.max(1))
+}
+
+/// Generate the case's flat key buffer (deterministic from `key_seed`;
+/// gap words between segments stay zero).
+pub fn gen_seg_keys(case: &SegCase) -> Vec<u32> {
+    let (offs, len) = seg_layout(case);
+    let mut flat = vec![0u32; len];
+    for i in 0..case.nsegs {
+        let keys = gen_keys_raw(
+            case.ns[i],
+            case.ms[i],
+            case.dist,
+            case.key_seed.wrapping_add(i as u64),
+        );
+        flat[offs[i]..offs[i] + case.ns[i]].copy_from_slice(&keys);
+    }
+    flat
+}
+
+/// One full segmented device run of the case under `sched`, with tracked
+/// inputs. Per-segment offset lists are flattened for comparison.
+fn seg_device_run(case: &SegCase, flat: &[u32], sched: SchedSpec) -> Result<DeviceRun, Divergence> {
+    let result = std::panic::catch_unwind(|| {
+        let dev = Device::with_schedule(K40C, sched.to_schedule());
+        let (offs, len) = seg_layout(case);
+        let buckets: Vec<RangeBuckets> = (0..case.nsegs)
+            .map(|i| RangeBuckets::new(case.ms[i]))
+            .collect();
+        let specs: Vec<SegmentSpec> = (0..case.nsegs)
+            .map(|i| SegmentSpec {
+                offset: offs[i],
+                n: case.ns[i],
+                bucket: &buckets[i],
+            })
+            .collect();
+        let kbuf = GlobalBuffer::from_slice(flat).tracked();
+        let out = if case.kv {
+            let values: Vec<u32> = (0..len as u32).collect();
+            let vbuf = GlobalBuffer::from_slice(&values).tracked();
+            multisplit_segmented(&dev, &kbuf, Some(&vbuf), &specs, case.wpb)
+        } else {
+            multisplit_segmented(&dev, &kbuf, no_values(), &specs, case.wpb)
+        };
+        DeviceRun {
+            keys: out.keys.to_vec(),
+            values: out.values.as_ref().map(|v| v.to_vec()),
+            offsets: out.offsets.concat(),
+            records: dev.records(),
+        }
+    });
+    result.map_err(panic_divergence)
+}
+
+/// Execute one segmented case differentially: every segment against its
+/// own CPU reference (gap words must stay untouched), then the whole run
+/// against the sequential-schedule anchor.
+pub fn run_seg_case(case: &SegCase) -> Result<(), Divergence> {
+    let flat = gen_seg_keys(case);
+    let (offs, len) = seg_layout(case);
+    // Per-segment CPU references assembled into flat expectations. The
+    // device's output buffers start zeroed, so gap words must stay 0.
+    let mut expect_keys = vec![0u32; len];
+    let mut expect_values = vec![0u32; len];
+    let mut expect_offsets: Vec<u32> = Vec::new();
+    for (i, &off) in offs.iter().enumerate().take(case.nsegs) {
+        let n = case.ns[i];
+        let bucket = RangeBuckets::new(case.ms[i]);
+        let seg_values: Vec<u32> = (off as u32..(off + n) as u32).collect();
+        let (k, v, o) = multisplit_kv_ref(&flat[off..off + n], Some(&seg_values), &bucket);
+        expect_keys[off..off + n].copy_from_slice(&k);
+        expect_values[off..off + n].copy_from_slice(&v);
+        expect_offsets.extend(o);
+    }
+
+    let run = seg_device_run(case, &flat, case.sched)?;
+    if let Some(i) = first_diff(&run.keys, &expect_keys) {
+        return Err(Divergence::Output(format!(
+            "segmented keys[{i}]: device {:?} vs reference {:?}",
+            run.keys.get(i),
+            expect_keys.get(i)
+        )));
+    }
+    if run.offsets != expect_offsets {
+        return Err(Divergence::Output(format!(
+            "segment bucket offsets: device {:?} vs reference {:?}",
+            run.offsets, expect_offsets
+        )));
+    }
+    if case.kv {
+        let dev_values = run.values.as_deref().unwrap_or(&[]);
+        if let Some(i) = first_diff(dev_values, &expect_values) {
+            return Err(Divergence::Output(format!(
+                "segmented values[{i}]: device {:?} vs reference {:?}",
+                dev_values.get(i),
+                expect_values.get(i)
+            )));
+        }
+    }
+    if case.sched != SchedSpec::Sequential {
+        let base = seg_device_run(case, &flat, SchedSpec::Sequential)?;
+        check_against_sequential(&case.sched.token(), &run, &base)?;
+    }
+    check_depth_hist(&run.records)
+}
+
+/// Greedily shrink a failing segmented case. Beyond the per-field
+/// reductions the other families use, it *drops whole segments* one at a
+/// time, so the fixpoint is a minimal failing segment set.
+pub fn shrink_seg(case: &SegCase, still_fails: impl Fn(&SegCase) -> bool) -> SegCase {
+    fn drop_seg(mut c: SegCase, i: usize) -> SegCase {
+        for j in i..c.nsegs - 1 {
+            c.ns[j] = c.ns[j + 1];
+            c.ms[j] = c.ms[j + 1];
+        }
+        c.nsegs -= 1;
+        c.ns[c.nsegs] = 0;
+        c.ms[c.nsegs] = 0;
+        c
+    }
+    let mut cur = *case;
+    loop {
+        let mut candidates: Vec<SegCase> = Vec::new();
+        for i in 0..cur.nsegs {
+            candidates.push(drop_seg(cur, i));
+        }
+        for i in 0..cur.nsegs {
+            for n in [cur.ns[i] / 2, cur.ns[i].saturating_sub(1)] {
+                if n < cur.ns[i] {
+                    let mut c = cur;
+                    c.ns[i] = n;
+                    candidates.push(c);
+                }
+            }
+            for m in [cur.ms[i] / 2, cur.ms[i].saturating_sub(1)] {
+                if m < cur.ms[i] && m >= 1 {
+                    let mut c = cur;
+                    c.ms[i] = m;
+                    candidates.push(c);
+                }
+            }
+        }
+        if cur.kv {
+            candidates.push(SegCase { kv: false, ..cur });
+        }
+        if cur.dist != KeyDist::Uniform {
+            candidates.push(SegCase {
+                dist: KeyDist::Uniform,
+                ..cur
+            });
+        }
+        match cur.sched {
+            SchedSpec::Adversarial { .. } => {
+                candidates.push(SegCase {
+                    sched: SchedSpec::Parallel,
+                    ..cur
+                });
+                candidates.push(SegCase {
+                    sched: SchedSpec::Sequential,
+                    ..cur
+                });
+            }
+            SchedSpec::Parallel => candidates.push(SegCase {
+                sched: SchedSpec::Sequential,
+                ..cur
+            }),
+            SchedSpec::Sequential => {}
+        }
+        match candidates.into_iter().find(|c| still_fails(c)) {
+            Some(smaller) => cur = smaller,
+            None => return cur,
+        }
+    }
+}
+
+/// Deterministically generate segmented case `ix` of a run seeded with
+/// `seed`. kv and schedules rotate (12 consecutive indices cover the
+/// {key, kv} x 6-schedule matrix); segment counts, sizes, and bucket
+/// counts are drawn with a bias toward the class boundaries (m = 32/33,
+/// over-capacity fallback) and tile-edge sizes.
+pub fn gen_seg_case(seed: u64, ix: usize) -> SegCase {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (ix as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+    let kv = ix % 2 == 1;
+    let sched = sched_for(ix / 2, &mut rng);
+    let wpb = [2usize, 4, 8][(rng.next_u32() % 3) as usize];
+    let tile = wpb * 32;
+    let nsegs = (rng.next_u32() as usize) % (MAX_SEGS + 1);
+    let mut ns = [0usize; MAX_SEGS];
+    let mut ms = [0u32; MAX_SEGS];
+    for i in 0..nsegs {
+        ns[i] = match rng.next_u32() % 6 {
+            0 => 0,
+            1 => 1,
+            2 => tile,
+            3 => tile + 1,
+            4 => (rng.next_u32() as usize % 63) + 2,
+            _ => (rng.next_u32() as usize % (MAX_N / 4)) + 1,
+        };
+        ms[i] = match rng.next_u32() % 5 {
+            0 => 1,
+            1 => 32,                       // last m on the fused class
+            2 => 33,                       // first m on the large-m class
+            3 => 33 + rng.next_u32() % 96, // deeper multi-row look-back
+            _ => 1 + rng.next_u32() % 32,
+        };
+    }
+    SegCase {
+        nsegs,
+        ns,
+        ms,
+        kv,
+        dist: KeyDist::ALL[(rng.next_u32() % 4) as usize],
+        key_seed: rng.next_u64(),
+        wpb,
+        sched,
+    }
+}
+
+/// A case from any family, as produced by [`gen_any_case`] and
 /// [`parse_replay`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnyCase {
     Split(FuzzCase),
     Sort(SortCase),
+    Seg(SegCase),
 }
 
 impl AnyCase {
@@ -849,6 +1234,7 @@ impl AnyCase {
         match self {
             AnyCase::Split(c) => c.replay_token(),
             AnyCase::Sort(c) => c.replay_token(),
+            AnyCase::Seg(c) => c.replay_token(),
         }
     }
 
@@ -857,29 +1243,36 @@ impl AnyCase {
         match self {
             AnyCase::Split(c) => c.replay_command(),
             AnyCase::Sort(c) => c.replay_command(),
+            AnyCase::Seg(c) => c.replay_command(),
         }
     }
 }
 
-/// Parse a replay token from either family: `sort,...` tokens come from
-/// [`SortCase::replay_token`], everything else from
-/// [`FuzzCase::replay_token`].
+/// Parse a replay token from any family: `sort,...` tokens come from
+/// [`SortCase::replay_token`], `seg,...` from [`SegCase::replay_token`],
+/// everything else from [`FuzzCase::replay_token`].
 pub fn parse_replay(s: &str) -> Result<AnyCase, String> {
-    match s.strip_prefix("sort,") {
-        Some(rest) => parse_sort_replay(rest).map(AnyCase::Sort),
-        None => parse_split_replay(s).map(AnyCase::Split),
+    if let Some(rest) = s.strip_prefix("sort,") {
+        return parse_sort_replay(rest).map(AnyCase::Sort);
     }
+    if let Some(rest) = s.strip_prefix("seg,") {
+        return parse_seg_replay(rest).map(AnyCase::Seg);
+    }
+    parse_split_replay(s).map(AnyCase::Split)
 }
 
-/// Every 5th generated case is a sort case; the other four walk the
-/// multisplit matrix. Sub-indices stay dense in each family, so 105
-/// consecutive indices cover the full 84-case multisplit rotation *and*
-/// the full 12-case sort rotation.
+/// Every 5th generated case is a sort case and every 5th (offset by two)
+/// a segmented case; the other three walk the multisplit matrix.
+/// Sub-indices stay dense in each family, so 140 consecutive indices
+/// cover the full 84-case multisplit rotation *and* the 12-case sort and
+/// segmented rotations (twice over).
 pub fn gen_any_case(seed: u64, ix: usize) -> AnyCase {
     if ix % 5 == 4 {
         AnyCase::Sort(gen_sort_case(seed, ix / 5))
+    } else if ix % 5 == 2 {
+        AnyCase::Seg(gen_seg_case(seed, ix / 5))
     } else {
-        AnyCase::Split(gen_case(seed, ix - ix / 5))
+        AnyCase::Split(gen_case(seed, ix - ix / 5 - (ix + 3) / 5))
     }
 }
 
@@ -887,10 +1280,11 @@ fn run_any_with_fault(case: &AnyCase, fault: Option<Fault>) -> Result<(), Diverg
     match case {
         AnyCase::Split(c) => run_case_with_fault(c, fault),
         AnyCase::Sort(c) => run_sort_case(c),
+        AnyCase::Seg(c) => run_seg_case(c),
     }
 }
 
-/// Execute one case of either family differentially (the production
+/// Execute one case of any family differentially (the production
 /// entry point, e.g. for `paper fuzz --replay`).
 pub fn run_case(case: &AnyCase) -> Result<(), Divergence> {
     run_any_with_fault(case, None)
@@ -901,6 +1295,7 @@ pub fn shrink_any(case: &AnyCase, still_fails: impl Fn(&AnyCase) -> bool) -> Any
     match case {
         AnyCase::Split(c) => AnyCase::Split(shrink(c, |s| still_fails(&AnyCase::Split(*s)))),
         AnyCase::Sort(c) => AnyCase::Sort(shrink_sort(c, |s| still_fails(&AnyCase::Sort(*s)))),
+        AnyCase::Seg(c) => AnyCase::Seg(shrink_seg(c, |s| still_fails(&AnyCase::Seg(*s)))),
     }
 }
 
@@ -1173,13 +1568,14 @@ mod tests {
     }
 
     #[test]
-    fn any_generator_interleaves_both_families_densely() {
+    fn any_generator_interleaves_all_families_densely() {
         let mut split = 0usize;
         let mut sort = 0usize;
-        for ix in 0..105 {
+        let mut seg = 0usize;
+        for ix in 0..140 {
             match gen_any_case(7, ix) {
                 AnyCase::Split(c) => {
-                    // Dense sub-indices: case ix maps to split index ix - ix/5.
+                    // Dense sub-indices in every family.
                     assert_eq!(c, gen_case(7, split));
                     split += 1;
                 }
@@ -1187,9 +1583,13 @@ mod tests {
                     assert_eq!(c, gen_sort_case(7, sort));
                     sort += 1;
                 }
+                AnyCase::Seg(c) => {
+                    assert_eq!(c, gen_seg_case(7, seg));
+                    seg += 1;
+                }
             }
         }
-        assert_eq!((split, sort), (84, 21));
+        assert_eq!((split, sort, seg), (84, 28, 28));
     }
 
     #[test]
@@ -1228,12 +1628,12 @@ mod tests {
 
     #[test]
     fn small_smoke_run_is_clean() {
-        // 105 iterations walk one full multisplit rotation (84 cases: every
+        // 140 iterations walk one full multisplit rotation (84 cases: every
         // method x kv x schedule, including all four adversarial flavors)
-        // plus 21 interleaved sort cases (beyond the 12-case kv x schedule
-        // sort rotation).
-        let report = fuzz(105, 1234, |_, _| {});
-        assert_eq!(report.iters_run, 105);
+        // plus 28 interleaved sort cases and 28 segmented batches (beyond
+        // the 12-case kv x schedule rotation of each).
+        let report = fuzz(140, 1234, |_, _| {});
+        assert_eq!(report.iters_run, 140);
         assert!(
             report.failure.is_none(),
             "smoke fuzz must be clean: {:?}",
@@ -1324,6 +1724,141 @@ mod tests {
             };
             assert!(run_sort_case(&copy_case).is_ok());
         }
+    }
+
+    #[test]
+    fn seg_replay_token_round_trips() {
+        for ix in 0..24 {
+            let case = gen_seg_case(99, ix);
+            let token = case.replay_token();
+            assert!(token.starts_with("seg,"), "seg marker in {token}");
+            let parsed = parse_replay(&token).expect(&token);
+            assert_eq!(parsed, AnyCase::Seg(case), "token {token}");
+        }
+        // Zero segments serialize as empty lists and round-trip.
+        let empty = SegCase {
+            nsegs: 0,
+            ns: [0; MAX_SEGS],
+            ms: [0; MAX_SEGS],
+            kv: false,
+            dist: KeyDist::Uniform,
+            key_seed: 5,
+            wpb: 8,
+            sched: SchedSpec::Sequential,
+        };
+        let token = empty.replay_token();
+        assert_eq!(
+            parse_replay(&token).unwrap(),
+            AnyCase::Seg(empty),
+            "{token}"
+        );
+    }
+
+    #[test]
+    fn seg_replay_rejects_malformed_tokens() {
+        assert!(parse_replay("seg,ns=1").is_err(), "missing fields");
+        assert!(
+            parse_replay("seg,ns=1+2,ms=4,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq").is_err(),
+            "list length mismatch"
+        );
+        assert!(
+            parse_replay(
+                "seg,ns=1+1+1+1+1+1+1,ms=1+1+1+1+1+1+1,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq"
+            )
+            .is_err(),
+            "too many segments"
+        );
+        assert!(parse_replay("seg,ns=x,ms=1,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq").is_err());
+    }
+
+    #[test]
+    fn seg_generator_covers_its_matrix() {
+        let mut kvs = std::collections::HashSet::new();
+        let mut scheds = std::collections::HashSet::new();
+        let mut fused = false;
+        let mut largem = false;
+        let mut empty_batch = false;
+        for ix in 0..48 {
+            let c = gen_seg_case(5, ix);
+            kvs.insert(c.kv);
+            scheds.insert(match c.sched {
+                SchedSpec::Sequential => "seq".to_string(),
+                SchedSpec::Parallel => "par".to_string(),
+                SchedSpec::Adversarial { flavor, .. } => flavor.name().to_string(),
+            });
+            assert!(c.nsegs <= MAX_SEGS);
+            empty_batch |= c.nsegs == 0;
+            for i in 0..c.nsegs {
+                assert!(c.ns[i] <= MAX_N / 4);
+                assert!(c.ms[i] >= 1);
+                fused |= c.ms[i] <= 32;
+                largem |= c.ms[i] > 32;
+            }
+            for i in c.nsegs..MAX_SEGS {
+                assert_eq!((c.ns[i], c.ms[i]), (0, 0), "unused slots stay zero");
+            }
+        }
+        assert_eq!(kvs.len(), 2);
+        assert_eq!(scheds.len(), 6, "{scheds:?}");
+        assert!(fused && largem, "both sweep classes must appear");
+        assert!(empty_batch, "the zero-segment batch must appear");
+    }
+
+    #[test]
+    fn seg_shrinker_finds_the_minimal_failing_segment_set() {
+        // Synthetic predicate: the case fails iff some segment has
+        // n >= 65 with m >= 7. The shrinker must drop every other
+        // segment, land exactly on (65, 7), and simplify the rest.
+        let fails = |c: &SegCase| (0..c.nsegs).any(|i| c.ns[i] >= 65 && c.ms[i] >= 7);
+        let mut start = SegCase {
+            nsegs: 4,
+            ns: [0; MAX_SEGS],
+            ms: [0; MAX_SEGS],
+            kv: true,
+            dist: KeyDist::Skew75,
+            key_seed: 11,
+            wpb: 8,
+            sched: SchedSpec::Adversarial {
+                seed: 3,
+                flavor: AdvFlavor::ALL[0],
+            },
+        };
+        start.ns[..4].copy_from_slice(&[512, 30, 900, 4]);
+        start.ms[..4].copy_from_slice(&[16, 33, 8, 2]);
+        assert!(fails(&start));
+        let s = shrink_seg(&start, fails);
+        assert_eq!(s.nsegs, 1, "minimal failing segment set is one segment");
+        assert_eq!((s.ns[0], s.ms[0]), (65, 7), "{s:?}");
+        assert!(!s.kv);
+        assert_eq!(s.dist, KeyDist::Uniform);
+        assert_eq!(s.sched, SchedSpec::Sequential);
+        // Dropped slots were normalized, so the token stays canonical.
+        assert_eq!(s.ns[1..], [0; MAX_SEGS - 1]);
+        let replayed = parse_replay(&s.replay_token()).unwrap();
+        assert_eq!(replayed, AnyCase::Seg(s));
+    }
+
+    #[test]
+    fn seg_cases_run_clean_across_classes_and_schedules() {
+        // A hand-built batch crossing both sweep classes, the fallback
+        // path (m past the sweep capacity at wpb = 2), an empty segment,
+        // and an n = 1 segment — clean on an adversarial schedule.
+        let mut case = SegCase {
+            nsegs: 5,
+            ns: [0; MAX_SEGS],
+            ms: [0; MAX_SEGS],
+            kv: true,
+            dist: KeyDist::Skew75,
+            key_seed: 77,
+            wpb: 2,
+            sched: SchedSpec::Adversarial {
+                seed: 13,
+                flavor: AdvFlavor::ALL[1],
+            },
+        };
+        case.ns[..5].copy_from_slice(&[700, 0, 1, 260, 513]);
+        case.ms[..5].copy_from_slice(&[32, 8, 33, 128, 5]);
+        assert!(run_seg_case(&case).is_ok(), "{:?}", run_seg_case(&case));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use block_scan::{
 };
 pub use compact::{compact_by_pred, split_by_pred, SplitResult};
 pub use histogram::{histogram_global_atomic, histogram_per_thread, histogram_shared_atomic};
-pub use lookback::TileStates;
+pub use lookback::{SegmentedTileStates, TileStates};
 pub use scan::{
     chained_scan_u32, exclusive_scan_u32, exclusive_scan_u32_with, recursive_scan_u32,
     reduce_add_u32, scan_strategy, scan_tile, with_scan_strategy, ScanStrategy, ITEMS_PER_THREAD,

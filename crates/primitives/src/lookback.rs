@@ -104,6 +104,158 @@ fn spin_wait_published(
     }
 }
 
+/// Lane-indexed word addresses and active mask of group `g` of tile `t`'s
+/// record inside a state-word window starting at `word_base`. The shared
+/// addressing of [`TileStates`] (whole-buffer window, `word_base = 0`) and
+/// each segment's partition of a [`SegmentedTileStates`].
+#[inline]
+fn group_record_at(word_base: usize, rows: usize, t: usize, g: usize) -> (Lanes<usize>, u32) {
+    let cnt = (rows - g * WARP_SIZE).min(WARP_SIZE);
+    let base = word_base + t * rows + g * WARP_SIZE;
+    (
+        lanes_from_fn(|lane| base + lane.min(cnt - 1)),
+        low_lanes_mask(cnt),
+    )
+}
+
+/// The decoupled look-back resolve over one state-word window: publish
+/// tile `t`'s per-row `aggregate` and return its exclusive per-row prefix.
+///
+/// `word_base` offsets every state-word address, so a window is a
+/// self-contained protocol instance — a walk never touches words outside
+/// `word_base .. word_base + tiles * rows`, which is what makes the
+/// per-segment partitioning of [`SegmentedTileStates`] dependency-free
+/// across segments. `ticket_base` maps the window-local tile id onto the
+/// *global* ticket space of the launch (0 for [`TileStates`], the
+/// segment's first ticket for a segmented launch): the adversarial
+/// scheduler's straggler release and stall watchdog key on claimed
+/// tickets, and the flight recorder's DAG joins publishes to resolves by
+/// ticket, so both must see global ids even when the walk is local.
+///
+/// Billing is independent of both bases: per warp-sized row group, the
+/// two record publishes plus one counted record-sized look-back read —
+/// exactly the charge [`TileStates::resolve_rows`] has always made.
+fn resolve_rows_at(
+    state: &GlobalBuffer<u64>,
+    word_base: usize,
+    ticket_base: usize,
+    rows: usize,
+    w: &WarpCtx,
+    t: usize,
+    aggregate: &[u32],
+) -> Vec<u32> {
+    assert_eq!(aggregate.len(), rows, "one aggregate per row");
+    let groups = rows.div_ceil(WARP_SIZE);
+    let gt = (ticket_base + t) as u32; // global ticket, for obs identity
+    if t == 0 {
+        for g in 0..groups {
+            let (rec, mask) = group_record_at(word_base, rows, 0, g);
+            let base = g * WARP_SIZE;
+            let cnt = (rows - base).min(WARP_SIZE);
+            w.device_scatter(
+                state,
+                rec,
+                lanes_from_fn(|l| pack(aggregate[base + l.min(cnt - 1)], FLAG_INCLUSIVE)),
+                mask,
+            );
+            // Tile 0 resolves at depth 0 (no walk). Counting it keeps
+            // `lookback_resolves == tiles * row_groups()`, a
+            // schedule-independent total.
+            w.obs().record_lookback(0);
+            w.obs()
+                .flight_emit(EventKind::PublishInclusive, gt, g as u32, 0);
+            w.obs().flight_emit(EventKind::Resolve, gt, 0, 0);
+        }
+        return vec![0; rows];
+    }
+    for g in 0..groups {
+        let (rec, mask) = group_record_at(word_base, rows, t, g);
+        let base = g * WARP_SIZE;
+        let cnt = (rows - base).min(WARP_SIZE);
+        w.device_scatter(
+            state,
+            rec,
+            lanes_from_fn(|l| pack(aggregate[base + l.min(cnt - 1)], FLAG_AGGREGATE)),
+            mask,
+        );
+        w.obs()
+            .flight_emit(EventKind::PublishAggregate, gt, g as u32, 0);
+    }
+    let mut prefix = vec![0u32; rows];
+    for g in 0..groups {
+        let base = g * WARP_SIZE;
+        let cnt = (rows - base).min(WARP_SIZE);
+        // Walk back until every row in the group has met an INCLUSIVE
+        // word. Rows resolve independently: a predecessor may have
+        // published its aggregate but not yet its inclusive record, and
+        // different rows may stop at different depths. Pure register
+        // work + uncounted polls.
+        let mut done = [false; WARP_SIZE];
+        let mut remaining = cnt;
+        let mut p = t;
+        let mut group_spins = 0u64;
+        while remaining > 0 {
+            debug_assert!(p > 0, "tile 0 always publishes INCLUSIVE");
+            p -= 1;
+            for r in 0..cnt {
+                if done[r] {
+                    continue;
+                }
+                let (word, spins) = spin_wait_published(
+                    state,
+                    word_base + p * rows + base + r,
+                    ticket_base + p,
+                    w.obs(),
+                );
+                group_spins += spins;
+                let (value, flag) = unpack(word);
+                prefix[base + r] = prefix[base + r].wrapping_add(value);
+                if flag == FLAG_INCLUSIVE {
+                    done[r] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        // Introspection: this group's walk reached back `t - p` tiles
+        // (the deepest row wins). One resolve per tile per group — that
+        // count is schedule-independent; the depth itself is not
+        // (sequential execution always stops after one hop, parallel
+        // depends on timing).
+        w.obs().record_lookback((t - p) as u64);
+        // Flight event: the causal edge `t -> p` this walk bound, plus
+        // how hard it stalled getting there. One Resolve per group, so
+        // per-kind event counts stay schedule-independent even though
+        // the depth/spin payloads are not.
+        w.obs().flight_emit(
+            EventKind::Resolve,
+            gt,
+            (t - p) as u32,
+            group_spins.min(u32::MAX as u64) as u32,
+        );
+        // Charge the look-back deterministically: one counted
+        // record-sized read per tile per group. How many extra hops the
+        // walk took depends on scheduling — charging them would break
+        // schedule independence.
+        let (prev, mask) = group_record_at(word_base, rows, t - 1, g);
+        w.device_gather(state, prev, mask);
+        w.obs()
+            .flight_emit(EventKind::LookbackRead, gt, g as u32, 0);
+        let (rec, mask) = group_record_at(word_base, rows, t, g);
+        w.device_scatter(
+            state,
+            rec,
+            lanes_from_fn(|l| {
+                let r = base + l.min(cnt - 1);
+                pack(prefix[r].wrapping_add(aggregate[r]), FLAG_INCLUSIVE)
+            }),
+            mask,
+        );
+        w.obs()
+            .flight_emit(EventKind::PublishInclusive, gt, g as u32, 0);
+    }
+    prefix
+}
+
 /// Per-tile `(aggregate | inclusive-prefix)` flag records for a chained
 /// single-pass kernel: `rows` packed words per tile (`rows = 1` for the
 /// scalar scan, `rows = m` for the fused multisplit's bucket histograms).
@@ -163,12 +315,7 @@ impl TileStates {
     /// scan has always used.
     #[inline]
     fn group_record(&self, t: usize, g: usize) -> (Lanes<usize>, u32) {
-        let cnt = (self.rows - g * WARP_SIZE).min(WARP_SIZE);
-        let base = t * self.rows + g * WARP_SIZE;
-        (
-            lanes_from_fn(|lane| base + lane.min(cnt - 1)),
-            low_lanes_mask(cnt),
-        )
+        group_record_at(0, self.rows, t, g)
     }
 
     /// Publish tile `t`'s per-row `aggregate` and resolve its exclusive
@@ -206,117 +353,13 @@ impl TileStates {
     /// schedule-independent and `rows <= 32` (one group) reproduces the
     /// chained scan's billing exactly.
     pub fn resolve_rows(&self, w: &WarpCtx, t: usize, aggregate: &[u32]) -> Vec<u32> {
-        let rows = self.rows;
-        assert_eq!(aggregate.len(), rows, "one aggregate per row");
-        let groups = self.row_groups();
+        assert_eq!(aggregate.len(), self.rows, "one aggregate per row");
         if self.stall_tile.load(Ordering::Relaxed) == t {
             // Injected fault (see `inject_publish_stall`): hang this
             // tile's publishes forever. Successors now spin on EMPTY.
-            return vec![0; rows];
+            return vec![0; self.rows];
         }
-        if t == 0 {
-            for g in 0..groups {
-                let (rec, mask) = self.group_record(0, g);
-                let base = g * WARP_SIZE;
-                let cnt = (rows - base).min(WARP_SIZE);
-                w.device_scatter(
-                    &self.state,
-                    rec,
-                    lanes_from_fn(|l| pack(aggregate[base + l.min(cnt - 1)], FLAG_INCLUSIVE)),
-                    mask,
-                );
-                // Tile 0 resolves at depth 0 (no walk). Counting it keeps
-                // `lookback_resolves == tiles * row_groups()`, a
-                // schedule-independent total.
-                w.obs().record_lookback(0);
-                w.obs()
-                    .flight_emit(EventKind::PublishInclusive, 0, g as u32, 0);
-                w.obs().flight_emit(EventKind::Resolve, 0, 0, 0);
-            }
-            return vec![0; rows];
-        }
-        for g in 0..groups {
-            let (rec, mask) = self.group_record(t, g);
-            let base = g * WARP_SIZE;
-            let cnt = (rows - base).min(WARP_SIZE);
-            w.device_scatter(
-                &self.state,
-                rec,
-                lanes_from_fn(|l| pack(aggregate[base + l.min(cnt - 1)], FLAG_AGGREGATE)),
-                mask,
-            );
-            w.obs()
-                .flight_emit(EventKind::PublishAggregate, t as u32, g as u32, 0);
-        }
-        let mut prefix = vec![0u32; rows];
-        for g in 0..groups {
-            let base = g * WARP_SIZE;
-            let cnt = (rows - base).min(WARP_SIZE);
-            // Walk back until every row in the group has met an INCLUSIVE
-            // word. Rows resolve independently: a predecessor may have
-            // published its aggregate but not yet its inclusive record, and
-            // different rows may stop at different depths. Pure register
-            // work + uncounted polls.
-            let mut done = [false; WARP_SIZE];
-            let mut remaining = cnt;
-            let mut p = t;
-            let mut group_spins = 0u64;
-            while remaining > 0 {
-                debug_assert!(p > 0, "tile 0 always publishes INCLUSIVE");
-                p -= 1;
-                for r in 0..cnt {
-                    if done[r] {
-                        continue;
-                    }
-                    let (word, spins) =
-                        spin_wait_published(&self.state, p * rows + base + r, p, w.obs());
-                    group_spins += spins;
-                    let (value, flag) = unpack(word);
-                    prefix[base + r] = prefix[base + r].wrapping_add(value);
-                    if flag == FLAG_INCLUSIVE {
-                        done[r] = true;
-                        remaining -= 1;
-                    }
-                }
-            }
-            // Introspection: this group's walk reached back `t - p` tiles
-            // (the deepest row wins). One resolve per tile per group — that
-            // count is schedule-independent; the depth itself is not
-            // (sequential execution always stops after one hop, parallel
-            // depends on timing).
-            w.obs().record_lookback((t - p) as u64);
-            // Flight event: the causal edge `t -> p` this walk bound, plus
-            // how hard it stalled getting there. One Resolve per group, so
-            // per-kind event counts stay schedule-independent even though
-            // the depth/spin payloads are not.
-            w.obs().flight_emit(
-                EventKind::Resolve,
-                t as u32,
-                (t - p) as u32,
-                group_spins.min(u32::MAX as u64) as u32,
-            );
-            // Charge the look-back deterministically: one counted
-            // record-sized read per tile per group. How many extra hops the
-            // walk took depends on scheduling — charging them would break
-            // schedule independence.
-            let (prev, mask) = self.group_record(t - 1, g);
-            w.device_gather(&self.state, prev, mask);
-            w.obs()
-                .flight_emit(EventKind::LookbackRead, t as u32, g as u32, 0);
-            let (rec, mask) = self.group_record(t, g);
-            w.device_scatter(
-                &self.state,
-                rec,
-                lanes_from_fn(|l| {
-                    let r = base + l.min(cnt - 1);
-                    pack(prefix[r].wrapping_add(aggregate[r]), FLAG_INCLUSIVE)
-                }),
-                mask,
-            );
-            w.obs()
-                .flight_emit(EventKind::PublishInclusive, t as u32, g as u32, 0);
-        }
-        prefix
+        resolve_rows_at(&self.state, 0, 0, self.rows, w, t, aggregate)
     }
 
     /// Device-side counted read of tile `t`'s resolved record: the
@@ -374,6 +417,165 @@ impl TileStates {
     /// the two-launch paths.
     pub fn row_totals(&self) -> Vec<u32> {
         (0..self.rows).map(|r| self.total(r)).collect()
+    }
+}
+
+/// One segment's window into a [`SegmentedTileStates`] buffer.
+#[derive(Debug, Clone, Copy)]
+struct SegWindow {
+    /// First state word of this segment's partition.
+    word_base: usize,
+    /// Global ticket of this segment's tile 0 (segments' tiles are laid
+    /// out consecutively in the launch's flattened ticket space).
+    tile_base: usize,
+    tiles: usize,
+    rows: usize,
+}
+
+/// Per-segment partitioned tile states for a **single-launch segmented**
+/// chained kernel: many independent look-back protocol instances packed
+/// into one state buffer.
+///
+/// Each segment `s` owns a contiguous window of `tiles(s) * rows(s)`
+/// state words; [`resolve_rows`](Self::resolve_rows) runs the exact
+/// [`TileStates::resolve_rows`] protocol *inside that window*, so a tile
+/// only ever waits on earlier tiles **of its own segment** — no
+/// cross-segment dependency exists, and one stalled segment cannot wedge
+/// another's walks.
+///
+/// ### Deadlock freedom in the flattened ticket space
+///
+/// The segmented kernel claims tickets from one device counter over the
+/// concatenated tile ranges (segment `s`'s local tile `t` is global
+/// ticket `tile_base(s) + t`). Because segments' tiles are consecutive,
+/// local tile `t` waits only on local `t - 1` = global ticket
+/// `tile_base(s) + t - 1` — a strictly earlier ticket, i.e. an
+/// already-started block, exactly the [`TileStates`] invariant. The
+/// global ticket is also what the walk reports to the adversarial
+/// scheduler's stall watchdog and the flight recorder, so segmented
+/// launches keep full causal observability.
+///
+/// ### Billing
+///
+/// Identical to a [`TileStates::new(tiles(s), rows(s))`](TileStates::new)
+/// per segment: per warp-sized row group, two record publishes plus one
+/// counted record-sized look-back read — so a segmented launch's summed
+/// look-back stats equal the sum of the per-segment launches it replaces
+/// (the serve front-end's ±5% sector acceptance leans on this).
+pub struct SegmentedTileStates {
+    state: GlobalBuffer<u64>,
+    segs: Vec<SegWindow>,
+}
+
+impl SegmentedTileStates {
+    /// Allocate EMPTY state windows for segments of `(tiles, rows)` each.
+    /// Zero-tile segments (empty inputs) are allowed and own no words;
+    /// `rows >= 1` is required for every segment regardless.
+    pub fn new(parts: &[(usize, usize)]) -> Self {
+        let mut segs = Vec::with_capacity(parts.len());
+        let mut word_base = 0usize;
+        let mut tile_base = 0usize;
+        for &(tiles, rows) in parts {
+            assert!(rows >= 1, "tile-state records need at least one row");
+            segs.push(SegWindow {
+                word_base,
+                tile_base,
+                tiles,
+                rows,
+            });
+            word_base += tiles * rows;
+            tile_base += tiles;
+        }
+        Self {
+            state: GlobalBuffer::zeroed(word_base),
+            segs,
+        }
+    }
+
+    pub fn segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    pub fn tiles(&self, seg: usize) -> usize {
+        self.segs[seg].tiles
+    }
+
+    pub fn rows(&self, seg: usize) -> usize {
+        self.segs[seg].rows
+    }
+
+    /// Global ticket of segment `seg`'s local tile 0.
+    pub fn tile_base(&self, seg: usize) -> usize {
+        self.segs[seg].tile_base
+    }
+
+    /// Total tiles across all segments — the launch's block count.
+    pub fn total_tiles(&self) -> usize {
+        self.segs.last().map_or(0, |s| s.tile_base + s.tiles)
+    }
+
+    /// Warp-sized row groups of segment `seg`'s records (1 for `m <= 32`).
+    pub fn row_groups(&self, seg: usize) -> usize {
+        self.segs[seg].rows.div_ceil(WARP_SIZE)
+    }
+
+    /// [`TileStates::resolve`] inside segment `seg`'s window: lane-shaped
+    /// wrapper for `rows <= 32`; lanes beyond the segment's rows return 0.
+    pub fn resolve(&self, w: &WarpCtx, seg: usize, t: usize, aggregate: Lanes<u32>) -> Lanes<u32> {
+        let sw = self.segs[seg];
+        assert!(
+            sw.rows <= WARP_SIZE,
+            "lane-shaped resolve covers rows <= 32; use resolve_rows"
+        );
+        let prefix = self.resolve_rows(w, seg, t, &aggregate[..sw.rows]);
+        lanes_from_fn(|l| prefix.get(l).copied().unwrap_or(0))
+    }
+
+    /// [`TileStates::resolve_rows`] inside segment `seg`'s window:
+    /// publish local tile `t`'s per-row aggregate and resolve its
+    /// exclusive per-row prefix by decoupled look-back over **this
+    /// segment's tiles only**. `t` is segment-local; it must correspond to
+    /// global ticket `tile_base(seg) + t` claimed via the launch's shared
+    /// ticket counter (see the type docs on deadlock freedom).
+    pub fn resolve_rows(&self, w: &WarpCtx, seg: usize, t: usize, aggregate: &[u32]) -> Vec<u32> {
+        let sw = self.segs[seg];
+        assert!(t < sw.tiles, "tile {t} out of segment {seg}'s range");
+        resolve_rows_at(
+            &self.state,
+            sw.word_base,
+            sw.tile_base,
+            sw.rows,
+            w,
+            t,
+            aggregate,
+        )
+    }
+
+    /// Host-side read of one row's grand total within segment `seg` (its
+    /// last tile's inclusive value). Only valid after the kernel
+    /// completed; segments with zero tiles have total 0 by construction.
+    pub fn total(&self, seg: usize, row: usize) -> u32 {
+        let sw = self.segs[seg];
+        assert!(row < sw.rows);
+        if sw.tiles == 0 {
+            return 0;
+        }
+        let (value, flag) = unpack(
+            self.state
+                .get(sw.word_base + (sw.tiles - 1) * sw.rows + row),
+        );
+        debug_assert_eq!(
+            flag, FLAG_INCLUSIVE,
+            "last tile must have resolved its inclusive prefix"
+        );
+        value
+    }
+
+    /// Host-side read of every row's grand total within segment `seg`.
+    pub fn row_totals(&self, seg: usize) -> Vec<u32> {
+        (0..self.segs[seg].rows)
+            .map(|r| self.total(seg, r))
+            .collect()
     }
 }
 
@@ -640,5 +842,110 @@ mod tests {
             resolves.push(obs.lookback_resolves);
         }
         assert_eq!(resolves[0], resolves[1]);
+    }
+
+    /// Heterogeneous segments (different tile counts *and* row counts,
+    /// including an empty segment and a multi-group record) resolve
+    /// against per-segment host references inside one launch, on the
+    /// parallel, sequential, and an adversarial executor.
+    #[test]
+    fn segmented_windows_match_per_segment_reference() {
+        let parts: [(usize, usize); 5] = [(5, 3), (0, 4), (1, 1), (13, 70), (7, 32)];
+        let agg = |s: usize, t: usize, r: usize| ((s * 37 + t * 31 + r * 7) % 13 + 1) as u32;
+        // Global ticket -> (segment, local tile).
+        let mut map = Vec::new();
+        for (s, &(tiles, _)) in parts.iter().enumerate() {
+            for t in 0..tiles {
+                map.push((s, t));
+            }
+        }
+        for dev in [
+            Device::new(K40C),
+            Device::sequential(K40C),
+            Device::adversarial(K40C, simt::AdvSchedule::from_seed(7)),
+        ] {
+            let states = SegmentedTileStates::new(&parts);
+            assert_eq!(states.total_tiles(), map.len());
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            dev.launch("lookback-segmented", states.total_tiles(), 1, |blk| {
+                let w = blk.warp(0);
+                let g = w.device_fetch_add(&ticket, 0, 1) as usize;
+                let (s, t) = map[g];
+                let rows = states.rows(s);
+                let a: Vec<u32> = (0..rows).map(|r| agg(s, t, r)).collect();
+                let prefix = states.resolve_rows(&w, s, t, &a);
+                for (r, &p) in prefix.iter().enumerate() {
+                    let expect: u32 = (0..t).map(|q| agg(s, q, r)).sum();
+                    assert_eq!(p, expect, "seg {s} tile {t} row {r}");
+                }
+            });
+            for (s, &(tiles, rows)) in parts.iter().enumerate() {
+                for r in 0..rows {
+                    let expect: u32 = (0..tiles).map(|q| agg(s, q, r)).sum();
+                    assert_eq!(states.total(s, r), expect, "seg {s} grand total row {r}");
+                }
+            }
+        }
+    }
+
+    /// The partitioning contract the serve front-end's sector acceptance
+    /// leans on: one segmented launch bills exactly the sum of the
+    /// per-segment [`TileStates`] launches it replaces, and the billing
+    /// is schedule-independent.
+    #[test]
+    fn segmented_billing_equals_sum_of_per_segment_launches() {
+        let parts: [(usize, usize); 4] = [(9, 5), (4, 40), (1, 1), (20, 32)];
+        let agg = |s: usize, t: usize, r: usize| ((s * 11 + t * 3 + r) % 17) as u32;
+        let mut map = Vec::new();
+        for (s, &(tiles, _)) in parts.iter().enumerate() {
+            for t in 0..tiles {
+                map.push((s, t));
+            }
+        }
+        let fold = |dev: &Device| {
+            dev.records()
+                .iter()
+                .fold(simt::BlockStats::default(), |mut a, r| {
+                    a += r.stats;
+                    a
+                })
+        };
+        let mut seg_stats = Vec::new();
+        for dev in [Device::new(K40C), Device::sequential(K40C)] {
+            let states = SegmentedTileStates::new(&parts);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            dev.launch("lookback-seg-billing", states.total_tiles(), 1, |blk| {
+                let w = blk.warp(0);
+                let g = w.device_fetch_add(&ticket, 0, 1) as usize;
+                let (s, t) = map[g];
+                let a: Vec<u32> = (0..states.rows(s)).map(|r| agg(s, t, r)).collect();
+                states.resolve_rows(&w, s, t, &a);
+            });
+            seg_stats.push(fold(&dev));
+        }
+        assert_eq!(
+            seg_stats[0], seg_stats[1],
+            "segmented look-back billing must be schedule-independent"
+        );
+        // Per-segment reference: one TileStates launch per segment.
+        let dev = Device::sequential(K40C);
+        for (s, &(tiles, rows)) in parts.iter().enumerate() {
+            if tiles == 0 {
+                continue;
+            }
+            let states = TileStates::new(tiles, rows);
+            let ticket = simt::GlobalBuffer::<u32>::zeroed(1);
+            dev.launch("lookback-one-segment", tiles, 1, |blk| {
+                let w = blk.warp(0);
+                let t = w.device_fetch_add(&ticket, 0, 1) as usize;
+                let a: Vec<u32> = (0..rows).map(|r| agg(s, t, r)).collect();
+                states.resolve_rows(&w, t, &a);
+            });
+        }
+        assert_eq!(
+            seg_stats[1],
+            fold(&dev),
+            "segmented launch must bill the sum of the per-segment launches"
+        );
     }
 }

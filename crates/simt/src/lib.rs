@@ -57,6 +57,7 @@ pub mod json;
 pub mod lanes;
 pub mod memory;
 pub mod obs;
+pub mod pool;
 pub mod profile;
 pub mod sched;
 pub mod shared;
@@ -80,6 +81,7 @@ pub use obs::{
     launch_report, scope_tree, telemetry, with_telemetry, LaunchReport, MetricsSink, ObsCells,
     ObsStats, ScopeNode, Telemetry,
 };
+pub use pool::{BufferPool, PooledBuffer};
 pub use profile::{DeviceProfile, GTX750TI, K40C};
 pub use sched::{AdvFlavor, AdvSchedule, Schedule, ADV_WORKERS, DEFAULT_SPIN_BUDGET};
 pub use shared::{padded_index, padded_len, SharedBuf, SMEM_BANKS};
