@@ -2147,11 +2147,13 @@ fn check_cmd(opts: &Opts) {
     let onesweep_current = metrics::onesweep_sector_baseline_current(n, m);
     let sort_current = metrics::sort_sector_baseline_current(n, m);
     let serve_current = metrics::serve_sector_baseline_current();
+    let serve_overlap_current = metrics::serve_overlap_baseline_current();
     if let Json::Obj(fields) = &mut current {
         fields.push(("largem".into(), largem_current.clone()));
         fields.push(("onesweep".into(), onesweep_current.clone()));
         fields.push(("sort".into(), sort_current.clone()));
         fields.push(("serve".into(), serve_current.clone()));
+        fields.push(("serve_overlap".into(), serve_overlap_current.clone()));
     }
     if opts.update {
         if let Some(parent) = path.parent() {
@@ -2212,6 +2214,17 @@ fn check_cmd(opts: &Opts) {
         }
         None => failures
             .push("baseline has no `serve` section; refresh with `paper check --update`".into()),
+    }
+    match baseline.get("serve_overlap") {
+        Some(overlap_base) => {
+            match metrics::sector_baseline_compare(&serve_overlap_current, overlap_base, 0.02) {
+                Ok(ns) => notes.extend(ns.into_iter().map(|s| format!("serve_overlap: {s}"))),
+                Err(fs) => failures.extend(fs.into_iter().map(|s| format!("serve_overlap: {s}"))),
+            }
+        }
+        None => failures.push(
+            "baseline has no `serve_overlap` section; refresh with `paper check --update`".into(),
+        ),
     }
     if failures.is_empty() {
         for note in &notes {
@@ -2354,6 +2367,7 @@ fn serve_cmd(args: &[String]) {
             "--m" => cfg.m_max = num(&mut it, "--m") as u32,
             "--devices" => cfg.devices = (num(&mut it, "--devices") as usize).max(1),
             "--batch" => cfg.batch = (num(&mut it, "--batch") as usize).max(1),
+            "--streams" => cfg.streams = (num(&mut it, "--streams") as usize).max(1),
             "--seed" => cfg.seed = num(&mut it, "--seed"),
             "--no-verify" => cfg.verify = false,
             "--json" => json = Some(it.next().expect("--json needs a path").clone()),
@@ -2457,7 +2471,7 @@ fn main() {
         _ => {
             eprintln!("usage: paper <table1|table3|table4|table5|table6|fig2|fig3|fig4|fig5|light|sssp|randomized|ablate|scan|fused|largem|onesweep|sort|sorttune|profile|trace|check|fuzz|serve|all> [--n LOG2] [--full] [--no-verify] [--trials K] [--json PATH] [--snapshot NAME] [--update]");
             eprintln!("       paper fuzz [--iters K] [--seed S] [--replay TOKEN]");
-            eprintln!("       paper serve [--requests K] [--n N] [--m M] [--devices D] [--batch B] [--seed S] [--no-verify] [--json PATH] [--snapshot NAME]");
+            eprintln!("       paper serve [--requests K] [--n N] [--m M] [--devices D] [--batch B] [--streams S] [--seed S] [--no-verify] [--json PATH] [--snapshot NAME]");
             std::process::exit(2);
         }
     }

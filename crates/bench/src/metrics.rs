@@ -346,6 +346,65 @@ pub fn serve_sector_baseline_current() -> Json {
     ])
 }
 
+/// The overlapped-serve companion, stored under the `"serve_overlap"`
+/// key of the committed baseline: the modeled concurrency numbers of the
+/// same fixed config run with 2 streams per device. Every metric is
+/// encoded so that *growth is a regression*, letting
+/// [`sector_baseline_compare`] gate it unchanged: makespan and
+/// serialized walls in nanoseconds, and *idle* (not utilization) in
+/// basis points. A lost overlap shows up as makespan growing toward the
+/// serialized wall; a scheduling pessimization shows up directly.
+pub fn serve_overlap_baseline_current() -> Json {
+    // Each device gets 32 requests in 8 batches of 4, so each of its 2
+    // streams carries 4 launch pairs. A batch's grids run one block per
+    // segment — 4 of the K40C's 15 SMs — so the two streams' launches
+    // genuinely pack (4/15 + 4/15 < 1): the overlap the makespan metric
+    // gates. (At batch = 8 each launch would occupy 8/15 and two could
+    // never co-run.)
+    let cfg = crate::serve::ServeConfig {
+        requests: 64,
+        n: 128,
+        m_max: 16,
+        devices: 2,
+        batch: 4,
+        streams: 2,
+        seed: PROFILE_SEED,
+        verify: true,
+        ..Default::default()
+    };
+    let report = crate::serve::run_serve(&cfg);
+    assert!(
+        report.overlapped.wall_s < report.serialized_wall_s,
+        "overlapped serve must beat the serialized order (makespan {} vs {})",
+        report.overlapped.wall_s,
+        report.serialized_wall_s
+    );
+    let metric = |name: &str, v: u64| {
+        Json::Obj(vec![
+            ("contender".into(), Json::Str(name.into())),
+            ("total_sectors".into(), Json::int(v)),
+            ("stages".into(), Json::Arr(Vec::new())),
+        ])
+    };
+    let ns = |s: f64| (s * 1e9).round() as u64;
+    Json::Obj(vec![
+        ("n".into(), Json::int(cfg.n as u64)),
+        ("m".into(), Json::int(cfg.m_max as u64)),
+        ("seed".into(), Json::int(PROFILE_SEED)),
+        (
+            "contenders".into(),
+            Json::Arr(vec![
+                metric("serve-overlap-makespan-ns", ns(report.overlapped.wall_s)),
+                metric("serve-overlap-serialized-ns", ns(report.serialized_wall_s)),
+                metric(
+                    "serve-overlap-idle-bp",
+                    ((1.0 - report.utilization) * 1e4).round() as u64,
+                ),
+            ]),
+        ),
+    ])
+}
+
 fn sector_baseline_for(contenders: &[(Contender, &'static str)], n: usize, m: u32) -> Json {
     let contenders = profile_data_for(contenders, n, m, false)
         .iter()

@@ -13,7 +13,14 @@
 //!   [`multisplit_segmented_into`] launch pair over a pooled arena
 //!   ([`simt::BufferPool`] — no per-request allocation; segments are
 //!   packed at sector-aligned offsets so coalescing costs no extra
-//!   DRAM traffic).
+//!   DRAM traffic);
+//! * **overlapped** — the coalesced batches additionally spread across
+//!   `cfg.streams` concurrent [`simt::Stream`]s per device (one
+//!   [`Device::concurrent`] session, one arena pool per stream), so
+//!   launch pairs whose grids underfill the device overlap. Wall time
+//!   is the device's modeled **makespan** (occupancy-packed, per-stream
+//!   FIFO — see `simt::Device::makespan`), strictly below the
+//!   serialized launch-sum whenever any launch leaves SMs idle.
 //!
 //! All requests arrive at t = 0; a request's modeled latency is its
 //! device's cumulative [`Device::total_seconds`] when the launch (or
@@ -41,6 +48,8 @@ pub struct ServeConfig {
     pub devices: usize,
     /// Max requests coalesced into one segmented launch.
     pub batch: usize,
+    /// Concurrent streams per device for the overlapped executor.
+    pub streams: usize,
     /// Seed for request generation (keys and per-request `m`).
     pub seed: u64,
     pub profile: DeviceProfile,
@@ -58,6 +67,7 @@ impl Default for ServeConfig {
             m_max: 32,
             devices: 4,
             batch: 256,
+            streams: 2,
             seed: 9000,
             profile: K40C,
             wpb: 8,
@@ -100,10 +110,23 @@ pub struct ExecStats {
 pub struct ServeReport {
     pub naive: ExecStats,
     pub coalesced: ExecStats,
+    /// The coalesced batches re-run across `cfg.streams` concurrent
+    /// streams per device (wall is the modeled makespan).
+    pub overlapped: ExecStats,
     /// `naive.wall_s / coalesced.wall_s` (the ≥ 5x acceptance number).
     pub speedup: f64,
     /// `coalesced.total_sectors / naive.total_sectors` (must stay ≤ 1.05).
     pub sector_ratio: f64,
+    /// Serialized launch-sum wall of the overlapped run (what the same
+    /// launches would cost back-to-back on one stream; the busiest
+    /// device, like every wall here).
+    pub serialized_wall_s: f64,
+    /// `serialized_wall_s / overlapped.wall_s` — > 1 whenever streams
+    /// genuinely overlap (the acceptance gate wants strictly > 1).
+    pub overlap_speedup: f64,
+    /// Modeled SM utilization of the overlapped timeline, averaged over
+    /// devices weighted by busy time.
+    pub utilization: f64,
     /// Arena allocations vs shelf reuses across every device's pool.
     pub pool_allocs: u64,
     pub pool_reuses: u64,
@@ -212,6 +235,73 @@ fn run_naive(cfg: &ServeConfig, reqs: &[Request]) -> (ExecStats, Vec<Answer>) {
     (exec_stats(&devs, latencies), answers)
 }
 
+/// Pack one batch's segments into a pooled arena and run them as a
+/// single segmented launch pair, returning each request's answer in
+/// batch order. Shared by the coalesced and overlapped executors.
+///
+/// Segments are packed at sector-aligned (8-word) offsets: a misaligned
+/// segment would make every warp-wide access straddle two sectors and
+/// show up as ~20% extra traffic against the standalone baseline.
+fn run_batch(
+    cfg: &ServeConfig,
+    reqs: &[Request],
+    dev: &Device,
+    pool: &BufferPool,
+    batch: &[usize],
+) -> Vec<Answer> {
+    let mut seg_off = Vec::with_capacity(batch.len());
+    let mut flat_len = 0usize;
+    for &i in batch {
+        seg_off.push(flat_len);
+        flat_len += reqs[i].keys.len();
+        flat_len = (flat_len + 7) & !7;
+    }
+    // Provision for a full batch even when the tail batch is short, so
+    // every checkout hits the same pool size class and the arena is
+    // reused instead of re-allocated.
+    let arena_len = (cfg.batch * ((cfg.n + 7) & !7)).max(flat_len).max(1);
+    let arena_in = pool.acquire(arena_len);
+    let arena_out = pool.acquire(arena_len);
+    for (&i, &off) in batch.iter().zip(&seg_off) {
+        for (j, &k) in reqs[i].keys.iter().enumerate() {
+            arena_in.set(off + j, k);
+        }
+    }
+    let buckets: Vec<RangeBuckets> = batch
+        .iter()
+        .map(|&i| RangeBuckets::new(reqs[i].m))
+        .collect();
+    let specs: Vec<SegmentSpec> = batch
+        .iter()
+        .zip(&seg_off)
+        .zip(&buckets)
+        .map(|((&i, &offset), bucket)| SegmentSpec {
+            offset,
+            n: reqs[i].keys.len(),
+            bucket,
+        })
+        .collect();
+    let offsets = multisplit_segmented_into(
+        dev,
+        &arena_in,
+        no_values(),
+        &specs,
+        cfg.wpb,
+        &arena_out,
+        None,
+    );
+    let flat = arena_out.to_vec();
+    batch
+        .iter()
+        .zip(&seg_off)
+        .zip(offsets)
+        .map(|((&i, &off), o)| Answer {
+            keys: flat[off..off + reqs[i].keys.len()].to_vec(),
+            offsets: o,
+        })
+        .collect()
+}
+
 /// The coalescing executor: each device's shard runs in batches of
 /// `cfg.batch`, one segmented launch pair per batch, over a pooled arena.
 fn run_coalesced(cfg: &ServeConfig, reqs: &[Request]) -> (ExecStats, Vec<Answer>, (u64, u64)) {
@@ -223,59 +313,11 @@ fn run_coalesced(cfg: &ServeConfig, reqs: &[Request]) -> (ExecStats, Vec<Answer>
         let dev = &devs[d];
         let pool = &pools[d];
         for batch in shard.chunks(cfg.batch.max(1)) {
-            // Pack the batch's segments at sector-aligned (8-word)
-            // offsets: a misaligned segment would make every warp-wide
-            // access straddle two sectors and show up as ~20% extra
-            // traffic against the standalone baseline.
-            let mut seg_off = Vec::with_capacity(batch.len());
-            let mut flat_len = 0usize;
-            for &i in batch {
-                seg_off.push(flat_len);
-                flat_len += reqs[i].keys.len();
-                flat_len = (flat_len + 7) & !7;
-            }
-            // Provision for a full batch even when the tail batch is
-            // short, so every checkout hits the same pool size class and
-            // the arena is reused instead of re-allocated.
-            let arena_len = (cfg.batch * ((cfg.n + 7) & !7)).max(flat_len).max(1);
-            let arena_in = pool.acquire(arena_len);
-            let arena_out = pool.acquire(arena_len);
-            for (&i, &off) in batch.iter().zip(&seg_off) {
-                for (j, &k) in reqs[i].keys.iter().enumerate() {
-                    arena_in.set(off + j, k);
-                }
-            }
-            let buckets: Vec<RangeBuckets> = batch
-                .iter()
-                .map(|&i| RangeBuckets::new(reqs[i].m))
-                .collect();
-            let specs: Vec<SegmentSpec> = batch
-                .iter()
-                .zip(&seg_off)
-                .zip(&buckets)
-                .map(|((&i, &offset), bucket)| SegmentSpec {
-                    offset,
-                    n: reqs[i].keys.len(),
-                    bucket,
-                })
-                .collect();
-            let offsets = multisplit_segmented_into(
-                dev,
-                &arena_in,
-                no_values(),
-                &specs,
-                cfg.wpb,
-                &arena_out,
-                None,
-            );
+            let batch_answers = run_batch(cfg, reqs, dev, pool, batch);
             let done = dev.total_seconds();
-            let flat = arena_out.to_vec();
-            for ((&i, &off), o) in batch.iter().zip(&seg_off).zip(offsets) {
+            for (&i, a) in batch.iter().zip(batch_answers) {
                 latencies[i] = done;
-                answers[i] = Some(Answer {
-                    keys: flat[off..off + reqs[i].keys.len()].to_vec(),
-                    offsets: o,
-                });
+                answers[i] = Some(a);
             }
         }
     }
@@ -283,6 +325,104 @@ fn run_coalesced(cfg: &ServeConfig, reqs: &[Request]) -> (ExecStats, Vec<Answer>
     let reuses = pools.iter().map(BufferPool::reuses).sum();
     let answers = answers.into_iter().map(Option::unwrap).collect();
     (exec_stats(&devs, latencies), answers, (allocs, reuses))
+}
+
+/// Aggregate overlap numbers of the overlapped executor.
+struct OverlapAgg {
+    /// Busiest device's serialized launch-sum (the overlapped run's own
+    /// launches played back-to-back on one stream).
+    serialized_wall_s: f64,
+    /// Busy-time-weighted mean SM utilization across devices.
+    utilization: f64,
+    pool_allocs: u64,
+    pool_reuses: u64,
+}
+
+/// The overlapped executor: the coalesced batches additionally spread
+/// round-robin across `cfg.streams` concurrent streams per device (one
+/// [`Device::concurrent`] session per device, one arena pool per
+/// stream). Wall time and per-request latency come from the modeled
+/// makespan timeline (per-stream FIFO + occupancy packing), so launch
+/// pairs that underfill the device genuinely overlap.
+fn run_overlapped(cfg: &ServeConfig, reqs: &[Request]) -> (ExecStats, Vec<Answer>, OverlapAgg) {
+    let streams = cfg.streams.max(1);
+    let devs = fresh_devices(cfg);
+    let mut latencies = vec![0.0; reqs.len()];
+    let mut answers: Vec<Option<Answer>> = reqs.iter().map(|_| None).collect();
+    let mut agg = OverlapAgg {
+        serialized_wall_s: 0.0,
+        utilization: 0.0,
+        pool_allocs: 0,
+        pool_reuses: 0,
+    };
+    let mut busy_total = 0.0f64;
+    let mut makespan_total = 0.0f64;
+    for (d, shard) in shards(reqs.len(), cfg.devices).iter().enumerate() {
+        let dev = &devs[d];
+        // Round-robin batches across the device's streams, keeping
+        // arrival order within each stream (streams are FIFO).
+        let mut lanes: Vec<Vec<&[usize]>> = vec![Vec::new(); streams];
+        for (k, batch) in shard.chunks(cfg.batch.max(1)).enumerate() {
+            lanes[k % streams].push(batch);
+        }
+        type LaneOut = (u64, u64, Vec<(u32, Vec<Answer>)>);
+        let tasks: Vec<simt::StreamTask<LaneOut>> = lanes
+            .iter()
+            .map(|lane| {
+                let lane = lane.clone();
+                Box::new(move |s: &simt::Stream| {
+                    let pool = BufferPool::new();
+                    let mut done = Vec::with_capacity(lane.len());
+                    for batch in lane {
+                        let batch_answers = run_batch(cfg, reqs, dev, &pool, batch);
+                        // The batch completes when its last launch
+                        // (stream-FIFO) retires.
+                        done.push((s.launches().saturating_sub(1), batch_answers));
+                    }
+                    (pool.allocs(), pool.reuses(), done)
+                }) as simt::StreamTask<LaneOut>
+            })
+            .collect();
+        let outs = dev.concurrent(tasks);
+        // (stream, seq) -> modeled finish time on the overlapped
+        // timeline (the same simulation `makespan()` summarizes).
+        let ends: std::collections::HashMap<(u32, u32), f64> = dev
+            .completion_times()
+            .into_iter()
+            .map(|(s, q, t)| ((s, q), t))
+            .collect();
+        for (six, (lane, (allocs, reuses, done))) in lanes.iter().zip(outs).enumerate() {
+            agg.pool_allocs += allocs;
+            agg.pool_reuses += reuses;
+            for (batch, (last_seq, batch_answers)) in lane.iter().zip(done) {
+                let t = ends.get(&(six as u32, last_seq)).copied().unwrap_or(0.0);
+                for (&i, a) in batch.iter().zip(batch_answers) {
+                    latencies[i] = t;
+                    answers[i] = Some(a);
+                }
+            }
+        }
+        agg.serialized_wall_s = agg.serialized_wall_s.max(dev.total_seconds());
+        let makespan = dev.makespan();
+        busy_total += dev.utilization() * makespan;
+        makespan_total += makespan;
+    }
+    agg.utilization = if makespan_total > 0.0 {
+        busy_total / makespan_total
+    } else {
+        0.0
+    };
+    let answers: Vec<Answer> = answers.into_iter().map(Option::unwrap).collect();
+    let mut stats = exec_stats(&devs, latencies);
+    // Wall is the modeled makespan of the busiest device, not the
+    // serialized launch-sum exec_stats derives from total_seconds.
+    stats.wall_s = devs.iter().map(Device::makespan).fold(0.0, f64::max);
+    stats.requests_per_s = if stats.wall_s > 0.0 {
+        reqs.len() as f64 / stats.wall_s
+    } else {
+        0.0
+    };
+    (stats, answers, agg)
 }
 
 /// Run both executors over the same deterministic request set and
@@ -293,14 +433,28 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
     let reqs = gen_requests(cfg);
     let (naive, naive_answers) = run_naive(cfg, &reqs);
     let (coalesced, coalesced_answers, (pool_allocs, pool_reuses)) = run_coalesced(cfg, &reqs);
+    let (overlapped, overlapped_answers, agg) = run_overlapped(cfg, &reqs);
     let mut verified = 0;
     if cfg.verify {
-        for (i, (a, b)) in naive_answers.iter().zip(&coalesced_answers).enumerate() {
+        for (i, ((a, b), c)) in naive_answers
+            .iter()
+            .zip(&coalesced_answers)
+            .zip(&overlapped_answers)
+            .enumerate()
+        {
             assert_eq!(
                 a.keys, b.keys,
                 "request {i}: coalesced keys diverge from the standalone Method::auto run"
             );
             assert_eq!(a.offsets, b.offsets, "request {i}: offsets diverge");
+            assert_eq!(
+                a.keys, c.keys,
+                "request {i}: overlapped keys diverge from the serialized order"
+            );
+            assert_eq!(
+                a.offsets, c.offsets,
+                "request {i}: overlapped offsets diverge"
+            );
             verified += 1;
         }
     }
@@ -315,10 +469,18 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
         } else {
             0.0
         },
+        serialized_wall_s: agg.serialized_wall_s,
+        overlap_speedup: if overlapped.wall_s > 0.0 {
+            agg.serialized_wall_s / overlapped.wall_s
+        } else {
+            0.0
+        },
+        utilization: agg.utilization,
         naive,
         coalesced,
-        pool_allocs,
-        pool_reuses,
+        overlapped,
+        pool_allocs: pool_allocs + agg.pool_allocs,
+        pool_reuses: pool_reuses + agg.pool_reuses,
         verified,
     }
 }
@@ -326,8 +488,15 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
 /// Console rendering of a report (the `paper serve` table).
 pub fn render(cfg: &ServeConfig, r: &ServeReport) -> String {
     let mut out = format!(
-        "serve: {} requests of n = {} (m <= {}), {} devices, batch = {}, seed {}, {}\n\n",
-        cfg.requests, cfg.n, cfg.m_max, cfg.devices, cfg.batch, cfg.seed, cfg.profile.name
+        "serve: {} requests of n = {} (m <= {}), {} devices, batch = {}, {} streams/device, seed {}, {}\n\n",
+        cfg.requests,
+        cfg.n,
+        cfg.m_max,
+        cfg.devices,
+        cfg.batch,
+        cfg.streams.max(1),
+        cfg.seed,
+        cfg.profile.name
     );
     let mut t = Table::new(&[
         "Executor",
@@ -338,7 +507,11 @@ pub fn render(cfg: &ServeConfig, r: &ServeReport) -> String {
         "p99 (us)",
         "DRAM sectors",
     ]);
-    for (name, e) in [("per-request", &r.naive), ("coalesced", &r.coalesced)] {
+    for (name, e) in [
+        ("per-request", &r.naive),
+        ("coalesced", &r.coalesced),
+        ("overlapped", &r.overlapped),
+    ] {
         t.row(vec![
             name.into(),
             e.launches.to_string(),
@@ -352,8 +525,16 @@ pub fn render(cfg: &ServeConfig, r: &ServeReport) -> String {
     out.push_str(&t.render());
     out.push_str(&format!(
         "\nthroughput speedup {:.1}x; coalesced sectors / naive sectors = {:.4}\n\
-         arena: {} allocations, {} pooled reuses\n",
-        r.speedup, r.sector_ratio, r.pool_allocs, r.pool_reuses
+         arena: {} allocations, {} pooled reuses\n\
+         overlap: makespan {:.3} ms vs serialized {:.3} ms -> {:.2}x, modeled utilization {:.0}%\n",
+        r.speedup,
+        r.sector_ratio,
+        r.pool_allocs,
+        r.pool_reuses,
+        r.overlapped.wall_s * 1e3,
+        r.serialized_wall_s * 1e3,
+        r.overlap_speedup,
+        r.utilization * 100.0
     ));
     if cfg.verify {
         out.push_str(&format!(
@@ -397,12 +578,17 @@ pub fn report_json(cfg: &ServeConfig, r: &ServeReport) -> Json {
         ("m_max".into(), Json::int(cfg.m_max as u64)),
         ("devices".into(), Json::int(cfg.devices as u64)),
         ("batch".into(), Json::int(cfg.batch as u64)),
+        ("streams".into(), Json::int(cfg.streams.max(1) as u64)),
         ("seed".into(), Json::int(cfg.seed)),
         ("device".into(), Json::Str(cfg.profile.name.into())),
         ("naive".into(), exec_json(&r.naive)),
         ("coalesced".into(), exec_json(&r.coalesced)),
+        ("overlapped".into(), exec_json(&r.overlapped)),
         ("speedup".into(), Json::Num(r.speedup)),
         ("sector_ratio".into(), Json::Num(r.sector_ratio)),
+        ("serialized_wall_s".into(), Json::Num(r.serialized_wall_s)),
+        ("overlap_speedup".into(), Json::Num(r.overlap_speedup)),
+        ("utilization".into(), Json::Num(r.utilization)),
         ("pool_allocs".into(), Json::int(r.pool_allocs)),
         ("pool_reuses".into(), Json::int(r.pool_reuses)),
         ("verified".into(), Json::int(r.verified as u64)),
@@ -420,6 +606,7 @@ mod tests {
             m_max: 8,
             devices: 2,
             batch: 8,
+            streams: 2,
             seed: 42,
             profile: K40C,
             wpb: 8,
@@ -447,9 +634,56 @@ mod tests {
             r.sector_ratio
         );
         // The arena really pools: each device allocates its in/out pair
-        // once (same size class) and reuses it for later batches.
+        // once per pool (the coalesced pool plus one per overlapped
+        // stream, same size class) and reuses it for later batches.
         assert!(r.pool_reuses > 0, "later batches must reuse the arena");
-        assert!(r.pool_allocs <= 2 * cfg.devices as u64 + 2);
+        assert!(r.pool_allocs <= 2 * (cfg.devices * (1 + cfg.streams)) as u64 + 2);
+    }
+
+    #[test]
+    fn overlapped_streams_beat_the_serialized_order_and_stay_bit_identical() {
+        let cfg = small();
+        let r = run_serve(&cfg);
+        // Same launches as the coalesced executor, just spread over
+        // streams — and every answer already bit-checked in run_serve.
+        assert_eq!(r.overlapped.launches, r.coalesced.launches);
+        assert_eq!(r.verified, cfg.requests);
+        // The acceptance gate: modeled makespan strictly below the
+        // serialized launch-sum of the very same launches.
+        assert!(
+            r.overlapped.wall_s < r.serialized_wall_s,
+            "overlap must shorten the wall: makespan {} vs serialized {}",
+            r.overlapped.wall_s,
+            r.serialized_wall_s
+        );
+        assert!(
+            r.overlap_speedup > 1.0,
+            "overlap speedup must be strictly > 1 (got {:.3})",
+            r.overlap_speedup
+        );
+        assert!(
+            r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9,
+            "utilization is a fraction (got {})",
+            r.utilization
+        );
+        // One arena pair per (device, stream), reused across batches.
+        assert!(r.pool_allocs <= 2 * (cfg.devices * (1 + cfg.streams)) as u64 + 2);
+    }
+
+    #[test]
+    fn a_single_stream_session_cannot_overlap() {
+        let cfg = ServeConfig {
+            streams: 1,
+            ..small()
+        };
+        let r = run_serve(&cfg);
+        assert!(
+            (r.overlapped.wall_s - r.serialized_wall_s).abs() <= 1e-12 * r.serialized_wall_s,
+            "one stream is FIFO-serialized: {} vs {}",
+            r.overlapped.wall_s,
+            r.serialized_wall_s
+        );
+        assert!((r.overlap_speedup - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Differential fuzz harness for the multisplit stack.
 //!
-//! Three case families share one generator rotation ([`gen_any_case`]):
+//! Four case families share one generator rotation ([`gen_any_case`]):
 //!
 //! * [`FuzzCase`] — a seeded `(n, m, method, key distribution, schedule)`
 //!   multisplit tuple, checked against the stable CPU reference.
@@ -13,6 +13,15 @@
 //!   checked segment-by-segment against the CPU reference; its shrinker
 //!   additionally drops whole segments, so reproducers name the minimal
 //!   failing segment *set*. Replay tokens carry a `seg,` marker.
+//! * [`StreamCase`] — a seeded batch of 2–4 *concurrent* multisplit
+//!   launches of mixed methods and sizes, run as stream tasks of one
+//!   `Device::concurrent` session under the case's schedule (including
+//!   every adversarial flavor), checked task-by-task against the CPU
+//!   reference and bit-for-bit against the serialized (sequential
+//!   session) order, with per-stream launch logs compared by
+//!   `(stream, stream_seq)`. Its shrinker additionally drops whole
+//!   stream tasks, so reproducers name the minimal failing stream
+//!   *set*. Replay tokens carry a `stream,` marker.
 //!
 //! Each case executes three ways — the host reference, the simulated
 //! device under the case's schedule, and the same device sequentially —
@@ -41,7 +50,9 @@ use multisplit::{
     fused_max_buckets, max_buckets as large_m_max_buckets, multisplit_device, multisplit_kv_ref,
     multisplit_ref, multisplit_segmented, no_values, Method, RangeBuckets, SegmentSpec,
 };
-use simt::{AdvFlavor, AdvSchedule, Device, GlobalBuffer, LaunchRecord, Schedule, K40C};
+use simt::{
+    AdvFlavor, AdvSchedule, Device, GlobalBuffer, LaunchRecord, Schedule, Stream, StreamTask, K40C,
+};
 
 /// Upper bound on generated `n`: big enough for multi-tile grids (dozens
 /// of look-back tiles at every `wpb`), small enough that a 200-case run
@@ -1219,6 +1230,486 @@ pub fn gen_seg_case(seed: u64, ix: usize) -> SegCase {
     }
 }
 
+// =========================== stream case family ===========================
+
+/// Max concurrent stream tasks a generated [`StreamCase`] carries (the
+/// fixed-size arrays keep the case `Copy` for the shrinker). The ISSUE
+/// matrix wants 2–4 concurrent launches; 4 tasks already exercise every
+/// session-executor arbitration path.
+pub const MAX_STREAM_TASKS: usize = 4;
+
+/// Smallest legal `m` for a method (the large-m paths need `m > 32`).
+fn stream_min_m(method: Method) -> u32 {
+    match method {
+        Method::LargeM | Method::FusedLargeM => 33,
+        _ => 1,
+    }
+}
+
+/// Largest legal `m` for a method at the given block size.
+fn stream_max_m(method: Method, wpb: usize, kv: bool) -> u32 {
+    match method {
+        Method::LargeM => large_m_max_buckets(wpb, kv).min(MAX_LARGE_M),
+        Method::FusedLargeM => fused_max_buckets(wpb, kv).min(MAX_LARGE_M),
+        _ => 32,
+    }
+}
+
+/// One generated concurrent-streams differential case: `ntasks` (up to
+/// [`MAX_STREAM_TASKS`]) independent multisplit pipelines of *mixed
+/// methods and sizes* run as concurrent stream tasks of a single
+/// [`Device::concurrent`] session, under the case's schedule. The tasks
+/// touch disjoint tracked buffers, so the versioned-clock race detector
+/// is armed on every case and must stay silent — any cross-stream
+/// false positive surfaces as a panic divergence with a replay token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCase {
+    pub ntasks: usize,
+    /// Per-task key counts (entries past `ntasks` are zero).
+    pub ns: [usize; MAX_STREAM_TASKS],
+    /// Per-task bucket counts (entries past `ntasks` are zero).
+    pub ms: [u32; MAX_STREAM_TASKS],
+    /// Per-task multisplit method (entries past `ntasks` are `Fused`).
+    pub methods: [Method; MAX_STREAM_TASKS],
+    pub kv: bool,
+    pub dist: KeyDist,
+    pub key_seed: u64,
+    pub wpb: usize,
+    pub sched: SchedSpec,
+}
+
+impl StreamCase {
+    /// The self-contained replay token (inverse of [`parse_replay`]).
+    /// Distinguished by the leading `stream` marker; per-task lists are
+    /// `+`-separated, mirroring the `seg,` family.
+    pub fn replay_token(&self) -> String {
+        let ns: Vec<String> = self.ns[..self.ntasks]
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        let ms: Vec<String> = self.ms[..self.ntasks]
+            .iter()
+            .map(|m| m.to_string())
+            .collect();
+        let methods: Vec<String> = self.methods[..self.ntasks]
+            .iter()
+            .map(|m| method_token(*m).to_string())
+            .collect();
+        format!(
+            "stream,ns={},ms={},methods={},kv={},dist={},keyseed={},wpb={},sched={}",
+            ns.join("+"),
+            ms.join("+"),
+            methods.join("+"),
+            self.kv as u32,
+            self.dist.token(),
+            self.key_seed,
+            self.wpb,
+            self.sched.token()
+        )
+    }
+
+    /// The one-line command a human (or CI) pastes to replay this case.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "cargo run --release -p ms-bench --bin paper -- fuzz --replay {}",
+            self.replay_token()
+        )
+    }
+}
+
+/// Parse the field list of a `stream,...` replay token.
+fn parse_stream_replay(s: &str) -> Result<StreamCase, String> {
+    fn list<T: std::str::FromStr>(v: &str, what: &str) -> Result<Vec<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        if v.is_empty() {
+            return Ok(Vec::new());
+        }
+        v.split('+')
+            .map(|p| p.parse::<T>().map_err(|e| format!("{what}: {e}")))
+            .collect()
+    }
+    let mut ns: Option<Vec<usize>> = None;
+    let mut ms: Option<Vec<u32>> = None;
+    let mut methods: Option<Vec<Method>> = None;
+    let mut kv = None;
+    let mut dist = None;
+    let mut key_seed = None;
+    let mut wpb = None;
+    let mut sched = None;
+    for part in s.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad replay field {part:?} (want k=v)"))?;
+        match k {
+            "ns" => ns = Some(list(v, "ns")?),
+            "ms" => ms = Some(list(v, "ms")?),
+            "methods" => {
+                let parsed: Result<Vec<Method>, String> = if v.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    v.split('+')
+                        .map(|t| {
+                            METHODS
+                                .iter()
+                                .find(|(_, tok)| *tok == t)
+                                .map(|(m, _)| *m)
+                                .ok_or_else(|| format!("unknown method {t:?}"))
+                        })
+                        .collect()
+                };
+                methods = Some(parsed?);
+            }
+            "kv" => kv = Some(v == "1"),
+            "dist" => {
+                dist = Some(
+                    KeyDist::ALL
+                        .into_iter()
+                        .find(|d| d.token() == v)
+                        .ok_or_else(|| format!("unknown dist {v:?}"))?,
+                )
+            }
+            "keyseed" => key_seed = Some(v.parse::<u64>().map_err(|e| format!("keyseed: {e}"))?),
+            "wpb" => wpb = Some(v.parse::<usize>().map_err(|e| format!("wpb: {e}"))?),
+            "sched" => {
+                sched = Some(match v {
+                    "seq" => SchedSpec::Sequential,
+                    "par" => SchedSpec::Parallel,
+                    adv => {
+                        let mut it = adv.split(':');
+                        let (Some("adv"), Some(seed), Some(flavor)) =
+                            (it.next(), it.next(), it.next())
+                        else {
+                            return Err(format!("unknown sched {v:?}"));
+                        };
+                        let seed = seed
+                            .parse::<u64>()
+                            .map_err(|e| format!("sched seed: {e}"))?;
+                        let flavor = AdvFlavor::ALL
+                            .into_iter()
+                            .find(|f| f.name() == flavor)
+                            .ok_or_else(|| format!("unknown flavor {flavor:?}"))?;
+                        SchedSpec::Adversarial { seed, flavor }
+                    }
+                })
+            }
+            other => return Err(format!("unknown stream replay field {other:?}")),
+        }
+    }
+    let ns_list = ns.ok_or("missing ns")?;
+    let ms_list = ms.ok_or("missing ms")?;
+    let method_list = methods.ok_or("missing methods")?;
+    if ns_list.len() != ms_list.len() || ns_list.len() != method_list.len() {
+        return Err(format!(
+            "ns/ms/methods lengths differ: {}/{}/{}",
+            ns_list.len(),
+            ms_list.len(),
+            method_list.len()
+        ));
+    }
+    if ns_list.is_empty() || ns_list.len() > MAX_STREAM_TASKS {
+        return Err(format!(
+            "between 1 and {MAX_STREAM_TASKS} stream tasks, got {}",
+            ns_list.len()
+        ));
+    }
+    let mut case = StreamCase {
+        ntasks: ns_list.len(),
+        ns: [0; MAX_STREAM_TASKS],
+        ms: [0; MAX_STREAM_TASKS],
+        methods: [Method::Fused; MAX_STREAM_TASKS],
+        kv: kv.ok_or("missing kv")?,
+        dist: dist.ok_or("missing dist")?,
+        key_seed: key_seed.ok_or("missing keyseed")?,
+        wpb: wpb.ok_or("missing wpb")?,
+        sched: sched.ok_or("missing sched")?,
+    };
+    case.ns[..case.ntasks].copy_from_slice(&ns_list);
+    case.ms[..case.ntasks].copy_from_slice(&ms_list);
+    case.methods[..case.ntasks].copy_from_slice(&method_list);
+    Ok(case)
+}
+
+/// Generate task `i`'s input keys (deterministic from `key_seed`).
+pub fn gen_stream_keys(case: &StreamCase, i: usize) -> Vec<u32> {
+    gen_keys_raw(
+        case.ns[i],
+        case.ms[i],
+        case.dist,
+        case.key_seed.wrapping_add(i as u64),
+    )
+}
+
+/// One stream task's outputs plus its per-stream launch log view.
+type StreamTaskOut = (Vec<u32>, Option<Vec<u32>>, Vec<u32>);
+
+struct StreamRun {
+    tasks: Vec<StreamTaskOut>,
+    /// Launch records sorted by `(stream, stream_seq)` — the
+    /// deterministic per-stream order (push order across concurrent
+    /// streams is not stable).
+    records: Vec<LaunchRecord>,
+}
+
+/// One full concurrent-session execution of the case under `sched`, with
+/// tracked (race-detected) input buffers on every task.
+fn stream_device_run(case: &StreamCase, sched: SchedSpec) -> Result<StreamRun, Divergence> {
+    let result = std::panic::catch_unwind(|| {
+        let dev = Device::with_schedule(K40C, sched.to_schedule());
+        let keybufs: Vec<GlobalBuffer<u32>> = (0..case.ntasks)
+            .map(|i| GlobalBuffer::from_slice(&gen_stream_keys(case, i)).tracked())
+            .collect();
+        let valbufs: Vec<Option<GlobalBuffer<u32>>> = (0..case.ntasks)
+            .map(|i| {
+                case.kv.then(|| {
+                    let values: Vec<u32> = (0..case.ns[i] as u32).collect();
+                    GlobalBuffer::from_slice(&values).tracked()
+                })
+            })
+            .collect();
+        let tasks: Vec<StreamTask<StreamTaskOut>> = (0..case.ntasks)
+            .map(|i| {
+                let dev = &dev;
+                let kbuf = &keybufs[i];
+                let vbuf = valbufs[i].as_ref();
+                Box::new(move |s: &Stream| {
+                    s.run(|| {
+                        let bucket = RangeBuckets::new(case.ms[i]);
+                        let out = multisplit_device(
+                            dev,
+                            case.methods[i],
+                            kbuf,
+                            vbuf,
+                            case.ns[i],
+                            &bucket,
+                            case.wpb,
+                        );
+                        (
+                            out.keys.to_vec(),
+                            out.values.as_ref().map(|v| v.to_vec()),
+                            out.offsets,
+                        )
+                    })
+                }) as StreamTask<StreamTaskOut>
+            })
+            .collect();
+        let outs = dev.concurrent(tasks);
+        let mut records = dev.records();
+        records.sort_by_key(|r| (r.stream, r.stream_seq));
+        StreamRun {
+            tasks: outs,
+            records,
+        }
+    });
+    result.map_err(panic_divergence)
+}
+
+/// Execute one concurrent-streams case differentially: every task's
+/// output against its own CPU reference, then the whole session against
+/// the *serialized* anchor (the sequential session runs stream 0's task
+/// to completion before stream 1's — the reference order) comparing
+/// outputs and the per-stream launch logs keyed by `(stream,
+/// stream_seq)`.
+pub fn run_stream_case(case: &StreamCase) -> Result<(), Divergence> {
+    // 1. Per-task outputs vs the stable CPU reference.
+    let run = stream_device_run(case, case.sched)?;
+    for i in 0..case.ntasks {
+        let keys = gen_stream_keys(case, i);
+        let bucket = RangeBuckets::new(case.ms[i]);
+        let values: Vec<u32> = (0..case.ns[i] as u32).collect();
+        let (ref_keys, ref_values, ref_offsets) = if case.kv {
+            multisplit_kv_ref(&keys, Some(&values), &bucket)
+        } else {
+            let (k, o) = multisplit_ref(&keys, &bucket);
+            (k, Vec::new(), o)
+        };
+        let (got_keys, got_values, got_offsets) = &run.tasks[i];
+        if let Some(j) = first_diff(got_keys, &ref_keys) {
+            return Err(Divergence::Output(format!(
+                "stream {i} keys[{j}]: device {:?} vs reference {:?}",
+                got_keys.get(j),
+                ref_keys.get(j)
+            )));
+        }
+        if got_offsets != &ref_offsets {
+            return Err(Divergence::Output(format!(
+                "stream {i} bucket offsets: device {:?} vs reference {:?}",
+                got_offsets, ref_offsets
+            )));
+        }
+        if case.kv {
+            let dv = got_values.as_deref().unwrap_or(&[]);
+            if let Some(j) = first_diff(dv, &ref_values) {
+                return Err(Divergence::Output(format!(
+                    "stream {i} values[{j}]: device {:?} vs reference {:?}",
+                    dv.get(j),
+                    ref_values.get(j)
+                )));
+            }
+        }
+    }
+
+    // 2. Bit-identical to the serialized order: outputs plus the
+    // per-stream launch logs against the sequential-session anchor.
+    if case.sched != SchedSpec::Sequential {
+        let base = stream_device_run(case, SchedSpec::Sequential)?;
+        if run.tasks != base.tasks {
+            return Err(Divergence::Output(format!(
+                "stream outputs differ between {} and the serialized order",
+                case.sched.token()
+            )));
+        }
+        let view = |r: &LaunchRecord| (r.stream, r.stream_seq, r.label.clone());
+        let run_view: Vec<_> = run.records.iter().map(view).collect();
+        let base_view: Vec<_> = base.records.iter().map(view).collect();
+        if run_view != base_view {
+            return Err(Divergence::Stats(format!(
+                "per-stream launch sequences differ: {run_view:?} vs {base_view:?}"
+            )));
+        }
+        for (a, b) in run.records.iter().zip(&base.records) {
+            if a.stats != b.stats {
+                return Err(Divergence::Stats(format!(
+                    "summed BlockStats differ for stream {} launch {} ({:?}): {:?} vs {:?}",
+                    a.stream, a.stream_seq, a.label, a.stats, b.stats
+                )));
+            }
+            if a.obs.lookback_resolves != b.obs.lookback_resolves {
+                return Err(Divergence::Obs(format!(
+                    "lookback_resolves differ for stream {} launch {} ({:?}): {} vs {}",
+                    a.stream,
+                    a.stream_seq,
+                    a.label,
+                    a.obs.lookback_resolves,
+                    b.obs.lookback_resolves
+                )));
+            }
+        }
+    }
+
+    // 3. Look-back introspection invariant on the scheduled run.
+    check_depth_hist(&run.records)
+}
+
+/// Greedily shrink a failing stream case. Beyond the per-field
+/// reductions, it *drops whole stream tasks* one at a time, so the
+/// fixpoint names the minimal failing stream set.
+pub fn shrink_stream(case: &StreamCase, still_fails: impl Fn(&StreamCase) -> bool) -> StreamCase {
+    fn drop_task(mut c: StreamCase, i: usize) -> StreamCase {
+        for j in i..c.ntasks - 1 {
+            c.ns[j] = c.ns[j + 1];
+            c.ms[j] = c.ms[j + 1];
+            c.methods[j] = c.methods[j + 1];
+        }
+        c.ntasks -= 1;
+        c.ns[c.ntasks] = 0;
+        c.ms[c.ntasks] = 0;
+        c.methods[c.ntasks] = Method::Fused;
+        c
+    }
+    let mut cur = *case;
+    loop {
+        let mut candidates: Vec<StreamCase> = Vec::new();
+        if cur.ntasks > 1 {
+            for i in 0..cur.ntasks {
+                candidates.push(drop_task(cur, i));
+            }
+        }
+        for i in 0..cur.ntasks {
+            for n in [cur.ns[i] / 2, cur.ns[i].saturating_sub(1)] {
+                if n < cur.ns[i] {
+                    let mut c = cur;
+                    c.ns[i] = n;
+                    candidates.push(c);
+                }
+            }
+            let min_m = stream_min_m(cur.methods[i]);
+            for m in [cur.ms[i] / 2, cur.ms[i].saturating_sub(1)] {
+                if m < cur.ms[i] && m >= min_m {
+                    let mut c = cur;
+                    c.ms[i] = m;
+                    candidates.push(c);
+                }
+            }
+        }
+        if cur.kv {
+            candidates.push(StreamCase { kv: false, ..cur });
+        }
+        if cur.dist != KeyDist::Uniform {
+            candidates.push(StreamCase {
+                dist: KeyDist::Uniform,
+                ..cur
+            });
+        }
+        match cur.sched {
+            SchedSpec::Adversarial { .. } => {
+                candidates.push(StreamCase {
+                    sched: SchedSpec::Parallel,
+                    ..cur
+                });
+                candidates.push(StreamCase {
+                    sched: SchedSpec::Sequential,
+                    ..cur
+                });
+            }
+            SchedSpec::Parallel => candidates.push(StreamCase {
+                sched: SchedSpec::Sequential,
+                ..cur
+            }),
+            SchedSpec::Sequential => {}
+        }
+        match candidates.into_iter().find(|c| still_fails(c)) {
+            Some(smaller) => cur = smaller,
+            None => return cur,
+        }
+    }
+}
+
+/// Deterministically generate stream case `ix` of a run seeded with
+/// `seed`: 2–4 tasks of mixed methods and sizes; kv and schedules rotate
+/// (12 consecutive indices cover the {key, kv} x 6-schedule matrix).
+pub fn gen_stream_case(seed: u64, ix: usize) -> StreamCase {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (ix as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    let kv = ix % 2 == 1;
+    let sched = sched_for(ix / 2, &mut rng);
+    let wpb = [2usize, 4, 8][(rng.next_u32() % 3) as usize];
+    let tile = wpb * 32;
+    let ntasks = 2 + (rng.next_u32() as usize) % (MAX_STREAM_TASKS - 1);
+    let mut ns = [0usize; MAX_STREAM_TASKS];
+    let mut ms = [0u32; MAX_STREAM_TASKS];
+    let mut methods = [Method::Fused; MAX_STREAM_TASKS];
+    for i in 0..ntasks {
+        let (method, _) = METHODS[(rng.next_u32() as usize) % METHODS.len()];
+        methods[i] = method;
+        ns[i] = match rng.next_u32() % 6 {
+            0 => 0,
+            1 => 1,
+            2 => tile,
+            3 => tile + 1,
+            4 => (rng.next_u32() as usize % 63) + 2,
+            _ => (rng.next_u32() as usize % (MAX_N / 4)) + 1,
+        };
+        let (lo, hi) = (stream_min_m(method), stream_max_m(method, wpb, kv));
+        ms[i] = match rng.next_u32() % 4 {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.next_u32() % (hi - lo + 1),
+        };
+    }
+    StreamCase {
+        ntasks,
+        ns,
+        ms,
+        methods,
+        kv,
+        dist: KeyDist::ALL[(rng.next_u32() % 4) as usize],
+        key_seed: rng.next_u64(),
+        wpb,
+        sched,
+    }
+}
+
 /// A case from any family, as produced by [`gen_any_case`] and
 /// [`parse_replay`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1226,6 +1717,7 @@ pub enum AnyCase {
     Split(FuzzCase),
     Sort(SortCase),
     Seg(SegCase),
+    Stream(StreamCase),
 }
 
 impl AnyCase {
@@ -1235,6 +1727,7 @@ impl AnyCase {
             AnyCase::Split(c) => c.replay_token(),
             AnyCase::Sort(c) => c.replay_token(),
             AnyCase::Seg(c) => c.replay_token(),
+            AnyCase::Stream(c) => c.replay_token(),
         }
     }
 
@@ -1244,13 +1737,15 @@ impl AnyCase {
             AnyCase::Split(c) => c.replay_command(),
             AnyCase::Sort(c) => c.replay_command(),
             AnyCase::Seg(c) => c.replay_command(),
+            AnyCase::Stream(c) => c.replay_command(),
         }
     }
 }
 
 /// Parse a replay token from any family: `sort,...` tokens come from
 /// [`SortCase::replay_token`], `seg,...` from [`SegCase::replay_token`],
-/// everything else from [`FuzzCase::replay_token`].
+/// `stream,...` from [`StreamCase::replay_token`], everything else from
+/// [`FuzzCase::replay_token`].
 pub fn parse_replay(s: &str) -> Result<AnyCase, String> {
     if let Some(rest) = s.strip_prefix("sort,") {
         return parse_sort_replay(rest).map(AnyCase::Sort);
@@ -1258,21 +1753,27 @@ pub fn parse_replay(s: &str) -> Result<AnyCase, String> {
     if let Some(rest) = s.strip_prefix("seg,") {
         return parse_seg_replay(rest).map(AnyCase::Seg);
     }
+    if let Some(rest) = s.strip_prefix("stream,") {
+        return parse_stream_replay(rest).map(AnyCase::Stream);
+    }
     parse_split_replay(s).map(AnyCase::Split)
 }
 
-/// Every 5th generated case is a sort case and every 5th (offset by two)
-/// a segmented case; the other three walk the multisplit matrix.
-/// Sub-indices stay dense in each family, so 140 consecutive indices
-/// cover the full 84-case multisplit rotation *and* the 12-case sort and
-/// segmented rotations (twice over).
+/// Every 7th generated case is a sort case (offset 4), every 7th a
+/// segmented case (offset 2), and every 7th a concurrent-streams case
+/// (offset 6); the other four walk the multisplit matrix. Sub-indices
+/// stay dense in each family, so 140 consecutive indices cover most of
+/// the 84-case multisplit rotation *and* the sort, segmented, and stream
+/// rotations (20 cases each — past the 12-index schedule matrices).
 pub fn gen_any_case(seed: u64, ix: usize) -> AnyCase {
-    if ix % 5 == 4 {
-        AnyCase::Sort(gen_sort_case(seed, ix / 5))
-    } else if ix % 5 == 2 {
-        AnyCase::Seg(gen_seg_case(seed, ix / 5))
+    if ix % 7 == 4 {
+        AnyCase::Sort(gen_sort_case(seed, ix / 7))
+    } else if ix % 7 == 2 {
+        AnyCase::Seg(gen_seg_case(seed, ix / 7))
+    } else if ix % 7 == 6 {
+        AnyCase::Stream(gen_stream_case(seed, ix / 7))
     } else {
-        AnyCase::Split(gen_case(seed, ix - ix / 5 - (ix + 3) / 5))
+        AnyCase::Split(gen_case(seed, ix - (ix + 4) / 7 - (ix + 2) / 7 - ix / 7))
     }
 }
 
@@ -1281,6 +1782,7 @@ fn run_any_with_fault(case: &AnyCase, fault: Option<Fault>) -> Result<(), Diverg
         AnyCase::Split(c) => run_case_with_fault(c, fault),
         AnyCase::Sort(c) => run_sort_case(c),
         AnyCase::Seg(c) => run_seg_case(c),
+        AnyCase::Stream(c) => run_stream_case(c),
     }
 }
 
@@ -1296,6 +1798,9 @@ pub fn shrink_any(case: &AnyCase, still_fails: impl Fn(&AnyCase) -> bool) -> Any
         AnyCase::Split(c) => AnyCase::Split(shrink(c, |s| still_fails(&AnyCase::Split(*s)))),
         AnyCase::Sort(c) => AnyCase::Sort(shrink_sort(c, |s| still_fails(&AnyCase::Sort(*s)))),
         AnyCase::Seg(c) => AnyCase::Seg(shrink_seg(c, |s| still_fails(&AnyCase::Seg(*s)))),
+        AnyCase::Stream(c) => {
+            AnyCase::Stream(shrink_stream(c, |s| still_fails(&AnyCase::Stream(*s))))
+        }
     }
 }
 
@@ -1572,6 +2077,7 @@ mod tests {
         let mut split = 0usize;
         let mut sort = 0usize;
         let mut seg = 0usize;
+        let mut stream = 0usize;
         for ix in 0..140 {
             match gen_any_case(7, ix) {
                 AnyCase::Split(c) => {
@@ -1587,9 +2093,13 @@ mod tests {
                     assert_eq!(c, gen_seg_case(7, seg));
                     seg += 1;
                 }
+                AnyCase::Stream(c) => {
+                    assert_eq!(c, gen_stream_case(7, stream));
+                    stream += 1;
+                }
             }
         }
-        assert_eq!((split, sort, seg), (84, 28, 28));
+        assert_eq!((split, sort, seg, stream), (80, 20, 20, 20));
     }
 
     #[test]
@@ -1859,6 +2369,163 @@ mod tests {
         case.ns[..5].copy_from_slice(&[700, 0, 1, 260, 513]);
         case.ms[..5].copy_from_slice(&[32, 8, 33, 128, 5]);
         assert!(run_seg_case(&case).is_ok(), "{:?}", run_seg_case(&case));
+    }
+
+    #[test]
+    fn stream_replay_token_round_trips() {
+        for ix in 0..24 {
+            let case = gen_stream_case(99, ix);
+            let token = case.replay_token();
+            assert!(token.starts_with("stream,"), "stream marker in {token}");
+            let parsed = parse_replay(&token).expect(&token);
+            assert_eq!(parsed, AnyCase::Stream(case), "token {token}");
+        }
+    }
+
+    #[test]
+    fn stream_replay_rejects_malformed_tokens() {
+        assert!(parse_replay("stream,ns=1").is_err(), "missing fields");
+        assert!(
+            parse_replay(
+                "stream,ns=1+2,ms=4,methods=fused+fused,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq"
+            )
+            .is_err(),
+            "list length mismatch"
+        );
+        assert!(
+            parse_replay(
+                "stream,ns=1+1+1+1+1,ms=1+1+1+1+1,methods=fused+fused+fused+fused+fused,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq"
+            )
+            .is_err(),
+            "too many stream tasks"
+        );
+        assert!(
+            parse_replay("stream,ns=,ms=,methods=,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq")
+                .is_err(),
+            "a session needs at least one stream task"
+        );
+        assert!(
+            parse_replay(
+                "stream,ns=1,ms=1,methods=bogus,kv=0,dist=uniform,keyseed=0,wpb=8,sched=seq"
+            )
+            .is_err(),
+            "unknown method"
+        );
+    }
+
+    #[test]
+    fn stream_generator_covers_its_matrix() {
+        let mut kvs = std::collections::HashSet::new();
+        let mut scheds = std::collections::HashSet::new();
+        let mut ntasks_seen = std::collections::HashSet::new();
+        let mut methods_seen = std::collections::HashSet::new();
+        for ix in 0..48 {
+            let c = gen_stream_case(5, ix);
+            kvs.insert(c.kv);
+            scheds.insert(match c.sched {
+                SchedSpec::Sequential => "seq".to_string(),
+                SchedSpec::Parallel => "par".to_string(),
+                SchedSpec::Adversarial { flavor, .. } => flavor.name().to_string(),
+            });
+            assert!((2..=MAX_STREAM_TASKS).contains(&c.ntasks), "{c:?}");
+            ntasks_seen.insert(c.ntasks);
+            for i in 0..c.ntasks {
+                assert!(c.ns[i] <= MAX_N / 4);
+                let (lo, hi) = (
+                    stream_min_m(c.methods[i]),
+                    stream_max_m(c.methods[i], c.wpb, c.kv),
+                );
+                assert!((lo..=hi).contains(&c.ms[i]), "{c:?}");
+                methods_seen.insert(method_token(c.methods[i]));
+            }
+            for i in c.ntasks..MAX_STREAM_TASKS {
+                assert_eq!((c.ns[i], c.ms[i]), (0, 0), "unused slots stay zero");
+                assert_eq!(c.methods[i], Method::Fused, "unused slots stay canonical");
+            }
+        }
+        assert_eq!(kvs.len(), 2);
+        assert_eq!(scheds.len(), 6, "{scheds:?}");
+        assert_eq!(
+            ntasks_seen,
+            (2..=MAX_STREAM_TASKS).collect(),
+            "2, 3, and 4 concurrent launches must all appear"
+        );
+        assert!(
+            methods_seen.len() >= 5,
+            "mixed methods across tasks: {methods_seen:?}"
+        );
+    }
+
+    #[test]
+    fn stream_shrinker_finds_the_minimal_failing_stream_set() {
+        // Synthetic predicate: the case fails iff some task has
+        // n >= 65 with m >= 7. The shrinker must drop every other
+        // stream task, land exactly on (65, 7), and simplify the rest.
+        let fails = |c: &StreamCase| (0..c.ntasks).any(|i| c.ns[i] >= 65 && c.ms[i] >= 7);
+        let mut start = StreamCase {
+            ntasks: 4,
+            ns: [0; MAX_STREAM_TASKS],
+            ms: [0; MAX_STREAM_TASKS],
+            methods: [Method::Fused; MAX_STREAM_TASKS],
+            kv: true,
+            dist: KeyDist::Skew75,
+            key_seed: 11,
+            wpb: 8,
+            sched: SchedSpec::Adversarial {
+                seed: 3,
+                flavor: AdvFlavor::ALL[0],
+            },
+        };
+        start.ns[..4].copy_from_slice(&[512, 30, 900, 4]);
+        start.ms[..4].copy_from_slice(&[16, 12, 8, 2]);
+        start.methods[..4].copy_from_slice(&[
+            Method::Onesweep,
+            Method::WarpLevel,
+            Method::BlockLevel,
+            Method::Direct,
+        ]);
+        assert!(fails(&start));
+        let s = shrink_stream(&start, fails);
+        assert_eq!(s.ntasks, 1, "minimal failing stream set is one task");
+        assert_eq!((s.ns[0], s.ms[0]), (65, 7), "{s:?}");
+        assert!(!s.kv);
+        assert_eq!(s.dist, KeyDist::Uniform);
+        assert_eq!(s.sched, SchedSpec::Sequential);
+        // Dropped slots were normalized, so the token stays canonical.
+        assert_eq!(s.ns[1..], [0; MAX_STREAM_TASKS - 1]);
+        assert_eq!(s.methods[1..], [Method::Fused; MAX_STREAM_TASKS - 1]);
+        let replayed = parse_replay(&s.replay_token()).unwrap();
+        assert_eq!(replayed, AnyCase::Stream(s));
+    }
+
+    #[test]
+    fn stream_cases_run_clean_under_every_adversarial_flavor() {
+        // A hand-built session mixing both sweep classes and an
+        // n = 1 task, clean under all four adversarial flavors (the
+        // ISSUE's concurrency matrix: overlapping launches on disjoint
+        // tracked buffers, bit-identical to the serialized order).
+        for flavor in AdvFlavor::ALL {
+            let mut case = StreamCase {
+                ntasks: 3,
+                ns: [0; MAX_STREAM_TASKS],
+                ms: [0; MAX_STREAM_TASKS],
+                methods: [Method::Fused; MAX_STREAM_TASKS],
+                kv: true,
+                dist: KeyDist::Skew75,
+                key_seed: 77,
+                wpb: 2,
+                sched: SchedSpec::Adversarial { seed: 13, flavor },
+            };
+            case.ns[..3].copy_from_slice(&[700, 1, 260]);
+            case.ms[..3].copy_from_slice(&[32, 5, 40]);
+            case.methods[..3].copy_from_slice(&[Method::Onesweep, Method::Fused, Method::LargeM]);
+            assert!(
+                run_stream_case(&case).is_ok(),
+                "{}: {:?}",
+                flavor.name(),
+                run_stream_case(&case)
+            );
+        }
     }
 
     #[test]

@@ -421,6 +421,8 @@ mod tests {
             per_block: Some(per_block),
             flight: Some(FlightLog { events, dropped: 0 }),
             seconds: 1e-6,
+            stream: crate::stream::HOST_STREAM,
+            stream_seq: 0,
         }
     }
 

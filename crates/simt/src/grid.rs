@@ -12,7 +12,7 @@
 //! running (or finished) work. Per-block event counters are merged with
 //! a reduction; no locks sit on the hot path.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::block::BlockCtx;
@@ -21,20 +21,39 @@ use crate::obs::{telemetry, ObsStats, Telemetry};
 use crate::profile::DeviceProfile;
 use crate::sched::{self, AdvCore, AdvSchedule, Schedule, ScheduleAborted, ADV_WORKERS};
 use crate::stats::{BlockStats, LaunchRecord};
+use crate::stream::{self, FairMutex, SessionKind, Stream, TimelineEntry, HOST_STREAM};
 
 /// Below this grid size the thread fan-out costs more than it saves.
 const PARALLEL_GRID_THRESHOLD: usize = 16;
 
+/// One task of a [`Device::concurrent`] session: a closure handed its
+/// own [`Stream`] to launch on.
+pub type StreamTask<'env, R> = Box<dyn FnOnce(&Stream) -> R + Send + 'env>;
+
 /// A simulated GPU: a profile plus the log of every kernel launched on it.
 pub struct Device {
     profile: DeviceProfile,
-    records: Mutex<Vec<LaunchRecord>>,
+    /// Launch log. Guarded by a fair FIFO ticket lock (MCS-style queued
+    /// arbitration, [`FairMutex`]) rather than a plain mutex: with
+    /// multiple streams submitting concurrently, record appends are
+    /// granted strictly in arrival order, so no stream's submissions can
+    /// barge past another's.
+    records: FairMutex<Vec<LaunchRecord>>,
     scope: Mutex<String>,
     schedule: Schedule,
     /// Launches so far — mixed into the adversarial seed so each launch in
     /// a multi-kernel pipeline gets its own interleaving (deterministic:
     /// launch order on one device is program order).
     launch_counter: AtomicU64,
+    /// Device-local stream indices handed out by [`Device::stream`] /
+    /// [`Device::concurrent`] (deterministic: creation program order).
+    stream_count: AtomicU32,
+    /// Session id for streams created manually via [`Device::stream`];
+    /// each [`Device::concurrent`] call gets its own fresh session.
+    manual_session: u64,
+    /// Modeled-concurrency timeline: one entry per recorded launch, from
+    /// which [`Device::makespan`] computes overlapped execution time.
+    timeline: FairMutex<Vec<TimelineEntry>>,
 }
 
 /// Lock a mutex, recovering the data if a previous holder panicked. The
@@ -68,10 +87,13 @@ impl Device {
     pub fn with_schedule(profile: DeviceProfile, schedule: Schedule) -> Self {
         Self {
             profile,
-            records: Mutex::new(Vec::new()),
+            records: FairMutex::new(Vec::new()),
             scope: Mutex::new(String::new()),
             schedule,
             launch_counter: AtomicU64::new(0),
+            stream_count: AtomicU32::new(0),
+            manual_session: stream::fresh_session_id(),
+            timeline: FairMutex::new(Vec::new()),
         }
     }
 
@@ -158,6 +180,8 @@ impl Device {
                 per_block: per_block_wanted.then(Vec::new),
                 flight: (flight_cap > 0).then(FlightLog::default),
                 seconds: 0.0,
+                stream: HOST_STREAM,
+                stream_seq: 0,
             };
         }
         // Every launch is a race-detection epoch boundary: the id is pinned
@@ -165,9 +189,28 @@ impl Device {
         // launches (already ordered by the launch sync point) never read as
         // same-epoch hazards, while intra-launch cross-block traffic does.
         let epoch = crate::memory::fresh_epoch();
+        let launch_ix = self.launch_counter.fetch_add(1, Ordering::Relaxed);
+        // Stream attribution: when the calling thread is inside a stream
+        // context, the launch ticks that stream's clock, registers its
+        // epoch with the versioned-clock detector, and collects any event
+        // edges observed since the stream's previous launch. Host-lane
+        // launches stay exactly as before.
+        let stream_ctx = stream::current_state();
+        let (stream_ix, stream_seq, deps) = match stream::stamp_launch(epoch) {
+            Some((ix, seq, deps)) => (ix, seq, deps),
+            None => (HOST_STREAM, launch_ix as u32, Vec::new()),
+        };
+        if stream_ix != HOST_STREAM {
+            sched::note_stream(stream_ix);
+        }
         let run_block = |b: usize| -> (BlockStats, ObsStats, Vec<FlightEvent>, u64) {
             // Attribute every tracked memory access in this block to block
-            // id `b` (the read-write hazard detector names reader/writer).
+            // id `b` (the read-write hazard detector names reader/writer),
+            // and carry the stream identity onto whatever worker thread
+            // runs the block so cross-stream checks see the right reader.
+            let _stream_guard = stream_ctx
+                .as_ref()
+                .map(|(s, k)| stream::enter_stream_kind(Arc::clone(s), *k));
             let _blk_guard = crate::memory::enter_block(b);
             let _epoch_pin = crate::memory::enter_epoch(epoch);
             let blk = BlockCtx::new(b, num_blocks, warps_per_block);
@@ -180,14 +223,43 @@ impl Device {
             }
             (bs, bo, fl, dropped)
         };
-        let launch_ix = self.launch_counter.fetch_add(1, Ordering::Relaxed);
         // Each worker accumulates locally (no locks on the hot path) and
         // keeps `(block_id, stats)` pairs when per-block telemetry is on;
         // the pairs are scattered into an id-indexed Vec after the join,
         // so the retained order is deterministic whatever the claim order.
         let parallel_wanted =
             self.schedule == Schedule::Parallel && num_blocks >= PARALLEL_GRID_THRESHOLD;
-        let (stats, obs, per_block, flight) = if let Schedule::Adversarial(adv) = self.schedule {
+        let (stats, obs, per_block, flight) = if sched::in_adversarial_session() {
+            // This thread is already an installed adversarial worker — a
+            // stream task inside Device::concurrent. Spawning a nested
+            // AdvCore here would deadlock (the nested workers would wait
+            // on a token this thread holds), so the launch's blocks run
+            // sequentially inline on this worker, yielding at the block
+            // claim and at every device-scope op — which is exactly where
+            // the session scheduler interleaves *other streams'* blocks.
+            // Within the launch, block b always follows block b-1, so
+            // every look-back predecessor is published before anyone
+            // spins on it; cross-stream hostility comes from the session
+            // policy, not intra-launch reordering.
+            let mut acc = BlockStats::default();
+            let mut obs = ObsStats::default();
+            let mut per_block = per_block_wanted.then(|| Vec::with_capacity(num_blocks));
+            let mut fl: Vec<FlightEvent> = Vec::new();
+            let mut fl_dropped = 0u64;
+            for b in 0..num_blocks {
+                sched::yield_block_start();
+                sched::note_block(b);
+                let (bs, bo, f, d) = run_block(b);
+                acc += bs;
+                obs += bo;
+                fl.extend(f);
+                fl_dropped += d;
+                if let Some(pb) = per_block.as_mut() {
+                    pb.push(bs);
+                }
+            }
+            (acc, obs, per_block, (fl, fl_dropped))
+        } else if let Schedule::Adversarial(adv) = self.schedule {
             // Adversarial executor: dynamic self-scheduling like the
             // parallel path, but exactly one worker runs at a time and the
             // seeded policy picks who at every yield point. Each launch
@@ -357,6 +429,7 @@ impl Device {
         // deterministic whatever order workers retired blocks in.
         let (mut fl_events, fl_dropped) = flight;
         fl_events.sort_by_key(|e| (e.block, e.seq));
+        let seconds = self.profile.estimate(&stats);
         let record = LaunchRecord {
             label,
             blocks: num_blocks,
@@ -368,42 +441,243 @@ impl Device {
                 events: fl_events,
                 dropped: fl_dropped,
             }),
-            seconds: self.profile.estimate(&stats),
+            seconds,
+            stream: stream_ix,
+            stream_seq,
         };
-        lock_unpoisoned(&self.records).push(record.clone());
+        self.timeline.lock().push(TimelineEntry {
+            stream: stream_ix,
+            seq: stream_seq,
+            seconds,
+            occ: (num_blocks as f64 / self.profile.sm_count as f64).min(1.0),
+            deps,
+        });
+        self.records.lock().push(record.clone());
         record
     }
 
-    /// All launches so far, in order.
+    /// All launches so far, in submission order. With concurrent streams
+    /// the order *across* streams is nondeterministic; sort or filter by
+    /// each record's `(stream, stream_seq)` for deterministic views.
     pub fn records(&self) -> Vec<LaunchRecord> {
-        lock_unpoisoned(&self.records).clone()
+        self.records.lock().clone()
     }
 
     /// Drain the launch log.
     pub fn take_records(&self) -> Vec<LaunchRecord> {
-        std::mem::take(&mut lock_unpoisoned(&self.records))
+        std::mem::take(&mut *self.records.lock())
     }
 
-    /// Clear the launch log.
+    /// Clear the launch log (and the concurrency timeline with it).
     pub fn reset(&self) {
-        lock_unpoisoned(&self.records).clear();
+        self.records.lock().clear();
+        self.timeline.lock().clear();
     }
 
-    /// Total estimated seconds over all recorded launches.
+    /// Total estimated seconds over all recorded launches — the
+    /// *serialized* baseline: one launch after another, no overlap.
     pub fn total_seconds(&self) -> f64 {
-        lock_unpoisoned(&self.records)
-            .iter()
-            .map(|r| r.seconds)
-            .sum()
+        self.records.lock().iter().map(|r| r.seconds).sum()
     }
 
     /// Total estimated seconds over launches whose label starts with `prefix`.
     pub fn seconds_with_prefix(&self, prefix: &str) -> f64 {
-        lock_unpoisoned(&self.records)
+        self.records
+            .lock()
             .iter()
             .filter(|r| r.label.starts_with(prefix))
             .map(|r| r.seconds)
             .sum()
+    }
+
+    /// Modeled end-to-end time with stream overlap: a deterministic
+    /// discrete-event replay of the launch timeline under per-stream
+    /// FIFO, event-wait edges, and occupancy packing (a launch occupies
+    /// `min(1, blocks / sm_count)` of the device; concurrent launches
+    /// share it up to capacity 1.0). Host-lane launches serialize in
+    /// program order, so a device that never used streams has
+    /// `makespan() == total_seconds()` exactly; with streams,
+    /// `makespan() <= total_seconds()`, and the gap is the overlap win.
+    pub fn makespan(&self) -> f64 {
+        stream::simulate_makespan(&self.timeline.lock()).0
+    }
+
+    /// Device utilization over the overlapped timeline:
+    /// `Σ duration·occupancy / makespan` (0.0 on an empty log).
+    pub fn utilization(&self) -> f64 {
+        let (makespan, busy) = stream::simulate_makespan(&self.timeline.lock());
+        if makespan > 0.0 {
+            busy / makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Modeled finish time of every recorded launch on the overlapped
+    /// timeline, keyed by `(stream index, per-stream launch number)` —
+    /// the same simulation [`Device::makespan`] summarizes. Host-lane
+    /// launches appear under [`crate::HOST_STREAM`] keyed by device
+    /// launch index.
+    pub fn completion_times(&self) -> Vec<(u32, u32, f64)> {
+        let tl = self.timeline.lock();
+        let ends = stream::simulate_end_times(&tl);
+        tl.iter()
+            .zip(ends)
+            .map(|(e, t)| (e.stream, e.seq, t))
+            .collect()
+    }
+
+    /// Create an independent launch queue on this device. Launches
+    /// issued inside [`Stream::run`] are attributed to the stream and
+    /// ordered FIFO against its other launches, but are *unordered*
+    /// against other streams until an [`crate::stream::Event`] edge says
+    /// otherwise — and the versioned-clock race detector holds the
+    /// program to exactly that contract on tracked buffers.
+    pub fn stream(&self) -> Stream {
+        Stream::new(
+            self.stream_count.fetch_add(1, Ordering::Relaxed),
+            self.manual_session,
+        )
+    }
+
+    /// Run `tasks` as one concurrency session: each task gets its own
+    /// fresh [`Stream`] (device-local indices in task order) and every
+    /// launch it issues lands on that stream. Returns each task's result
+    /// in task order.
+    ///
+    /// The execution strategy follows the device [`Schedule`]:
+    ///
+    /// * [`Schedule::Sequential`] — tasks run one after another on the
+    ///   calling thread (the *serialized reference order*: stream `i`'s
+    ///   launches all precede stream `i+1`'s). Waiting on an event no
+    ///   earlier task recorded panics rather than deadlocking.
+    /// * [`Schedule::Parallel`] — one host thread per task; event waits
+    ///   block on a condvar.
+    /// * [`Schedule::Adversarial`] — all tasks become workers of a
+    ///   single session-wide [`AdvCore`]: one task runs at a time and
+    ///   the seeded policy picks who at every yield point (block claim,
+    ///   ticket claim, device-scope op, look-back spin, event-wait
+    ///   poll), interleaving *blocks of different streams' launches*
+    ///   deterministically. The stall watchdog covers cross-stream
+    ///   waits, naming streams in its dump.
+    ///
+    /// Nested sessions are not supported (a task must not call
+    /// `concurrent` again); doing so panics.
+    pub fn concurrent<'env, R: Send>(&self, tasks: Vec<StreamTask<'env, R>>) -> Vec<R> {
+        assert!(
+            !stream::in_stream_context(),
+            "Device::concurrent does not nest: already inside a stream task"
+        );
+        let session = stream::fresh_session_id();
+        let streams: Vec<Stream> = (0..tasks.len())
+            .map(|_| Stream::new(self.stream_count.fetch_add(1, Ordering::Relaxed), session))
+            .collect();
+        match self.schedule {
+            Schedule::Sequential => tasks
+                .into_iter()
+                .zip(&streams)
+                .map(|(t, s)| {
+                    let _ctx = stream::enter_stream_kind(
+                        Arc::clone(&s.state),
+                        Some(SessionKind::Sequential),
+                    );
+                    t(s)
+                })
+                .collect(),
+            Schedule::Parallel => std::thread::scope(|sc| {
+                let handles: Vec<_> = tasks
+                    .into_iter()
+                    .zip(&streams)
+                    .map(|(t, s)| {
+                        sc.spawn(move || {
+                            let _ctx = stream::enter_stream_kind(
+                                Arc::clone(&s.state),
+                                Some(SessionKind::Parallel),
+                            );
+                            t(s)
+                        })
+                    })
+                    .collect();
+                let mut results = Vec::with_capacity(handles.len());
+                let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+                for h in handles {
+                    match h.join() {
+                        Ok(r) => results.push(r),
+                        Err(p) => {
+                            if first_panic.is_none() {
+                                first_panic = Some(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = first_panic {
+                    std::panic::resume_unwind(p);
+                }
+                results
+            }),
+            Schedule::Adversarial(adv) => {
+                // One core for the whole session (workers = tasks); the
+                // seed mixes the device's launch count so back-to-back
+                // sessions explore different interleavings while staying
+                // deterministic (launch order is program order).
+                let seed = adv.seed
+                    ^ self
+                        .launch_counter
+                        .load(Ordering::Relaxed)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let core = Arc::new(AdvCore::new(
+                    adv.flavor,
+                    seed,
+                    streams.len(),
+                    adv.spin_budget,
+                ));
+                std::thread::scope(|sc| {
+                    let handles: Vec<_> = tasks
+                        .into_iter()
+                        .zip(&streams)
+                        .enumerate()
+                        .map(|(w, (t, s))| {
+                            let core = Arc::clone(&core);
+                            sc.spawn(move || {
+                                struct FinishGuard<'a> {
+                                    core: &'a AdvCore,
+                                    w: usize,
+                                }
+                                impl Drop for FinishGuard<'_> {
+                                    fn drop(&mut self) {
+                                        self.core.finish(self.w, std::thread::panicking());
+                                    }
+                                }
+                                let _fin = FinishGuard { core: &core, w };
+                                let _inst = sched::install(Arc::clone(&core), w);
+                                sched::note_stream(s.index());
+                                let _ctx = stream::enter_stream_kind(
+                                    Arc::clone(&s.state),
+                                    Some(SessionKind::Adversarial),
+                                );
+                                t(s)
+                            })
+                        })
+                        .collect();
+                    let mut results = Vec::with_capacity(handles.len());
+                    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+                    for h in handles {
+                        match h.join() {
+                            Ok(r) => results.push(r),
+                            Err(payload) => {
+                                if !payload.is::<ScheduleAborted>() && first_panic.is_none() {
+                                    first_panic = Some(payload);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = first_panic {
+                        std::panic::resume_unwind(p);
+                    }
+                    results
+                })
+            }
+        }
     }
 }
 

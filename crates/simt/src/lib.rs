@@ -62,6 +62,7 @@ pub mod profile;
 pub mod sched;
 pub mod shared;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod warp;
 
@@ -70,7 +71,7 @@ pub use flight::{
     analyze as flight_analyze, flight_capacity, with_flight_capacity, EventKind, FlightAnalysis,
     FlightEvent, FlightLog, DEFAULT_FLIGHT_CAPACITY,
 };
-pub use grid::{blocks_for, Device};
+pub use grid::{blocks_for, Device, StreamTask};
 pub use json::Json;
 pub use lanes::{
     lane_active, lane_ids, lane_mask_le, lane_mask_lt, lanes_from_fn, map, popc, splat, zip, Lanes,
@@ -86,6 +87,7 @@ pub use profile::{DeviceProfile, GTX750TI, K40C};
 pub use sched::{AdvFlavor, AdvSchedule, Schedule, ADV_WORKERS, DEFAULT_SPIN_BUDGET};
 pub use shared::{padded_index, padded_len, SharedBuf, SMEM_BANKS};
 pub use stats::{BlockStats, LaunchRecord, StatCells};
+pub use stream::{Event, FairMutex, Stream, HOST_STREAM};
 pub use trace::{
     chrome_trace_json, chrome_trace_json_with_tiles, write_chrome_trace,
     write_chrome_trace_with_tiles,

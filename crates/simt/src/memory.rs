@@ -37,6 +37,12 @@ fn current_actor() -> u32 {
     CURRENT_BLOCK.with(|c| c.get())
 }
 
+/// The block id the current thread is attributed to, for the
+/// cross-stream hazard reports in [`crate::stream`].
+pub(crate) fn current_actor_public() -> u32 {
+    current_actor()
+}
+
 fn actor_name(a: u32) -> String {
     if a == HOST_ACTOR {
         "the host".to_string()
@@ -174,9 +180,13 @@ impl Scalar for (u32, u32) {
 /// A buffer in simulated device global memory.
 pub struct GlobalBuffer<T: Scalar> {
     words: Box<[AtomicU64]>,
-    /// Per-element race-detector marks: `(epoch << 32) | writer_block`,
+    /// Per-element race-detector write marks: `(epoch << 32) | writer_block`,
     /// recording who last wrote each element and in which kernel epoch.
     marks: Option<Box<[AtomicU64]>>,
+    /// Per-element race-detector read marks (same layout), recording the
+    /// last *counted* reader — the TL2-style versioned-clock side: a
+    /// cross-stream write over an unsynchronized read is a hazard too.
+    read_marks: Option<Box<[AtomicU64]>>,
     /// Counted read sectors attributed to *this* buffer across its lifetime
     /// (warp-wide `gather`/`gather_cached` only). `BlockStats` aggregates
     /// sectors per launch with no per-buffer attribution; claims like "the
@@ -192,6 +202,7 @@ impl<T: Scalar> GlobalBuffer<T> {
         Self {
             words: data.iter().map(|v| AtomicU64::new(v.to_bits())).collect(),
             marks: None,
+            read_marks: None,
             read_sectors: AtomicU64::new(0),
             _elem: std::marker::PhantomData,
         }
@@ -211,6 +222,7 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// tests to prove scatter disjointness and single-epoch data flow.
     pub fn tracked(mut self) -> Self {
         self.marks = Some((0..self.words.len()).map(|_| AtomicU64::new(0)).collect());
+        self.read_marks = Some((0..self.words.len()).map(|_| AtomicU64::new(0)).collect());
         self
     }
 
@@ -270,11 +282,24 @@ impl<T: Scalar> GlobalBuffer<T> {
             let epoch = current_epoch();
             let mark = (epoch as u64) << 32 | current_actor() as u64;
             let prev = marks[idx].swap(mark, Ordering::Relaxed);
+            let prev_epoch = (prev >> 32) as u32;
             assert_ne!(
-                (prev >> 32) as u32,
-                epoch,
+                prev_epoch, epoch,
                 "race detector: element {idx} written twice within one kernel epoch"
             );
+            // Versioned-clock side: a write in a *different* epoch is
+            // ordered only if that epoch is host-lane, same-stream, or
+            // covered by an event edge (see crate::stream).
+            if prev_epoch != 0 {
+                crate::stream::check_cross_epoch(prev_epoch, prev as u32, idx, "write", "write");
+            }
+            if let Some(reads) = &self.read_marks {
+                let rm = reads[idx].load(Ordering::Relaxed);
+                let rm_epoch = (rm >> 32) as u32;
+                if rm_epoch != 0 && rm_epoch != epoch {
+                    crate::stream::check_cross_epoch(rm_epoch, rm as u32, idx, "read", "write");
+                }
+            }
         }
     }
 
@@ -289,7 +314,8 @@ impl<T: Scalar> GlobalBuffer<T> {
         if let Some(marks) = &self.marks {
             let epoch = current_epoch();
             let mark = marks[idx].load(Ordering::Relaxed);
-            if (mark >> 32) as u32 == epoch {
+            let mark_epoch = (mark >> 32) as u32;
+            if mark_epoch == epoch {
                 let writer = mark as u32;
                 let reader = current_actor();
                 assert_eq!(
@@ -300,6 +326,16 @@ impl<T: Scalar> GlobalBuffer<T> {
                      flow through device-scope ops or a new epoch)",
                     actor_name(reader),
                     actor_name(writer)
+                );
+            } else if mark_epoch != 0 {
+                // Versioned-clock side: reading another stream's write
+                // from an earlier epoch is a hazard unless event-ordered.
+                crate::stream::check_cross_epoch(mark_epoch, mark as u32, idx, "write", "read");
+            }
+            if let Some(reads) = &self.read_marks {
+                reads[idx].store(
+                    (epoch as u64) << 32 | current_actor() as u64,
+                    Ordering::Relaxed,
                 );
             }
         }

@@ -598,6 +598,8 @@ mod tests {
             per_block: None,
             flight: None,
             seconds,
+            stream: crate::stream::HOST_STREAM,
+            stream_seq: 0,
         }
     }
 

@@ -48,6 +48,11 @@ pub struct DeviceProfile {
     /// blocks. Warp-synchronous kernels (no barriers) dodge this cost —
     /// the paper's third lesson.
     pub barrier_ns: f64,
+    /// Streaming multiprocessors on the device. A launch with fewer blocks
+    /// than SMs leaves the rest idle; the stream runtime's makespan model
+    /// uses `blocks / sm_count` as the launch's occupancy share, letting
+    /// small concurrent grids overlap on one device.
+    pub sm_count: usize,
 }
 
 /// NVIDIA Tesla K40c (Kepler GK110B): the paper's primary device.
@@ -65,6 +70,7 @@ pub const K40C: DeviceProfile = DeviceProfile {
     divergent_gops: 1.2,
     replay_gops: 20.0,
     barrier_ns: 1.0,
+    sm_count: 15,
 };
 
 /// NVIDIA GeForce GTX 750 Ti (Maxwell GM107): the §6.3 comparison device.
@@ -82,6 +88,7 @@ pub const GTX750TI: DeviceProfile = DeviceProfile {
     divergent_gops: 0.8,
     replay_gops: 8.0,
     barrier_ns: 3.5,
+    sm_count: 5,
 };
 
 impl DeviceProfile {

@@ -205,6 +205,13 @@ pub(crate) enum Ev {
     /// kernels' tile-ticket counters this is the claimed ticket, which
     /// the reverse-ticket and straggler policies key on.
     Ticket(u32),
+    /// One poll of a not-yet-recorded [`crate::stream::Event`]: the
+    /// worker is waiting on *another stream's* progress. Counts as
+    /// spinning for the straggler release (a parked worker is the only
+    /// way forward once everyone else waits) and for the stall watchdog
+    /// (an event nobody will ever record is a deadlock, and the dump
+    /// must say which stream is stuck on it).
+    EventWait,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,6 +236,12 @@ struct Inner {
     /// Consecutive spin polls on the same target with no other event in
     /// between — the quantity the stall watchdog budgets.
     spin_streak: Vec<u64>,
+    /// Device-local stream index each worker's launches belong to, when
+    /// the launch runs inside a stream session — so watchdog dumps name
+    /// streams, not just anonymous workers.
+    stream: Vec<Option<u32>>,
+    /// Worker is spin-polling an unrecorded event (not a tile ticket).
+    event_wait: Vec<bool>,
     /// The straggler policy's parked worker, if any.
     parked: Option<usize>,
     /// Set once the straggler has been parked and released; never park twice.
@@ -265,6 +278,8 @@ impl AdvCore {
                 block: vec![None; workers],
                 spin_target: vec![None; workers],
                 spin_streak: vec![0; workers],
+                stream: vec![None; workers],
+                event_wait: vec![false; workers],
                 parked: None,
                 straggler_done: false,
                 running: 0,
@@ -291,18 +306,38 @@ impl AdvCore {
                 g.status[w] = WStatus::Ready;
                 g.spin_target[w] = None;
                 g.spin_streak[w] = 0;
+                g.event_wait[w] = false;
             }
             Ev::Op => {
                 g.status[w] = WStatus::Ready;
                 // Any non-spin event is progress: the streak resets.
                 g.spin_target[w] = None;
                 g.spin_streak[w] = 0;
+                g.event_wait[w] = false;
+            }
+            Ev::EventWait => {
+                g.status[w] = WStatus::Spinning;
+                g.spin_target[w] = None;
+                g.spin_streak[w] = if g.event_wait[w] {
+                    g.spin_streak[w] + 1
+                } else {
+                    1
+                };
+                g.event_wait[w] = true;
+                if self.spin_budget > 0 && g.spin_streak[w] > self.spin_budget {
+                    let msg = self.stall_diagnosis(&g, w);
+                    g.aborted = true;
+                    self.cv.notify_all();
+                    drop(g);
+                    std::panic::panic_any(msg);
+                }
             }
             Ev::Spin {
                 waiting_on,
                 last_word,
             } => {
                 g.status[w] = WStatus::Spinning;
+                g.event_wait[w] = false;
                 let same_target = matches!(g.spin_target[w], Some((t, _)) if t == waiting_on);
                 g.spin_streak[w] = if same_target { g.spin_streak[w] + 1 } else { 1 };
                 g.spin_target[w] = Some((waiting_on, last_word));
@@ -324,6 +359,7 @@ impl AdvCore {
                 g.status[w] = WStatus::Ready;
                 g.spin_target[w] = None;
                 g.spin_streak[w] = 0;
+                g.event_wait[w] = false;
                 if t == 0
                     && self.flavor == AdvFlavor::Straggler
                     && !g.straggler_done
@@ -383,21 +419,38 @@ impl AdvCore {
         lock_unpoisoned(&self.inner).block[w] = Some(b);
     }
 
+    /// Record which stream worker `w`'s launches run on (no yield).
+    pub(crate) fn set_stream(&self, w: usize, stream: u32) {
+        lock_unpoisoned(&self.inner).stream[w] = Some(stream);
+    }
+
     /// Build the watchdog's structured diagnosis for breaching worker `w`:
     /// the headline "tile T in block B waiting on ticket K, published=…"
     /// line, the full wait-for graph, and a cycle / starvation analysis.
     fn stall_diagnosis(&self, g: &Inner, w: usize) -> String {
-        let (waited, last_word) = g.spin_target[w].unwrap_or((u32::MAX, u64::MAX));
         let tile = opt_str(g.ticket[w]);
         let block = opt_str(g.block[w]);
-        let mut out = format!(
-            "lookback stall watchdog: tile {tile} in block {block} waiting on ticket {}, \
-             published={} — {} consecutive spin polls exceeded the budget of {}\n",
-            ticket_str(waited),
-            describe_word(last_word),
-            g.spin_streak[w],
-            self.spin_budget,
-        );
+        let mut out = if g.event_wait[w] {
+            format!(
+                "event wait stall watchdog: {}worker {w} (block {block} ticket {tile}) \
+                 waiting on an event that was never recorded — {} consecutive polls \
+                 exceeded the budget of {}\n",
+                stream_prefix(g.stream[w]),
+                g.spin_streak[w],
+                self.spin_budget,
+            )
+        } else {
+            let (waited, last_word) = g.spin_target[w].unwrap_or((u32::MAX, u64::MAX));
+            format!(
+                "lookback stall watchdog: {}tile {tile} in block {block} waiting on ticket {}, \
+                 published={} — {} consecutive spin polls exceeded the budget of {}\n",
+                stream_prefix(g.stream[w]),
+                ticket_str(waited),
+                describe_word(last_word),
+                g.spin_streak[w],
+                self.spin_budget,
+            )
+        };
         out.push_str(&wait_graph_string(g));
         // Who owns the awaited ticket? Follow worker → awaited ticket →
         // owning worker to classify the stall.
@@ -537,6 +590,11 @@ fn describe_word(word: u64) -> String {
     }
 }
 
+/// `"stream S "` when the worker's launches belong to a stream, else `""`.
+fn stream_prefix(s: Option<u32>) -> String {
+    s.map_or_else(String::new, |ix| format!("stream {ix} "))
+}
+
 /// Render every worker's state as a wait-for graph snapshot.
 fn wait_graph_string(g: &Inner) -> String {
     let mut out = String::from("wait-for graph:\n");
@@ -544,6 +602,10 @@ fn wait_graph_string(g: &Inner) -> String {
         let role = match g.status[i] {
             WStatus::Done => "done".to_string(),
             _ if g.parked == Some(i) => "parked (straggler)".to_string(),
+            _ if g.event_wait[i] => format!(
+                "waiting on an unrecorded event (streak {})",
+                g.spin_streak[i]
+            ),
             WStatus::Spinning => match g.spin_target[i] {
                 Some((t, word)) => format!(
                     "spinning on ticket {} (last word {}, streak {})",
@@ -556,7 +618,8 @@ fn wait_graph_string(g: &Inner) -> String {
             WStatus::Ready => "runnable".to_string(),
         };
         out.push_str(&format!(
-            "  worker {i}: block {} ticket {} — {role}\n",
+            "  worker {i}: {}block {} ticket {} — {role}\n",
+            stream_prefix(g.stream[i]),
             opt_str(g.block[i]),
             opt_str(g.ticket[i]),
         ));
@@ -617,6 +680,31 @@ pub(crate) fn yield_block_start() {
 pub(crate) fn note_block(b: usize) {
     if let Some((core, w)) = active() {
         core.set_block(w, b);
+    }
+}
+
+/// Non-yielding hook: the grid executor reports which stream this
+/// worker's launches belong to, so watchdog diagnoses name streams.
+pub(crate) fn note_stream(stream: u32) {
+    if let Some((core, w)) = active() {
+        core.set_stream(w, stream);
+    }
+}
+
+/// Is the current thread an installed adversarial worker? True both for
+/// the classic per-launch executor's workers and for stream-session task
+/// threads; [`crate::grid`] uses it to run in-session launches inline
+/// (one nested `AdvCore` would deadlock against the outer token) and
+/// [`crate::stream`] to spin-poll events at yield points instead of
+/// blocking the token holder on a condvar.
+pub(crate) fn in_adversarial_session() -> bool {
+    active().is_some()
+}
+
+/// Yield hook for one poll of an unrecorded event (see [`Ev::EventWait`]).
+pub(crate) fn event_wait_yield() {
+    if let Some((core, w)) = active() {
+        core.yield_event(w, Ev::EventWait);
     }
 }
 

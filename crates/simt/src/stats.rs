@@ -150,6 +150,15 @@ pub struct LaunchRecord {
     pub flight: Option<crate::flight::FlightLog>,
     /// Estimated execution time in seconds (model, not wall clock).
     pub seconds: f64,
+    /// Device-local index of the stream this launch ran on, or
+    /// [`crate::stream::HOST_STREAM`] for launches outside any stream
+    /// session. Push order into `Device::records` is nondeterministic
+    /// across concurrent streams; `(stream, stream_seq)` restores a
+    /// deterministic per-stream order for comparisons.
+    pub stream: u32,
+    /// Launch sequence number within its stream (0-based); launches on the
+    /// host lane count up globally in submission order.
+    pub stream_seq: u32,
 }
 
 #[cfg(test)]

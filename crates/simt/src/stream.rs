@@ -1,0 +1,815 @@
+//! Streams, events, and the versioned-clock side of the race detector.
+//!
+//! A [`Stream`] is an independent launch queue on one [`crate::Device`]:
+//! launches issued on the same stream execute in FIFO order (the CUDA
+//! stream contract), launches on *different* streams are unordered unless
+//! the program inserts an [`Event`] record/wait edge between them. The
+//! simulator runs the grids themselves exactly as before — what streams
+//! add is (a) attribution: every launch carries `(stream, stream_seq)`;
+//! (b) a modeled-concurrency timeline from which
+//! [`crate::Device::makespan`] computes how long the device would have
+//! taken with overlapping grids; and (c) the ordering metadata the
+//! TL2-style race detector needs to tell a *synchronized* cross-stream
+//! access from a racy one.
+//!
+//! ## Versioned clocks
+//!
+//! The per-launch epoch detector in [`crate::memory`] treats every launch
+//! boundary as a global synchronization point, which is exactly wrong
+//! once two launches can be in flight at once: two overlapping launches
+//! on disjoint buffers are fine (the epoch scheme would have been silent
+//! only by luck of epoch inequality — it had no notion of concurrency at
+//! all), while a launch on stream B reading what a launch on stream A
+//! wrote *is* a race unless an event orders them, even though the epochs
+//! differ.
+//!
+//! TL2-style versioned clocks make that distinction explicit. Every
+//! launch inside a concurrency session gets a clock value: the pair
+//! `(stream, seq)` where `seq` counts launches on that stream. Each
+//! stream carries a *frontier* — for every other stream, the highest
+//! `seq` it has observed through an event wait. An element's write mark
+//! still stores `(epoch, block)`; a global registry maps session epochs
+//! back to `(session, stream, seq)`. A cross-epoch access is then a
+//! hazard iff the writer's epoch belongs to the *same session*, a
+//! *different stream*, and its `seq` is **above the reader's frontier**
+//! for that stream — i.e. no event edge (transitively) covers it.
+//! Legitimately overlapping launches on disjoint buffers never compare
+//! marks at all and stay silent; event-ordered cross-stream hand-offs
+//! advance the frontier and stay silent; everything else panics naming
+//! the exact `(stream, launch, block)` on both sides.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Device-local stream index recorded for launches issued outside any
+/// stream context (the "host lane" — everything PRs 1–9 ever launched).
+pub const HOST_STREAM: u32 = u32::MAX;
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ===================== global id + epoch-origin registry =====================
+
+/// Process-wide unique stream ids (device-local indices repeat across
+/// devices and test processes; the detector keys frontiers on these).
+static STREAM_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide unique concurrency-session ids. Epoch origins from a
+/// *different* session are never hazards: sessions on one device are
+/// separated by the `concurrent()` join, which is a full barrier.
+static SESSION_IDS: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_session_id() -> u64 {
+    SESSION_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Where a session epoch came from: which session, which stream (global
+/// id for frontier lookups, device-local index + seq for naming), and
+/// the stream-local launch number.
+#[derive(Clone, Copy)]
+struct EpochOrigin {
+    session: u64,
+    stream_gid: u64,
+    stream_ix: u32,
+    seq: u32,
+}
+
+/// Epoch → origin map for launches issued inside stream contexts. Epochs
+/// of ordinary (host-lane) launches are *absent*: their launch boundary
+/// is a true sync point, so cross-epoch access to their data is ordered
+/// — exactly the pre-stream detector semantics, preserved bit-for-bit.
+static EPOCH_ORIGINS: Mutex<Option<HashMap<u32, EpochOrigin>>> = Mutex::new(None);
+
+/// Fast-path gate: stays `false` until the first stream launch in the
+/// process, so programs that never touch streams pay one relaxed load.
+static ANY_ORIGINS: AtomicBool = AtomicBool::new(false);
+
+fn register_epoch(epoch: u32, origin: EpochOrigin) {
+    let mut g = lock_unpoisoned(&EPOCH_ORIGINS);
+    g.get_or_insert_with(HashMap::new).insert(epoch, origin);
+    ANY_ORIGINS.store(true, Ordering::Release);
+}
+
+fn lookup_epoch(epoch: u32) -> Option<EpochOrigin> {
+    if !ANY_ORIGINS.load(Ordering::Acquire) {
+        return None;
+    }
+    lock_unpoisoned(&EPOCH_ORIGINS)
+        .as_ref()
+        .and_then(|m| m.get(&epoch).copied())
+}
+
+// ============================== stream state ===============================
+
+/// Shared state of one stream: identity, launch clock, and frontier.
+pub(crate) struct StreamState {
+    /// Process-unique id (frontier key).
+    gid: u64,
+    /// Device-local index (what records, diagnoses and panics print).
+    ix: u32,
+    /// Session this stream's launches belong to for hazard purposes.
+    session: u64,
+    /// Launches issued on this stream so far (the stream's clock).
+    seq: AtomicU32,
+    /// Highest `seq` of every *other* stream this stream has observed
+    /// through an event wait (directly or transitively).
+    frontier: Mutex<HashMap<u64, u32>>,
+}
+
+/// An independent launch queue on one device. Create with
+/// [`crate::Device::stream`] (manual use) or receive one per task inside
+/// [`crate::Device::concurrent`]. Launches issued while a stream context
+/// is entered (see [`Stream::run`]) are attributed to the stream — the
+/// existing pipeline entry points work unchanged.
+pub struct Stream {
+    pub(crate) state: Arc<StreamState>,
+}
+
+impl Stream {
+    pub(crate) fn new(ix: u32, session: u64) -> Self {
+        Self {
+            state: Arc::new(StreamState {
+                gid: STREAM_IDS.fetch_add(1, Ordering::Relaxed),
+                ix,
+                session,
+                seq: AtomicU32::new(0),
+                frontier: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Device-local stream index (deterministic: creation order on the
+    /// device; global ids are process-wide and therefore not).
+    pub fn index(&self) -> u32 {
+        self.state.ix
+    }
+
+    /// How many launches this stream has issued so far. Launch `k` is
+    /// timeline entry `(index(), k)` for `k < launches()` — the key
+    /// [`crate::Device::completion_times`] reports modeled finish times
+    /// under.
+    pub fn launches(&self) -> u32 {
+        self.state.seq.load(Ordering::SeqCst)
+    }
+
+    /// Run `f` with this stream as the current thread's launch context:
+    /// every `Device::launch` inside is attributed to this stream and
+    /// clocked by it. Contexts do not nest with a *different* stream.
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _ctx = enter_stream(Arc::clone(&self.state));
+        f()
+    }
+
+    /// Record `event` at this stream's current position: waiters become
+    /// ordered after every launch issued on this stream so far (and,
+    /// transitively, after everything *this* stream has observed).
+    pub fn record(&self, event: &Event) {
+        let knowledge = lock_unpoisoned(&self.state.frontier).clone();
+        let mut g = lock_unpoisoned(&event.inner.state);
+        *g = Some(EventRecord {
+            stream_gid: self.state.gid,
+            stream_ix: self.state.ix,
+            seq: self.state.seq.load(Ordering::SeqCst),
+            knowledge,
+        });
+        drop(g);
+        event.inner.cv.notify_all();
+    }
+
+    /// Wait for `event`: blocks (or, under an adversarial session, spins
+    /// at a scheduler yield point) until the event is recorded, then
+    /// joins its knowledge into this stream's frontier — every launch
+    /// the recording stream had issued happens-before everything this
+    /// stream does next. Under a *sequential* session an unrecorded
+    /// event can never be recorded by anyone else, so waiting panics
+    /// instead of deadlocking; same for manual (session-less) use.
+    pub fn wait(&self, event: &Event) {
+        let rec = event.block_until_recorded();
+        if rec.stream_gid != self.state.gid {
+            let mut f = lock_unpoisoned(&self.state.frontier);
+            let e = f.entry(rec.stream_gid).or_insert(0);
+            *e = (*e).max(rec.seq);
+            for (gid, seq) in &rec.knowledge {
+                if *gid != self.state.gid {
+                    let e = f.entry(*gid).or_insert(0);
+                    *e = (*e).max(*seq);
+                }
+            }
+        }
+        // The next launch on this stream must not start (in the model's
+        // timeline) before the recorded prefix finished: remember the
+        // edge on this thread, drained into the next launch's deps.
+        if rec.seq > 0 {
+            PENDING_DEPS.with(|d| d.borrow_mut().push((rec.stream_ix, rec.seq - 1)));
+        }
+    }
+}
+
+// ============================== events ===============================
+
+#[derive(Clone)]
+struct EventRecord {
+    stream_gid: u64,
+    stream_ix: u32,
+    /// Stream clock at record time (= launches issued so far).
+    seq: u32,
+    /// The recording stream's frontier at record time — carried so event
+    /// ordering composes transitively (A→B→C covers A's launches for C).
+    knowledge: HashMap<u64, u32>,
+}
+
+struct EventInner {
+    state: Mutex<Option<EventRecord>>,
+    cv: Condvar,
+}
+
+/// A cross-stream ordering edge: one stream records it, others wait on
+/// it. Recording twice moves the event forward (CUDA semantics).
+#[derive(Clone)]
+pub struct Event {
+    inner: Arc<EventInner>,
+}
+
+impl Event {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(EventInner {
+                state: Mutex::new(None),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Has the event been recorded yet?
+    pub fn is_recorded(&self) -> bool {
+        lock_unpoisoned(&self.inner.state).is_some()
+    }
+
+    fn block_until_recorded(&self) -> EventRecord {
+        // Adversarial session: spin at a scheduler yield point so the
+        // policy controls the interleaving, the straggler release sees
+        // this worker as "stuck waiting", and the stall watchdog catches
+        // an event nobody will ever record.
+        if crate::sched::in_adversarial_session() {
+            loop {
+                if let Some(rec) = lock_unpoisoned(&self.inner.state).clone() {
+                    return rec;
+                }
+                crate::sched::event_wait_yield();
+            }
+        }
+        let mut g = lock_unpoisoned(&self.inner.state);
+        if let Some(rec) = g.clone() {
+            return rec;
+        }
+        match session_kind() {
+            Some(SessionKind::Parallel) => loop {
+                g = self.inner.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                if let Some(rec) = g.clone() {
+                    return rec;
+                }
+            },
+            Some(SessionKind::Sequential) => panic!(
+                "event wait deadlock: waiting on an event that no earlier task recorded \
+                 (the sequential schedule runs tasks in order, so it never can be)"
+            ),
+            _ => panic!(
+                "event wait on an unrecorded event outside a concurrent session would \
+                 block forever; record it first or use Device::concurrent"
+            ),
+        }
+    }
+}
+
+// ======================= thread-local stream context =======================
+
+/// What the executor of the current session is, for event-wait strategy.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionKind {
+    Sequential,
+    Parallel,
+    Adversarial,
+}
+
+struct Ctx {
+    state: Arc<StreamState>,
+    kind: Option<SessionKind>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+    /// Event-wait edges observed since the last launch on this thread;
+    /// drained into the next launch's timeline entry.
+    static PENDING_DEPS: std::cell::RefCell<Vec<(u32, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn session_kind() -> Option<SessionKind> {
+    CURRENT.with(|c| c.borrow().as_ref().and_then(|ctx| ctx.kind))
+}
+
+/// RAII stream-context guard; restores the previous context on drop.
+pub(crate) struct StreamCtx(Option<Ctx>);
+
+impl Drop for StreamCtx {
+    fn drop(&mut self) {
+        let restored_to_none = self.0.is_none();
+        CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        if restored_to_none {
+            // Leaving the outermost stream context: drop any event-wait
+            // edges no launch ever drained, so they cannot leak onto an
+            // unrelated later launch on this thread (e.g. the next task
+            // of a sequential session).
+            PENDING_DEPS.with(|d| d.borrow_mut().clear());
+        }
+    }
+}
+
+pub(crate) fn enter_stream(state: Arc<StreamState>) -> StreamCtx {
+    enter_stream_kind(state, None)
+}
+
+pub(crate) fn enter_stream_kind(state: Arc<StreamState>, kind: Option<SessionKind>) -> StreamCtx {
+    let new = Ctx { state, kind };
+    StreamCtx(CURRENT.with(|c| c.borrow_mut().replace(new)))
+}
+
+/// Is the current thread inside a stream context?
+pub(crate) fn in_stream_context() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Clone the current context's stream state (for propagation onto the
+/// grid executor's worker threads, so detector checks *inside blocks*
+/// see the right stream identity whichever executor runs them).
+pub(crate) fn current_state() -> Option<(Arc<StreamState>, Option<SessionKind>)> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| (Arc::clone(&ctx.state), ctx.kind))
+    })
+}
+
+/// `(stream_ix, stream_seq, timeline deps)` as stamped onto a launch.
+pub(crate) type LaunchStamp = (u32, u32, Vec<(u32, u32)>);
+
+/// Stamp the next launch on the current stream: bump the stream clock,
+/// register the launch's epoch in the origin registry, and return
+/// `(stream_ix, stream_seq, timeline deps)`. Called by `Device::launch`.
+pub(crate) fn stamp_launch(epoch: u32) -> Option<LaunchStamp> {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref()?;
+        let seq = ctx.state.seq.fetch_add(1, Ordering::SeqCst);
+        register_epoch(
+            epoch,
+            EpochOrigin {
+                session: ctx.state.session,
+                stream_gid: ctx.state.gid,
+                stream_ix: ctx.state.ix,
+                seq: seq + 1,
+            },
+        );
+        let deps = PENDING_DEPS.with(|d| std::mem::take(&mut *d.borrow_mut()));
+        Some((ctx.state.ix, seq, deps))
+    })
+}
+
+// ======================= versioned-clock hazard check =======================
+
+/// Cross-epoch hazard check, called by the tracked-buffer access paths in
+/// [`crate::memory`] for marks whose epoch differs from the current one.
+/// `prior_what` says what the marked access was ("written"/"read") and
+/// `this_what` what the current access is.
+///
+/// Returns without panicking when the prior access is ordered before the
+/// current one: host-lane epochs (absent from the registry), a different
+/// session (separated by the `concurrent()` join), the same stream
+/// (FIFO program order), or a launch at-or-below the current stream's
+/// frontier for the writer (covered by an event edge). Anything else is
+/// a true cross-stream race.
+pub(crate) fn check_cross_epoch(
+    mark_epoch: u32,
+    mark_block: u32,
+    idx: usize,
+    prior_what: &str,
+    this_what: &str,
+) {
+    let Some((state, _)) = current_state() else {
+        // Host-context access: the host only touches buffers between
+        // sessions (concurrent() is a join), so it is always ordered.
+        return;
+    };
+    let Some(origin) = lookup_epoch(mark_epoch) else {
+        // Host-lane launch: its boundary was a true sync point.
+        return;
+    };
+    if origin.session != state.session || origin.stream_gid == state.gid {
+        return;
+    }
+    let covered = lock_unpoisoned(&state.frontier)
+        .get(&origin.stream_gid)
+        .copied()
+        .unwrap_or(0)
+        >= origin.seq;
+    if covered {
+        return;
+    }
+    let this_seq = state.seq.load(Ordering::SeqCst);
+    let this_block = crate::memory::current_actor_public();
+    panic!(
+        "race detector: cross-stream {this_what}-after-{prior_what} hazard on element {idx}: \
+         {this_what} by (stream {}, launch {}, block {}) overlaps unsynchronized with the \
+         {prior_what} by (stream {}, launch {}, block {}) — order the streams with an \
+         Event record/wait edge",
+        state.ix,
+        this_seq.saturating_sub(1),
+        actor(this_block),
+        origin.stream_ix,
+        origin.seq - 1,
+        actor(mark_block),
+    );
+}
+
+fn actor(b: u32) -> String {
+    if b == u32::MAX {
+        "host".into()
+    } else {
+        b.to_string()
+    }
+}
+
+// ============================ fair ticket lock =============================
+
+/// A fair, FIFO ticket lock (MCS-style queued arbitration): each waiter
+/// takes the next ticket and is granted the lock strictly in ticket
+/// order — no barging, no starvation — unlike `std::sync::Mutex`, which
+/// makes no fairness guarantee and under contention can let one stream's
+/// submissions overtake another's indefinitely. The device's launch log
+/// and timeline are guarded by this, so submission arbitration between
+/// streams is provably FIFO.
+pub struct FairMutex<T> {
+    next_ticket: AtomicU64,
+    now_serving: Mutex<u64>,
+    cv: Condvar,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialized by the ticket protocol — a
+// thread touches it only between being granted `now_serving == ticket`
+// and bumping `now_serving` in the guard's drop.
+unsafe impl<T: Send> Sync for FairMutex<T> {}
+unsafe impl<T: Send> Send for FairMutex<T> {}
+
+pub struct FairGuard<'a, T> {
+    lock: &'a FairMutex<T>,
+}
+
+impl<T> FairMutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            next_ticket: AtomicU64::new(0),
+            now_serving: Mutex::new(0),
+            cv: Condvar::new(),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire in strict ticket (arrival) order.
+    pub fn lock(&self) -> FairGuard<'_, T> {
+        let t = self.enqueue();
+        self.wait_turn(t)
+    }
+
+    /// Phase 1: join the queue (the arrival point). Exposed separately so
+    /// tests can pin arrival order deterministically.
+    pub(crate) fn enqueue(&self) -> u64 {
+        self.next_ticket.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Phase 2: block until `ticket` is served, then hold the lock.
+    pub(crate) fn wait_turn(&self, ticket: u64) -> FairGuard<'_, T> {
+        let mut serving = lock_unpoisoned(&self.now_serving);
+        while *serving != ticket {
+            serving = self.cv.wait(serving).unwrap_or_else(|e| e.into_inner());
+        }
+        FairGuard { lock: self }
+    }
+}
+
+impl<T> Drop for FairGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut serving = lock_unpoisoned(&self.lock.now_serving);
+        *serving += 1;
+        self.lock.cv.notify_all();
+    }
+}
+
+impl<T> std::ops::Deref for FairGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: see `Sync` impl — we hold the ticket.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for FairGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: see `Sync` impl — we hold the ticket.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+// ========================= timeline + makespan model =========================
+
+/// One launch on the device's concurrency timeline.
+#[derive(Debug, Clone)]
+pub(crate) struct TimelineEntry {
+    /// Device-local stream index ([`HOST_STREAM`] for the host lane).
+    pub stream: u32,
+    /// Launch number within the stream (FIFO: launch `k` cannot start
+    /// before launch `k-1` on the same stream finished).
+    pub seq: u32,
+    /// Modeled duration ([`crate::DeviceProfile::estimate`]).
+    pub seconds: f64,
+    /// Fraction of the device this launch occupies:
+    /// `min(1, blocks / sm_count)`. Two half-occupancy launches overlap
+    /// fully; a grid-filling launch monopolizes the device.
+    pub occ: f64,
+    /// Event edges: `(stream, seq)` launches that must finish first.
+    pub deps: Vec<(u32, u32)>,
+}
+
+/// Deterministic discrete-time simulation of the timeline under a
+/// capacity-1.0 device: per-stream FIFO, event deps, and occupancy
+/// packing. Returns `(makespan_seconds, busy_integral)` where the busy
+/// integral is `Σ duration·occ` (so `utilization = busy / makespan`).
+///
+/// Determinism: entries are processed in `(ready, stream, seq)` order and
+/// every quantity derives from recorded durations — never wall clock —
+/// so the result is identical however the launches actually interleaved
+/// on host threads.
+pub(crate) fn simulate_makespan(entries: &[TimelineEntry]) -> (f64, f64) {
+    let ends = simulate_end_times(entries);
+    let makespan = ends.iter().fold(0.0f64, |a, &b| a.max(b));
+    let busy = entries.iter().map(|e| e.seconds * e.occ).sum();
+    (makespan, busy)
+}
+
+/// Per-entry finish times under the same simulation, indexed like
+/// `entries`. `paper serve` uses this to assign each overlapped batch a
+/// modeled completion latency.
+pub(crate) fn simulate_end_times(entries: &[TimelineEntry]) -> Vec<f64> {
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        (entries[a].stream, entries[a].seq).cmp(&(entries[b].stream, entries[b].seq))
+    });
+    // end[i] = assigned finish time; None until scheduled.
+    let mut end: Vec<Option<f64>> = vec![None; entries.len()];
+    let mut start: Vec<Option<f64>> = vec![None; entries.len()];
+    let find = |stream: u32, seq: u32| -> Option<usize> {
+        entries
+            .iter()
+            .position(|e| e.stream == stream && e.seq == seq)
+    };
+    // FIFO predecessor: the *latest recorded* launch on the same stream
+    // with a smaller seq. Seq values can have gaps (the host lane shares
+    // the device launch counter with streams; zero-block launches never
+    // tick a clock), so `seq - 1` specifically may be absent while an
+    // earlier launch still gates this one.
+    let pred = |i: usize| -> Option<usize> {
+        let e = &entries[i];
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.stream == e.stream && o.seq < e.seq)
+            .max_by_key(|(_, o)| o.seq)
+            .map(|(j, _)| j)
+    };
+    let mut remaining: Vec<usize> = order.clone();
+    while !remaining.is_empty() {
+        // An entry is eligible once its stream predecessor and all its
+        // event deps have assigned end times.
+        let mut best: Option<(f64, u32, u32, usize)> = None;
+        for (pos, &i) in remaining.iter().enumerate() {
+            let e = &entries[i];
+            let pred_end = pred(i).map_or(Some(0.0), |p| end[p]);
+            let Some(mut ready) = pred_end else { continue };
+            let mut ok = true;
+            for &(ds, dq) in &e.deps {
+                match find(ds, dq).map(|d| end[d]) {
+                    Some(Some(t)) => ready = ready.max(t),
+                    // Dep not yet scheduled: wait for it.
+                    Some(None) => {
+                        ok = false;
+                        break;
+                    }
+                    // Dep launch never recorded (e.g. zero-block): no-op.
+                    None => {}
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let key = (ready, e.stream, e.seq);
+            if best.is_none_or(|(r, s, q, _)| key < (r, s, q)) {
+                best = Some((ready, e.stream, e.seq, pos));
+            }
+        }
+        let Some((ready, _, _, pos)) = best else {
+            // Only possible with a dependency cycle, which event
+            // semantics cannot express (an event is recorded at a fixed
+            // clock value); treat defensively as serialized.
+            let i = remaining.remove(0);
+            let t = end.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+            start[i] = Some(t);
+            end[i] = Some(t + entries[i].seconds);
+            continue;
+        };
+        let i = remaining.remove(pos);
+        let e = &entries[i];
+        // Earliest time >= ready with spare capacity for `occ`: load only
+        // changes at start/end points of already-scheduled entries.
+        let load_at = |t: f64| -> f64 {
+            (0..entries.len())
+                .filter(|&j| {
+                    matches!((start[j], end[j]), (Some(s), Some(en)) if s <= t + 1e-18 && en > t + 1e-18)
+                })
+                .map(|j| entries[j].occ)
+                .sum()
+        };
+        let mut t = ready;
+        loop {
+            if load_at(t) + e.occ <= 1.0 + 1e-9 {
+                break;
+            }
+            // Advance to the next end point after t.
+            let next = end
+                .iter()
+                .flatten()
+                .filter(|&&en| en > t + 1e-18)
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            if !next.is_finite() {
+                break; // defensive: nothing running, shouldn't happen
+            }
+            t = next;
+        }
+        start[i] = Some(t);
+        end[i] = Some(t + e.seconds);
+    }
+    end.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(stream: u32, seq: u32, seconds: f64, occ: f64) -> TimelineEntry {
+        TimelineEntry {
+            stream,
+            seq,
+            seconds,
+            occ,
+            deps: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_timeline_has_zero_makespan() {
+        assert_eq!(simulate_makespan(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn single_stream_serializes_fifo() {
+        let (ms, busy) = simulate_makespan(&[
+            entry(0, 0, 2.0, 0.25),
+            entry(0, 1, 3.0, 0.25),
+            entry(0, 2, 1.0, 0.25),
+        ]);
+        assert!((ms - 6.0).abs() < 1e-12, "FIFO per stream: {ms}");
+        assert!((busy - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_launches_on_two_streams_overlap() {
+        let (ms, _) = simulate_makespan(&[entry(0, 0, 2.0, 0.3), entry(1, 0, 2.0, 0.3)]);
+        assert!((ms - 2.0).abs() < 1e-12, "full overlap: {ms}");
+    }
+
+    #[test]
+    fn full_occupancy_launches_cannot_overlap() {
+        let (ms, _) = simulate_makespan(&[entry(0, 0, 2.0, 1.0), entry(1, 0, 3.0, 1.0)]);
+        assert!((ms - 5.0).abs() < 1e-12, "capacity 1.0 serializes: {ms}");
+    }
+
+    #[test]
+    fn capacity_packs_three_halves_into_two_slots() {
+        // Three 0.5-occupancy launches of 1 s: two run together, the
+        // third waits — makespan 2, not 1 and not 3.
+        let (ms, _) = simulate_makespan(&[
+            entry(0, 0, 1.0, 0.5),
+            entry(1, 0, 1.0, 0.5),
+            entry(2, 0, 1.0, 0.5),
+        ]);
+        assert!((ms - 2.0).abs() < 1e-12, "{ms}");
+    }
+
+    #[test]
+    fn event_dep_orders_across_streams() {
+        let mut consumer = entry(1, 0, 1.0, 0.1);
+        consumer.deps.push((0, 0));
+        let (ms, _) = simulate_makespan(&[entry(0, 0, 2.0, 0.1), consumer]);
+        assert!((ms - 3.0).abs() < 1e-12, "dep serializes: {ms}");
+    }
+
+    #[test]
+    fn makespan_is_order_independent() {
+        let a = vec![
+            entry(0, 0, 1.0, 0.5),
+            entry(1, 0, 2.0, 0.5),
+            entry(0, 1, 1.5, 0.75),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(simulate_makespan(&a), simulate_makespan(&b));
+    }
+
+    #[test]
+    fn fair_mutex_grants_in_strict_arrival_order() {
+        // Deterministic FIFO proof via the two-phase API: the main
+        // thread pins arrival order by taking every ticket itself (in
+        // order 0..n) while holding ticket 0, hands ticket k to thread
+        // k, and the grant order on release must be exactly 0..n —
+        // queued waiters can never overtake (no barging).
+        let n = 8;
+        let m = Arc::new(FairMutex::new(Vec::<u64>::new()));
+        let t0 = m.enqueue();
+        assert_eq!(t0, 0);
+        let held = m.wait_turn(t0);
+        let tickets: Vec<u64> = (1..n).map(|_| m.enqueue()).collect();
+        std::thread::scope(|s| {
+            for &t in &tickets {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    m.wait_turn(t).push(t);
+                });
+            }
+            drop(held);
+        });
+        let order = m.lock().clone();
+        assert_eq!(order, (1..n as u64).collect::<Vec<_>>(), "FIFO grants");
+    }
+
+    #[test]
+    fn fair_mutex_provides_mutual_exclusion() {
+        let m = Arc::new(FairMutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn stream_ids_and_indices_are_distinct() {
+        let a = Stream::new(0, 1);
+        let b = Stream::new(1, 1);
+        assert_ne!(a.state.gid, b.state.gid);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn event_record_then_wait_merges_frontier() {
+        let a = Stream::new(0, 99);
+        let b = Stream::new(1, 99);
+        a.state.seq.store(3, Ordering::SeqCst);
+        let ev = Event::new();
+        assert!(!ev.is_recorded());
+        a.record(&ev);
+        assert!(ev.is_recorded());
+        b.wait(&ev);
+        let f = lock_unpoisoned(&b.state.frontier);
+        assert_eq!(f.get(&a.state.gid).copied(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecorded event")]
+    fn waiting_on_an_unrecorded_event_outside_a_session_panics() {
+        let a = Stream::new(0, 100);
+        let ev = Event::new();
+        a.wait(&ev);
+    }
+}

@@ -349,3 +349,136 @@ fn injected_stall_terminates_under_every_flavor() {
         );
     }
 }
+
+// ================= cross-stream deadlock freedom (ISSUE 10) =================
+
+/// Straggler across streams: stream 0's ticket-0 claimant is parked the
+/// moment it claims its ticket, while stream 1 sits in an `Event` wait
+/// that only stream 0 can satisfy. The event wait counts as "stuck
+/// spinning" for the straggler release, so the parked publisher is the
+/// only way forward and gets released — the session terminates with both
+/// scans matching the CPU reference. Hanging here would mean the release
+/// heuristic can't see cross-stream event waits.
+#[test]
+fn straggler_parks_one_stream_while_another_waits_on_an_event() {
+    use simt::{Event, Stream};
+    let n = 1usize << 12;
+    let vals: Vec<u32> = gen_keys(n, 0xAD10).iter().map(|k| k % 1000).collect();
+    // CPU reference: scan, then scan-of-scan.
+    let scan_ref = |xs: &[u32]| -> (Vec<u32>, u32) {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0u32;
+        for &x in xs {
+            out.push(acc);
+            acc = acc.wrapping_add(x);
+        }
+        (out, acc)
+    };
+    let (first_ref, first_total) = scan_ref(&vals);
+    let (second_ref, second_total) = scan_ref(&first_ref);
+
+    let dev = Device::adversarial(K40C, AdvSchedule::with_flavor(0xAD11, AdvFlavor::Straggler));
+    let input = GlobalBuffer::from_slice(&vals);
+    let mid = GlobalBuffer::<u32>::zeroed(n);
+    let out = GlobalBuffer::<u32>::zeroed(n);
+    let ready = Event::new();
+    let totals = dev.concurrent(vec![
+        Box::new(|s: &Stream| {
+            let t = s.run(|| primitives::exclusive_scan_u32(&dev, "s0", &input, &mid, n, 8));
+            s.record(&ready);
+            t
+        }),
+        Box::new(|s: &Stream| {
+            s.wait(&ready);
+            s.run(|| primitives::exclusive_scan_u32(&dev, "s1", &mid, &out, n, 8))
+        }),
+    ]);
+    assert_eq!(totals, vec![first_total, second_total]);
+    assert_eq!(mid.to_vec(), first_ref, "stream 0 scan diverges");
+    assert_eq!(out.to_vec(), second_ref, "stream 1 scan-of-scan diverges");
+}
+
+/// The negative case: a stream waits on an event nobody ever records.
+/// The stall watchdog must abort the session (not hang) with a dump that
+/// names the blocked **stream** and the worker's ticket state, plus the
+/// wait-for-graph snapshot with per-stream attribution.
+#[test]
+fn unrecorded_event_wait_trips_watchdog_naming_the_stream() {
+    use simt::{Event, Stream};
+    let dev = Device::adversarial(
+        K40C,
+        AdvSchedule::with_flavor(0xAD12, AdvFlavor::Random).with_spin_budget(2_000),
+    );
+    let never = Event::new();
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dev.concurrent(vec![
+            Box::new(|s: &Stream| {
+                s.run(|| {
+                    dev.launch("orphan/work", 2, 1, |_blk| {});
+                })
+            }),
+            Box::new(|s: &Stream| {
+                s.wait(&never);
+            }),
+        ]);
+    }))
+    .expect_err("an event nobody records must abort via the watchdog, not hang");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("watchdog panics carry a String diagnosis");
+    assert!(
+        msg.contains("event wait stall watchdog"),
+        "diagnosis must identify the event-wait watchdog: {msg}"
+    );
+    assert!(
+        msg.contains("stream 1"),
+        "diagnosis must name the blocked stream: {msg}"
+    );
+    assert!(
+        msg.contains("waiting on an event that was never recorded"),
+        "diagnosis must say what the worker is stuck on: {msg}"
+    );
+    assert!(
+        msg.contains("wait-for graph"),
+        "diagnosis must include the wait-for-graph snapshot: {msg}"
+    );
+    assert!(
+        msg.contains("ticket"),
+        "diagnosis must report the worker's ticket state: {msg}"
+    );
+}
+
+/// Every adversarial flavor drives the event-ordered two-stream scan
+/// pipeline to the same outputs (deadlock freedom + schedule
+/// independence for the cross-stream wait path, not just Straggler).
+#[test]
+fn event_ordered_streams_terminate_under_every_flavor() {
+    use simt::{Event, Stream};
+    let n = 1usize << 10;
+    let vals: Vec<u32> = gen_keys(n, 0xAD13).iter().map(|k| k % 100).collect();
+    let mut expected = None;
+    for flavor in AdvFlavor::ALL {
+        let dev = Device::adversarial(K40C, AdvSchedule::with_flavor(0xAD14, flavor));
+        let input = GlobalBuffer::from_slice(&vals);
+        let mid = GlobalBuffer::<u32>::zeroed(n);
+        let out = GlobalBuffer::<u32>::zeroed(n);
+        let ready = Event::new();
+        let totals = dev.concurrent(vec![
+            Box::new(|s: &Stream| {
+                let t = s.run(|| primitives::exclusive_scan_u32(&dev, "f0", &input, &mid, n, 8));
+                s.record(&ready);
+                t
+            }),
+            Box::new(|s: &Stream| {
+                s.wait(&ready);
+                s.run(|| primitives::exclusive_scan_u32(&dev, "f1", &mid, &out, n, 8))
+            }),
+        ]);
+        let got = (totals, mid.to_vec(), out.to_vec());
+        match &expected {
+            None => expected = Some(got),
+            Some(e) => assert_eq!(e, &got, "{}: event-ordered run diverges", flavor.name()),
+        }
+    }
+}

@@ -237,6 +237,8 @@ fn empty_launch_guards_hold() {
         per_block,
         flight: None,
         seconds: 0.0,
+        stream: simt::HOST_STREAM,
+        stream_seq: 0,
     };
     // No per-block stats retained: no report rather than a crash.
     assert!(launch_report(&rec(None), &K40C).is_none());
